@@ -1,0 +1,135 @@
+// Command benchall regenerates every table and figure of the paper and
+// writes an EXPERIMENTS-style report to stdout (or a file), recording the
+// paper's numbers next to the measured ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"easydram/internal/experiments"
+	"easydram/internal/stats"
+	"easydram/internal/workload"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	quick := flag.Bool("quick", false, "use reduced-scale parameters")
+	seed := flag.Uint64("seed", 1, "DRAM variation seed")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("benchall: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("benchall: %v", err)
+			}
+		}()
+		w = f
+	}
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+		opt.KernelSize = workload.Small
+	}
+	opt.Seed = *seed
+
+	if err := report(w, opt); err != nil {
+		log.Fatalf("benchall: %v", err)
+	}
+}
+
+func report(w io.Writer, opt experiments.Options) error {
+	start := time.Now()
+	section := func(title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+
+	section("Table 1 — platform comparison")
+	t1, err := experiments.Table1(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t1.Render())
+
+	section("Figure 2 — request time breakdown")
+	f2, err := experiments.Figure2(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, f2.Table())
+
+	section("§6 — time-scaling validation (paper: <0.1% avg, <1% max)")
+	val, err := experiments.Validation(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, val.Table())
+
+	section("Figure 8 — lmbench latency profile")
+	f8, err := experiments.Figure8(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, f8.Table())
+
+	section("Figure 10 — RowClone No Flush (paper: copy 306.7x/15.0x/27.2x, init 36.7x/1.8x/17.3x)")
+	f10, err := experiments.RowClone(opt, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, f10.Table())
+
+	section("Figure 11 — RowClone CLFLUSH (paper: copy 3.1x/4.04x avg)")
+	f11, err := experiments.RowClone(opt, true)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, f11.Table())
+
+	section("Figure 12 — minimum reliable tRCD heatmap (paper: 84.5% strong)")
+	f12, err := experiments.Figure12(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, f12.Heatmap())
+
+	section("Figures 13 & 14 — tRCD reduction (paper: +2.75% avg EasyDRAM, +2.58% Ramulator) and simulation speed (paper: 5.9x avg)")
+	f13, err := experiments.Figure13(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, f13.Table())
+	fmt.Fprintln(w, f13.SpeedTable())
+	fmt.Fprintf(w, "EasyDRAM avg improvement: %.2f%% (max %.2f%%)\n",
+		f13.AvgSpeedupPct(experiments.NameTS), f13.MaxSpeedupPct(experiments.NameTS))
+	fmt.Fprintf(w, "Ramulator avg improvement: %.2f%% (max %.2f%%)\n",
+		f13.AvgSpeedupPct(experiments.NameRamulator), f13.MaxSpeedupPct(experiments.NameRamulator))
+	fmt.Fprintf(w, "EasyDRAM sim speed geomean %.2f MHz\n", stats.Geomean(f13.SimSpeedMHz[experiments.NameTS]))
+
+	section("Extension — RowClone DRAM energy (RowClone paper: ~74x for FPM copy)")
+	en, err := experiments.Energy(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, en.Table())
+
+	section("Extension — design-axis ablations")
+	abl, err := experiments.Ablations(opt)
+	if err != nil {
+		return err
+	}
+	for _, a := range abl {
+		fmt.Fprintln(w, a.Table())
+	}
+
+	fmt.Fprintf(w, "\ntotal runtime: %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

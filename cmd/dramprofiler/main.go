@@ -1,0 +1,53 @@
+// Command dramprofiler characterizes the modelled DRAM module the way §8.1
+// characterizes real chips: it issues profiling requests through the
+// software memory controller and reports per-row minimum reliable tRCD
+// (Figure 12) and RowClone clonability statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"easydram"
+	"easydram/internal/experiments"
+)
+
+func main() {
+	rows := flag.Int("rows", 512, "rows per bank to profile")
+	seed := flag.Uint64("seed", 1, "DRAM variation seed")
+	clonePairs := flag.Int("clonepairs", 256, "intra-subarray row pairs to test for RowClone")
+	flag.Parse()
+
+	opt := experiments.Default()
+	opt.HeatRows = *rows
+	opt.Seed = *seed
+
+	heat, err := experiments.Figure12(opt)
+	if err != nil {
+		log.Fatalf("dramprofiler: %v", err)
+	}
+	fmt.Print(heat.Heatmap())
+
+	// Clonability survey: adjacent intra-subarray pairs across banks.
+	sys, err := easydram.NewSystem(easydram.TimeScaled(), easydram.WithDataTracking(), easydram.WithSeed(*seed))
+	if err != nil {
+		log.Fatalf("dramprofiler: %v", err)
+	}
+	rowBytes := uint64(sys.RowBytes())
+	const banks = 16
+	ok := 0
+	for i := 0; i < *clonePairs; i++ {
+		src := uint64(i) * rowBytes * banks // row i, bank 0
+		dst := src + rowBytes*banks         // row i+1, bank 0
+		good, err := sys.TestRowClone(src, dst, 3)
+		if err != nil {
+			log.Fatalf("dramprofiler: %v", err)
+		}
+		if good {
+			ok++
+		}
+	}
+	fmt.Printf("RowClone: %d/%d adjacent intra-subarray pairs clonable (%.1f%%)\n",
+		ok, *clonePairs, 100*float64(ok)/float64(*clonePairs))
+}

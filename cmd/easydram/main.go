@@ -1,0 +1,126 @@
+// Command easydram runs the paper's experiments and prints their tables
+// and series.
+//
+// Usage:
+//
+//	easydram [-quick] [-seed N] <experiment>
+//
+// where experiment is one of: table1, fig2, validation, fig8, fig10,
+// fig11, fig12, fig13, fig14, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"easydram/internal/experiments"
+	"easydram/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use unit-test-scale parameters")
+	seed := flag.Uint64("seed", 1, "DRAM variation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+		opt.KernelSize = workload.Small
+	}
+	opt.Seed = *seed
+
+	if err := run(flag.Arg(0), opt); err != nil {
+		fmt.Fprintf(os.Stderr, "easydram: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, opt experiments.Options) error {
+	switch name {
+	case "table1":
+		r, err := experiments.Table1(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig2":
+		r, err := experiments.Figure2(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "validation":
+		r, err := experiments.Validation(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig8":
+		r, err := experiments.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig10":
+		r, err := experiments.RowClone(opt, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig11":
+		r, err := experiments.RowClone(opt, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig12":
+		r, err := experiments.Figure12(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Heatmap())
+	case "energy":
+		r, err := experiments.Energy(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "ablations":
+		rs, err := experiments.Ablations(opt)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			fmt.Println(r.Table())
+		}
+	case "fig13", "fig14":
+		r, err := experiments.Figure13(opt)
+		if err != nil {
+			return err
+		}
+		if name == "fig13" {
+			fmt.Println(r.Table())
+		} else {
+			fmt.Println(r.SpeedTable())
+		}
+	case "all":
+		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations"} {
+			fmt.Printf("==== %s ====\n", n)
+			if err := run(n, opt); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

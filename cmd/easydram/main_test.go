@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"easydram/internal/experiments"
+)
+
+func quickOpt() experiments.Options {
+	opt := experiments.Quick()
+	opt.Sizes = []int{32 << 10}
+	opt.LatSizesKiB = []int{64}
+	opt.HeatRows = 96
+	return opt
+}
+
+func TestRunDispatch(t *testing.T) {
+	for _, name := range []string{"table1", "fig2", "fig8", "fig10", "fig12"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if err := run(name, quickOpt()); err != nil {
+				t.Fatalf("run(%q): %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", quickOpt()); err == nil {
+		t.Fatalf("unknown experiment must error")
+	}
+}

@@ -1,0 +1,203 @@
+// Package easydram is a software reproduction of EasyDRAM (Canpolat et al.,
+// DSN 2025): an infrastructure for fast and accurate end-to-end evaluation
+// of emerging DRAM techniques, built around a software-defined memory
+// controller and the time-scaling emulation technique.
+//
+// The package is the public facade over the internal stack (DRAM chip model
+// with process variation, DRAM Bender engine, EasyTile, software memory
+// controller, time-scaling engine, processor and cache models). A typical
+// session:
+//
+//	sys, err := easydram.NewSystem(easydram.TimeScaled())
+//	if err != nil { ... }
+//	res, err := sys.Run(easydram.NewKernel("touch", func(g *easydram.Gen) {
+//		for i := 0; i < 1024; i++ {
+//			g.Load(uint64(i) * 64)
+//		}
+//	}))
+//	fmt.Println(res.ProcCycles, res.EmulatedTime)
+package easydram
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/core"
+	"easydram/internal/dram"
+	"easydram/internal/ramulator"
+	"easydram/internal/smc"
+	"easydram/internal/workload"
+)
+
+// Kernel is a named workload: a generator of processor operations.
+type Kernel = workload.Kernel
+
+// Gen is the emission context handed to kernel bodies.
+type Gen = workload.Gen
+
+// Result reports one workload run (execution time in emulated processor
+// cycles, FPGA wall time, per-component statistics).
+type Result = core.Result
+
+// PS is simulated time in picoseconds.
+type PS = clock.PS
+
+// Cycles counts clock cycles.
+type Cycles = clock.Cycles
+
+// NewKernel wraps a kernel body under a name.
+func NewKernel(name string, body func(*Gen)) Kernel {
+	return Kernel{Name: name, Body: body}
+}
+
+// Option configures a System.
+type Option func(*core.Config)
+
+// TimeScaled selects the paper's headline configuration: a Cortex-A57-class
+// out-of-order core emulated at 1.43 GHz over a 100 MHz FPGA fabric via
+// time scaling, a 512 KiB L2, and DDR4-1333.
+func TimeScaled() Option {
+	return func(cfg *core.Config) { *cfg = core.TimeScalingA57() }
+}
+
+// NoTimeScaling selects the PiDRAM-class configuration: a 50 MHz in-order
+// core exposed to the software memory controller's real latency.
+func NoTimeScaling() Option {
+	return func(cfg *core.Config) { *cfg = core.NoTimeScaling() }
+}
+
+// ValidationPair returns the two §6 validation configurations: a 100 MHz
+// processor time-scaled to 1 GHz, and the directly simulated 1 GHz
+// reference.
+func ValidationPair() (scaled, reference Option) {
+	return func(cfg *core.Config) { *cfg = core.TimeScaling1GHz() },
+		func(cfg *core.Config) { *cfg = core.Reference1GHz() }
+}
+
+// RamulatorBaseline selects the Ramulator 2.0-class software-simulator
+// baseline (simple out-of-order core, ideal DRAM, no variation).
+func RamulatorBaseline() Option {
+	return func(cfg *core.Config) { *cfg = ramulator.Config(0) }
+}
+
+// WithSeed sets the DRAM process-variation seed.
+func WithSeed(seed uint64) Option {
+	return func(cfg *core.Config) { cfg.DRAM.Seed = seed }
+}
+
+// WithDataTracking enables the DRAM data store (needed for profiling and
+// RowClone correctness checks; timing-only runs leave it off).
+func WithDataTracking() Option {
+	return func(cfg *core.Config) { cfg.DRAM.TrackData = true }
+}
+
+// WithScheduler selects the memory scheduling policy: "fr-fcfs" (default)
+// or "fcfs".
+func WithScheduler(name string) Option {
+	return func(cfg *core.Config) {
+		switch name {
+		case "fcfs":
+			cfg.Scheduler = smc.FCFS{}
+		default:
+			cfg.Scheduler = smc.FRFCFS{}
+		}
+	}
+}
+
+// WithRefresh toggles periodic refresh.
+func WithRefresh(on bool) Option {
+	return func(cfg *core.Config) { cfg.RefreshEnabled = on }
+}
+
+// WithReducedTRCD installs a per-row tRCD provider built from the weak-row
+// set (see System.ProfileWeakRows); rows outside the set activate with the
+// reduced tRCD.
+func WithReducedTRCD(provider TRCDProvider) Option {
+	return func(cfg *core.Config) {
+		cfg.TRCD = func(a dram.Addr) clock.PS { return provider(a.Bank, a.Row) }
+	}
+}
+
+// TRCDProvider returns the tRCD (in picoseconds) to activate (bank, row)
+// with; 0 selects the nominal value.
+type TRCDProvider func(bank, row int) PS
+
+// WithPagePolicy selects row-buffer management: "open" (default) or
+// "closed".
+func WithPagePolicy(name string) Option {
+	return func(cfg *core.Config) {
+		if name == "closed" {
+			cfg.Policy = smc.ClosedPage
+		} else {
+			cfg.Policy = smc.OpenPage
+		}
+	}
+}
+
+// WithPrefetcher enables the L2 next-line prefetcher.
+func WithPrefetcher() Option {
+	return func(cfg *core.Config) { cfg.CPU.NextLinePrefetch = true }
+}
+
+// WithMaxCycles caps runs at n emulated processor cycles.
+func WithMaxCycles(n Cycles) Option {
+	return func(cfg *core.Config) { cfg.MaxProcCycles = n }
+}
+
+// System is an assembled emulated system.
+type System struct {
+	cfg core.Config
+	sys *core.System
+}
+
+// NewSystem builds a system; with no options it is the TimeScaled
+// configuration.
+func NewSystem(opts ...Option) (*System, error) {
+	cfg := core.TimeScalingA57()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("easydram: %w", err)
+	}
+	return &System{cfg: cfg, sys: sys}, nil
+}
+
+// Run executes the kernel to completion. A System's DRAM and cache state
+// persists across runs; build a fresh System for independent measurements.
+func (s *System) Run(k Kernel) (Result, error) {
+	res, err := s.sys.Run(k.Stream())
+	if err != nil {
+		return res, fmt.Errorf("easydram: %w", err)
+	}
+	return res, nil
+}
+
+// ProfileLine tests whether the cache line at physical address pa reads
+// reliably at the given tRCD, using a host-driven §8.1 profiling request.
+// Requires WithDataTracking.
+func (s *System) ProfileLine(pa uint64, rcd PS) (bool, error) {
+	return s.sys.ProfileLine(pa, rcd)
+}
+
+// TestRowClone tests whether the row at src can be RowClone-copied onto the
+// row at dst reliably (trials repetitions).
+func (s *System) TestRowClone(src, dst uint64, trials int) (bool, error) {
+	return s.sys.TestRowClone(src, dst, trials)
+}
+
+// RowBytes reports the DRAM row size of the modelled module.
+func (s *System) RowBytes() int { return s.sys.Mapper().RowBytes() }
+
+// MapAddr translates a physical address into DRAM coordinates.
+func (s *System) MapAddr(pa uint64) (bank, row, col int) {
+	a := s.sys.Mapper().Map(pa)
+	return a.Bank, a.Row, a.Col
+}
+
+// Internal access for the technique helpers in this package.
+func (s *System) internal() *core.System { return s.sys }
+
+// Config returns a copy of the underlying configuration.
+func (s *System) Config() core.Config { return s.cfg }

@@ -1,0 +1,180 @@
+package easydram
+
+import (
+	"testing"
+)
+
+func TestNewSystemDefault(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	res, err := sys.Run(NewKernel("tiny", func(g *Gen) {
+		for i := 0; i < 256; i++ {
+			g.Load(uint64(i) * 64)
+			g.Compute(2)
+		}
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ProcCycles == 0 || res.CPU.Loads != 256 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	sys, err := NewSystem(TimeScaled(), WithSeed(7), WithScheduler("fcfs"), WithRefresh(false), WithMaxCycles(1<<30))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	cfg := sys.Config()
+	if cfg.DRAM.Seed != 7 || cfg.RefreshEnabled || cfg.Scheduler.Name() != "fcfs" {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+}
+
+func TestNoTimeScalingOption(t *testing.T) {
+	sys, err := NewSystem(NoTimeScaling())
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if sys.Config().Scaling {
+		t.Fatalf("NoTimeScaling must disable scaling")
+	}
+}
+
+func TestValidationPairAgrees(t *testing.T) {
+	scaled, ref := ValidationPair()
+	k := NewKernel("v", func(g *Gen) {
+		for i := 0; i < 500; i++ {
+			g.Load(uint64(i) * 4096)
+			g.Compute(20)
+		}
+	})
+	s1, err := NewSystem(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSystem(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(r1.ProcCycles-r2.ProcCycles) / float64(r2.ProcCycles)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.01 {
+		t.Fatalf("validation pair differs by %.3f%%", 100*diff)
+	}
+}
+
+func TestMapAddrAndRowBytes(t *testing.T) {
+	sys, err := NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.RowBytes() != 8192 {
+		t.Fatalf("RowBytes = %d", sys.RowBytes())
+	}
+	bank, row, col := sys.MapAddr(8192)
+	if bank != 1 || row != 0 || col != 0 {
+		t.Fatalf("MapAddr(8192) = (%d,%d,%d)", bank, row, col)
+	}
+}
+
+func TestProfileLineFacade(t *testing.T) {
+	sys, err := NewSystem(TimeScaled(), WithDataTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sys.ProfileLine(0, 13500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("nominal profiling must pass")
+	}
+}
+
+func TestPlannerCopyPlan(t *testing.T) {
+	sys, err := NewSystem(TimeScaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(sys, 2)
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	src, err := p.AllocArray(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.PlanCopy(src, 64<<10, false)
+	if err != nil {
+		t.Fatalf("PlanCopy: %v", err)
+	}
+	if len(plan.Actions) != 8 {
+		t.Fatalf("64 KiB should need 8 row actions, got %d", len(plan.Actions))
+	}
+	// The plan is runnable end to end.
+	runner, err := NewSystem(TimeScaled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(plan.Kernel())
+	if err != nil {
+		t.Fatalf("running plan: %v", err)
+	}
+	if res.CPU.RowClones == 0 {
+		t.Fatalf("plan performed no RowClones")
+	}
+}
+
+func TestProfileWeakRowsFacade(t *testing.T) {
+	sys, err := NewSystem(TimeScaled(), WithDataTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, weakFrac, err := sys.ProfileWeakRows(0, 64*8192, ReducedTRCD, 0.01)
+	if err != nil {
+		t.Fatalf("ProfileWeakRows: %v", err)
+	}
+	if weakFrac < 0 || weakFrac > 1 {
+		t.Fatalf("weak fraction %v", weakFrac)
+	}
+	// The provider must be usable as a system option.
+	fast, err := NewSystem(TimeScaled(), WithReducedTRCD(provider))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fast.Run(NewKernel("touch", func(g *Gen) {
+		for i := 0; i < 512; i++ {
+			g.Load(uint64(i) * 512)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chip.CorruptedReads != 0 {
+		t.Fatalf("reduced-tRCD run corrupted %d reads", res.Chip.CorruptedReads)
+	}
+}
+
+func TestRamulatorBaselineOption(t *testing.T) {
+	sys, err := NewSystem(RamulatorBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Config().DRAM.Ideal {
+		t.Fatalf("baseline must be ideal")
+	}
+}

@@ -1,0 +1,48 @@
+// Command customscheduler shows why a software-defined memory controller
+// matters: swapping the scheduling policy is a one-line change. It compares
+// FR-FCFS against FCFS on a workload with heavy row-buffer locality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easydram"
+)
+
+// readsVsWrites mixes a latency-critical dependent-load chain with store
+// bursts whose evictions flood the controller with writebacks. FR-FCFS
+// prioritises the reads the processor is waiting on; FCFS makes them queue
+// behind the writeback backlog.
+func readsVsWrites() easydram.Kernel {
+	return easydram.NewKernel("reads-vs-writes", func(g *easydram.Gen) {
+		const iters = 2048
+		loadBase := uint64(0)
+		storeBase := uint64(256 << 20)
+		for i := 0; i < iters; i++ {
+			// A store burst that thrashes the caches and generates dirty
+			// evictions (posted writebacks).
+			for j := 0; j < 8; j++ {
+				g.Store(storeBase + uint64(i*8+j)*4096)
+			}
+			// The latency-critical pointer chase.
+			g.LoadDep(loadBase + uint64(i)*8192)
+		}
+	})
+}
+
+func main() {
+	for _, sched := range []string{"fr-fcfs", "fcfs"} {
+		sys, err := easydram.NewSystem(easydram.TimeScaled(), easydram.WithScheduler(sched))
+		if err != nil {
+			log.Fatalf("customscheduler: %v", err)
+		}
+		res, err := sys.Run(readsVsWrites())
+		if err != nil {
+			log.Fatalf("customscheduler: %v", err)
+		}
+		fmt.Printf("%-8s %8d cycles  row hits %5d  row misses %5d\n",
+			sched, res.ProcCycles, res.Ctrl.RowHits, res.Ctrl.RowMisses)
+	}
+	fmt.Println("FR-FCFS reorders requests to exploit open rows; FCFS serves them in arrival order.")
+}

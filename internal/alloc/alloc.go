@@ -1,0 +1,140 @@
+// Package alloc implements EasyDRAM's RowClone-aware memory allocator
+// (§7.1). It hands out whole DRAM rows (solving the alignment and
+// granularity problems), understands which rows share a subarray (the
+// mapping problem), and searches for destination rows that can actually be
+// cloned to, falling back to CPU copies when none exists.
+package alloc
+
+import (
+	"fmt"
+
+	"easydram/internal/smc"
+)
+
+// Allocator tracks row-granularity allocations over the physical address
+// space defined by a mapper.
+type Allocator struct {
+	mapper       smc.Mapper
+	subarrayRows int
+	rowBytes     uint64
+	banks        uint64
+
+	used map[uint64]bool // row-block base addresses in use
+	next uint64          // next never-allocated row-block index
+	max  uint64          // total row blocks available
+}
+
+// New returns an allocator for the given mapping and subarray size.
+func New(m smc.Mapper, subarrayRows, rowsPerBank int) (*Allocator, error) {
+	if subarrayRows <= 0 {
+		return nil, fmt.Errorf("alloc: subarray size must be positive, got %d", subarrayRows)
+	}
+	return &Allocator{
+		mapper:       m,
+		subarrayRows: subarrayRows,
+		rowBytes:     uint64(m.RowBytes()),
+		banks:        uint64(m.Banks()),
+		used:         make(map[uint64]bool),
+		max:          uint64(rowsPerBank) * uint64(m.Banks()),
+	}, nil
+}
+
+// RowBytes reports the row size in bytes.
+func (a *Allocator) RowBytes() int { return int(a.rowBytes) }
+
+// RowsFor reports the number of rows covering n bytes.
+func (a *Allocator) RowsFor(n int) int {
+	return int((uint64(n) + a.rowBytes - 1) / a.rowBytes)
+}
+
+func (a *Allocator) blockBase(idx uint64) uint64 { return idx * a.rowBytes }
+func (a *Allocator) blockIdx(base uint64) uint64 { return base / a.rowBytes }
+
+// AllocContiguous reserves n consecutive rows and returns the base address
+// of the first.
+func (a *Allocator) AllocContiguous(n int) (uint64, error) {
+	for {
+		start := a.next
+		ok := true
+		for i := uint64(0); i < uint64(n); i++ {
+			if start+i >= a.max {
+				return 0, fmt.Errorf("alloc: out of rows (need %d contiguous)", n)
+			}
+			if a.used[a.blockBase(start+i)] {
+				ok = false
+				a.next = start + i + 1
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := uint64(0); i < uint64(n); i++ {
+			a.used[a.blockBase(start+i)] = true
+		}
+		a.next = start + uint64(n)
+		return a.blockBase(start), nil
+	}
+}
+
+// Rows lists the row base addresses of an n-byte region starting at base.
+func (a *Allocator) Rows(base uint64, n int) []uint64 {
+	rows := a.RowsFor(n)
+	out := make([]uint64, rows)
+	for i := range out {
+		out[i] = base + uint64(i)*a.rowBytes
+	}
+	return out
+}
+
+// Claim marks the row containing base as used (for externally placed data).
+func (a *Allocator) Claim(base uint64) {
+	a.used[base&^(a.rowBytes-1)] = true
+}
+
+// SameSubarray reports whether two row bases share a bank and subarray.
+func (a *Allocator) SameSubarray(r1, r2 uint64) bool {
+	i, j := a.blockIdx(r1), a.blockIdx(r2)
+	if i%a.banks != j%a.banks {
+		return false
+	}
+	return (i/a.banks)/uint64(a.subarrayRows) == (j/a.banks)/uint64(a.subarrayRows)
+}
+
+// SubarrayOf identifies the (bank, subarray) pair of a row base.
+func (a *Allocator) SubarrayOf(rowBase uint64) (bank, subarray int) {
+	i := a.blockIdx(rowBase)
+	return int(i % a.banks), int((i / a.banks) / uint64(a.subarrayRows))
+}
+
+// FreeRowsInSubarray returns up to max free row bases sharing rowBase's
+// bank and subarray, nearest-first.
+func (a *Allocator) FreeRowsInSubarray(rowBase uint64, max int) []uint64 {
+	i := a.blockIdx(rowBase)
+	bank := i % a.banks
+	row := i / a.banks
+	saStart := row / uint64(a.subarrayRows) * uint64(a.subarrayRows)
+	var out []uint64
+	for off := uint64(0); off < uint64(a.subarrayRows) && len(out) < max; off++ {
+		cand := saStart + off
+		if cand == row {
+			continue
+		}
+		base := a.blockBase(cand*a.banks + bank)
+		if base/a.rowBytes >= a.max || a.used[base] {
+			continue
+		}
+		out = append(out, base)
+	}
+	return out
+}
+
+// TakeRow marks a specific free row as used. It returns an error if the row
+// is already taken.
+func (a *Allocator) TakeRow(base uint64) error {
+	if a.used[base] {
+		return fmt.Errorf("alloc: row %#x already in use", base)
+	}
+	a.used[base] = true
+	return nil
+}

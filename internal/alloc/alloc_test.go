@@ -1,0 +1,168 @@
+package alloc
+
+import (
+	"testing"
+
+	"easydram/internal/smc"
+)
+
+func newTestAllocator(t *testing.T) *Allocator {
+	t.Helper()
+	m, err := smc.NewRowBankCol(16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(m, 512, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAllocContiguous(t *testing.T) {
+	a := newTestAllocator(t)
+	b1, err := a.AllocContiguous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.AllocContiguous(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 < b1+4*8192 {
+		t.Fatalf("allocations overlap: %x %x", b1, b2)
+	}
+	rows := a.Rows(b1, 4*8192)
+	if len(rows) != 4 || rows[1] != b1+8192 {
+		t.Fatalf("Rows = %v", rows)
+	}
+}
+
+func TestRowsFor(t *testing.T) {
+	a := newTestAllocator(t)
+	if a.RowsFor(1) != 1 || a.RowsFor(8192) != 1 || a.RowsFor(8193) != 2 {
+		t.Fatalf("RowsFor wrong")
+	}
+	if a.RowBytes() != 8192 {
+		t.Fatalf("RowBytes = %d", a.RowBytes())
+	}
+}
+
+func TestSameSubarray(t *testing.T) {
+	a := newTestAllocator(t)
+	// Blocks 0 and 16 are (bank 0, rows 0 and 1): same subarray.
+	if !a.SameSubarray(0, 16*8192) {
+		t.Fatalf("rows 0,1 of bank 0 must share a subarray")
+	}
+	// Blocks 0 and 1 are different banks.
+	if a.SameSubarray(0, 8192) {
+		t.Fatalf("different banks cannot share a subarray")
+	}
+	// Rows 0 and 512 of bank 0: different subarrays (512-row subarrays).
+	if a.SameSubarray(0, 512*16*8192) {
+		t.Fatalf("rows 0 and 512 must be in different subarrays")
+	}
+}
+
+func TestSubarrayOf(t *testing.T) {
+	a := newTestAllocator(t)
+	bank, sa := a.SubarrayOf(3 * 8192) // block 3: bank 3, row 0
+	if bank != 3 || sa != 0 {
+		t.Fatalf("SubarrayOf = (%d,%d)", bank, sa)
+	}
+	bank, sa = a.SubarrayOf(uint64(600*16+2) * 8192) // bank 2, row 600
+	if bank != 2 || sa != 1 {
+		t.Fatalf("SubarrayOf = (%d,%d)", bank, sa)
+	}
+}
+
+func TestFreeRowsInSubarrayExcludesUsed(t *testing.T) {
+	a := newTestAllocator(t)
+	base, err := a.AllocContiguous(1) // block 0: bank 0, row 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := a.FreeRowsInSubarray(base, 8)
+	if len(free) != 8 {
+		t.Fatalf("got %d candidates", len(free))
+	}
+	for _, f := range free {
+		if f == base {
+			t.Fatalf("candidate includes the row itself")
+		}
+		if !a.SameSubarray(base, f) {
+			t.Fatalf("candidate %x not in the same subarray", f)
+		}
+	}
+	// Take the first candidate; it must disappear from the next search.
+	if err := a.TakeRow(free[0]); err != nil {
+		t.Fatal(err)
+	}
+	free2 := a.FreeRowsInSubarray(base, 8)
+	for _, f := range free2 {
+		if f == free[0] {
+			t.Fatalf("taken row still offered")
+		}
+	}
+}
+
+func TestTakeRowTwiceFails(t *testing.T) {
+	a := newTestAllocator(t)
+	if err := a.TakeRow(8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.TakeRow(8192); err == nil {
+		t.Fatalf("double take must fail")
+	}
+}
+
+func TestAllocSkipsTakenRows(t *testing.T) {
+	a := newTestAllocator(t)
+	if err := a.TakeRow(8192); err != nil { // block 1
+		t.Fatal(err)
+	}
+	b, err := a.AllocContiguous(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range a.Rows(b, 3*8192) {
+		if r == 8192 {
+			t.Fatalf("allocation reused a taken row")
+		}
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m, err := smc.NewRowBankCol(16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(m, 512, 512) // 512 rows/bank x 16 banks = 8192 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocContiguous(8192); err != nil {
+		t.Fatalf("full allocation should fit: %v", err)
+	}
+	if _, err := a.AllocContiguous(1); err == nil {
+		t.Fatalf("allocation past capacity must fail")
+	}
+}
+
+func TestClaim(t *testing.T) {
+	a := newTestAllocator(t)
+	a.Claim(100) // row 0 of bank 0 (unaligned address, same row block)
+	free := a.FreeRowsInSubarray(16*8192, 512)
+	for _, f := range free {
+		if f == 0 {
+			t.Fatalf("claimed row offered as free")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m, _ := smc.NewRowBankCol(16, 128)
+	if _, err := New(m, 0, 4096); err == nil {
+		t.Fatalf("zero subarray size must fail")
+	}
+}

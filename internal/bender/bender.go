@@ -1,0 +1,227 @@
+// Package bender reimplements the DRAM Bender execution engine: a small
+// instruction set for issuing DRAM commands with exact, programmable delays.
+//
+// The software memory controller (package smc) compiles each scheduling
+// decision into a Bender program, transfers it to the command buffer, and
+// triggers execution. Bender then replays the program against the DRAM chip
+// model with cycle-exact spacing and reports the elapsed time — exactly the
+// contract the paper's EasyTile has with the hardware DRAM Bender.
+package bender
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/dram"
+)
+
+// Op is a DRAM Bender instruction opcode.
+type Op uint8
+
+// Instruction opcodes. SEND-class opcodes issue one DRAM command in one bus
+// cycle; control opcodes manage delays, registers, and loops.
+const (
+	OpNOP Op = iota
+	OpACT    // A=bank, B=row, C=tRCD override in ps (0 = nominal)
+	OpPRE    // A=bank
+	OpRD     // A=bank, B=col; data lands in the readback buffer
+	OpWR     // A=bank, B=col, C=write-buffer index
+	OpREF
+	OpWAIT // A=delay in bus cycles
+	OpLDI  // A=register, B=immediate
+	OpDEC  // A=register
+	OpBNZ  // A=register, B=target pc
+	OpJMP  // A=target pc
+	OpEND
+)
+
+var opNames = [...]string{
+	OpNOP: "NOP", OpACT: "ACT", OpPRE: "PRE", OpRD: "RD", OpWR: "WR",
+	OpREF: "REF", OpWAIT: "WAIT", OpLDI: "LDI", OpDEC: "DEC",
+	OpBNZ: "BNZ", OpJMP: "JMP", OpEND: "END",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Instr is one DRAM Bender instruction.
+type Instr struct {
+	Op      Op
+	A, B, C int
+}
+
+func (i Instr) String() string {
+	return fmt.Sprintf("%s %d,%d,%d", i.Op, i.A, i.B, i.C)
+}
+
+// NumRegs is the number of general-purpose loop registers.
+const NumRegs = 8
+
+// maxSteps bounds interpretation so buggy programs cannot hang the
+// emulation (DRAM Bender hardware has a watchdog with the same role).
+const maxSteps = 64 << 20
+
+// ReadLine is one readback-buffer entry.
+type ReadLine struct {
+	Data     [dram.LineBytes]byte
+	Reliable bool
+}
+
+// Result reports one program execution.
+type Result struct {
+	// Elapsed is the bus time the program occupied DRAM Bender.
+	Elapsed clock.PS
+	// Commands is the number of DRAM commands issued.
+	Commands int
+	// Reads is the number of lines appended to the readback buffer.
+	Reads int
+	// CloneAttempts / CloneSuccesses count RowClone activations observed.
+	CloneAttempts  int
+	CloneSuccesses int
+}
+
+// Engine executes Bender programs against a chip.
+type Engine struct {
+	chip *dram.Chip
+	bus  clock.Clock
+
+	readback []ReadLine
+	maxRead  int
+}
+
+// NewEngine returns an Engine bound to chip. maxReadback bounds the readback
+// buffer (0 selects the default 8192 lines, 512 KiB — the paper's EasyTile
+// readback buffer class).
+func NewEngine(chip *dram.Chip, maxReadback int) *Engine {
+	if maxReadback <= 0 {
+		maxReadback = 8192
+	}
+	return &Engine{chip: chip, bus: chip.Timing().Bus, maxRead: maxReadback}
+}
+
+// Chip returns the attached DRAM model.
+func (e *Engine) Chip() *dram.Chip { return e.chip }
+
+// Readback returns the readback buffer contents accumulated since the last
+// DrainReadback.
+func (e *Engine) Readback() []ReadLine { return e.readback }
+
+// DrainReadback empties the readback buffer and returns its prior contents.
+func (e *Engine) DrainReadback() []ReadLine {
+	rb := e.readback
+	e.readback = nil
+	return rb
+}
+
+// Exec runs prog starting at absolute chip time start. wrbuf supplies data
+// for WR instructions (indexed by Instr.C). It returns the execution result
+// or an error for malformed programs.
+func (e *Engine) Exec(prog []Instr, start clock.PS, wrbuf [][]byte) (Result, error) {
+	var res Result
+	var regs [NumRegs]int
+	period := e.bus.Period()
+	t := start
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return res, fmt.Errorf("bender: program exceeded %d steps (missing END?)", maxSteps)
+		}
+		if pc < 0 || pc >= len(prog) {
+			// Falling off the end terminates, like END.
+			break
+		}
+		in := prog[pc]
+		switch in.Op {
+		case OpNOP:
+			t += period
+		case OpACT:
+			cloned, ok := e.chip.Activate(in.A, in.B, t, clock.PS(in.C))
+			if cloned {
+				res.CloneAttempts++
+				if ok {
+					res.CloneSuccesses++
+				}
+			}
+			res.Commands++
+			t += period
+		case OpPRE:
+			e.chip.Precharge(in.A, t)
+			res.Commands++
+			t += period
+		case OpRD:
+			if len(e.readback) >= e.maxRead {
+				return res, fmt.Errorf("bender: readback buffer overflow (%d lines)", e.maxRead)
+			}
+			var line ReadLine
+			rel, err := e.chip.Read(in.A, in.B, t, line.Data[:])
+			if err != nil {
+				return res, fmt.Errorf("bender: pc=%d: %w", pc, err)
+			}
+			line.Reliable = rel
+			e.readback = append(e.readback, line)
+			res.Commands++
+			res.Reads++
+			t += period
+		case OpWR:
+			var src []byte
+			if in.C >= 0 && in.C < len(wrbuf) {
+				src = wrbuf[in.C]
+			}
+			if err := e.chip.Write(in.A, in.B, t, src); err != nil {
+				return res, fmt.Errorf("bender: pc=%d: %w", pc, err)
+			}
+			res.Commands++
+			t += period
+		case OpREF:
+			e.chip.Refresh(t)
+			res.Commands++
+			// REF occupies the chip for tRFC.
+			t += e.chip.Timing().TRFC
+		case OpWAIT:
+			if in.A < 0 {
+				return res, fmt.Errorf("bender: pc=%d: negative WAIT %d", pc, in.A)
+			}
+			t += clock.PS(in.A) * period
+		case OpLDI:
+			if err := checkReg(in.A, pc); err != nil {
+				return res, err
+			}
+			regs[in.A] = in.B
+		case OpDEC:
+			if err := checkReg(in.A, pc); err != nil {
+				return res, err
+			}
+			regs[in.A]--
+		case OpBNZ:
+			if err := checkReg(in.A, pc); err != nil {
+				return res, err
+			}
+			if regs[in.A] != 0 {
+				pc = in.B
+				continue
+			}
+		case OpJMP:
+			pc = in.A
+			continue
+		case OpEND:
+			res.Elapsed = t - start
+			return res, nil
+		default:
+			return res, fmt.Errorf("bender: pc=%d: unknown opcode %v", pc, in.Op)
+		}
+		pc++
+	}
+	res.Elapsed = t - start
+	return res, nil
+}
+
+func checkReg(r, pc int) error {
+	if r < 0 || r >= NumRegs {
+		return fmt.Errorf("bender: pc=%d: register %d out of range [0,%d)", pc, r, NumRegs)
+	}
+	return nil
+}

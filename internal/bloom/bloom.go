@@ -1,0 +1,107 @@
+// Package bloom implements the Bloom filter the tRCD-reduction technique
+// uses to track weak DRAM rows (§8.2, following RAIDR). Weak rows are the
+// keys, so a false positive only costs a nominal-latency access, never a
+// reliability violation.
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a standard Bloom filter with double hashing. The zero value is
+// not usable; construct with New or NewForCapacity.
+type Filter struct {
+	bits  []uint64
+	mBits uint64
+	k     int
+	seed  uint64
+	n     int
+}
+
+// New returns a filter with mBits bits and k hash functions.
+func New(mBits uint64, k int, seed uint64) (*Filter, error) {
+	if mBits == 0 || k <= 0 {
+		return nil, fmt.Errorf("bloom: need positive size and hash count, got m=%d k=%d", mBits, k)
+	}
+	return &Filter{
+		bits:  make([]uint64, (mBits+63)/64),
+		mBits: mBits,
+		k:     k,
+		seed:  seed,
+	}, nil
+}
+
+// NewForCapacity sizes a filter for n expected keys at the target false-
+// positive rate.
+func NewForCapacity(n int, fpRate float64, seed uint64) (*Filter, error) {
+	if n <= 0 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate must be in (0,1), got %g", fpRate)
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return New(m, k, seed)
+}
+
+// K reports the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// MBits reports the filter size in bits.
+func (f *Filter) MBits() uint64 { return f.mBits }
+
+// Count reports the number of Add calls.
+func (f *Filter) Count() int { return f.n }
+
+// SizeBytes reports the memory footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+func (f *Filter) hash2(key uint64) (uint64, uint64) {
+	h1 := mix(key ^ f.seed)
+	h2 := mix(h1 ^ 0x9e3779b97f4a7c15)
+	if h2%f.mBits == 0 {
+		h2++
+	}
+	return h1, h2
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	h1, h2 := f.hash2(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.mBits
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may have been added (no false negatives).
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := f.hash2(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.mBits
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mix is SplitMix64's finalizer.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

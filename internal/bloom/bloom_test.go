@@ -1,0 +1,121 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 1); err == nil {
+		t.Fatalf("zero bits must fail")
+	}
+	if _, err := New(64, 0, 1); err == nil {
+		t.Fatalf("zero hashes must fail")
+	}
+	if _, err := NewForCapacity(100, 0, 1); err == nil {
+		t.Fatalf("zero fp rate must fail")
+	}
+	if _, err := NewForCapacity(100, 1, 1); err == nil {
+		t.Fatalf("fp rate 1 must fail")
+	}
+}
+
+// Property: no false negatives, ever.
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint64) bool {
+		flt, err := NewForCapacity(len(keys)+1, 0.01, 7)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			flt.Add(k)
+		}
+		for _, k := range keys {
+			if !flt.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateApprox(t *testing.T) {
+	const n = 2000
+	flt, err := NewForCapacity(n, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		flt.Add(uint64(i) * 8192)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if flt.Contains(uint64(n+i)*8192 + 7) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false-positive rate %.4f far above target 0.01", rate)
+	}
+}
+
+func TestSizingScalesWithCapacity(t *testing.T) {
+	small, err := NewForCapacity(10, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewForCapacity(10000, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.MBits() <= small.MBits() {
+		t.Fatalf("sizing did not scale: %d vs %d bits", small.MBits(), large.MBits())
+	}
+	if small.K() < 1 || small.K() > 16 {
+		t.Fatalf("k out of range: %d", small.K())
+	}
+}
+
+func TestCountAndSize(t *testing.T) {
+	flt, err := New(1024, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flt.Add(1)
+	flt.Add(2)
+	if flt.Count() != 2 {
+		t.Fatalf("Count = %d", flt.Count())
+	}
+	if flt.SizeBytes() != 1024/8 {
+		t.Fatalf("SizeBytes = %d", flt.SizeBytes())
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	flt, err := New(4096, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if flt.Contains(i * 31) {
+			t.Fatalf("empty filter claims key %d", i*31)
+		}
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	a, _ := New(4096, 4, 1)
+	b, _ := New(4096, 4, 2)
+	a.Add(42)
+	b.Add(42)
+	// Different seeds should map the key to different bits at least
+	// sometimes; both must still contain it.
+	if !a.Contains(42) || !b.Contains(42) {
+		t.Fatalf("seeded filters lost their key")
+	}
+}

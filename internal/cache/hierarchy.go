@@ -1,0 +1,143 @@
+package cache
+
+import "fmt"
+
+// HierConfig sizes the two-level hierarchy.
+type HierConfig struct {
+	L1Size  int
+	L1Assoc int
+	L2Size  int
+	L2Assoc int
+}
+
+// JetsonNanoHier mirrors the paper's EasyDRAM configuration targeting the
+// Jetson Nano class system: 32 KiB L1D, 512 KiB 8-way L2 (the paper's
+// EasyDRAM system has a 512 KiB L2 where the real Nano has 2 MiB).
+func JetsonNanoHier() HierConfig {
+	return HierConfig{L1Size: 32 << 10, L1Assoc: 4, L2Size: 512 << 10, L2Assoc: 8}
+}
+
+// PiDRAMHier mirrors the PiDRAM-like configuration: small L1 only system is
+// approximated with a tiny L2 disabled by convention; the paper's
+// EasyDRAM-NoTS keeps the 512 KiB L2, so we default to the same hierarchy.
+func PiDRAMHier() HierConfig {
+	return HierConfig{L1Size: 16 << 10, L1Assoc: 4, L2Size: 512 << 10, L2Assoc: 8}
+}
+
+// AccessOutcome describes where an access was satisfied and what side
+// effects it produced.
+type AccessOutcome struct {
+	// Level is 1 (L1 hit), 2 (L2 hit) or 3 (main-memory fill required).
+	Level int
+	// Writebacks lists dirty victim line addresses that must be written
+	// back to main memory as a result of this access.
+	Writebacks []uint64
+}
+
+// Hierarchy is a two-level data-cache hierarchy. It models tags and state
+// only (no data); the DRAM chip model owns data.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+	// wbScratch reuses the writeback slice across accesses.
+	wbScratch []uint64
+}
+
+// NewHierarchy builds the two-level hierarchy.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
+	l1, err := New("L1D", cfg.L1Size, cfg.L1Assoc)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	l2, err := New("L2", cfg.L2Size, cfg.L2Assoc)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Hierarchy{L1: l1, L2: l2}, nil
+}
+
+// Access performs a load or store of the line containing addr. The returned
+// outcome reports the satisfying level and dirty writebacks (victims) the
+// access produced. On a level-3 outcome the caller is responsible for
+// fetching the line from memory; the hierarchy installs it immediately
+// (tags-only model, so install order does not matter).
+func (h *Hierarchy) Access(addr uint64, write bool) AccessOutcome {
+	addr &^= uint64(LineBytes - 1)
+	h.wbScratch = h.wbScratch[:0]
+
+	if h.L1.Access(addr, write) {
+		return AccessOutcome{Level: 1}
+	}
+	level := 3
+	if h.L2.Access(addr, false) {
+		level = 2
+	} else {
+		// Fill L2 from memory.
+		if v := h.L2.Install(addr, false); v.Valid {
+			// Keep the hierarchy inclusive: an L2 eviction removes the
+			// line from L1 too, merging its dirtiness.
+			if p, d := h.L1.Flush(v.Addr); p && d || v.Dirty {
+				h.wbScratch = append(h.wbScratch, v.Addr)
+			}
+		}
+	}
+	// Fill L1.
+	if v := h.L1.Install(addr, write); v.Valid && v.Dirty {
+		// Dirty L1 victim folds back into L2.
+		if !h.L2.Access(v.Addr, true) {
+			// Victim no longer in L2 (evicted earlier): write back.
+			h.wbScratch = append(h.wbScratch, v.Addr)
+		}
+	}
+	out := AccessOutcome{Level: level}
+	if len(h.wbScratch) > 0 {
+		out.Writebacks = append([]uint64(nil), h.wbScratch...)
+	}
+	return out
+}
+
+// WouldMiss reports whether an access to addr would miss both levels,
+// without perturbing replacement state.
+func (h *Hierarchy) WouldMiss(addr uint64) bool {
+	addr &^= uint64(LineBytes - 1)
+	return !h.L1.Lookup(addr) && !h.L2.Lookup(addr)
+}
+
+// Flush removes the line containing addr from both levels, reporting whether
+// a writeback to memory is required (the line was dirty in either level).
+func (h *Hierarchy) Flush(addr uint64) (writeback bool) {
+	addr &^= uint64(LineBytes - 1)
+	_, d1 := h.L1.Flush(addr)
+	_, d2 := h.L2.Flush(addr)
+	return d1 || d2
+}
+
+// DrainDirty returns all dirty lines in the hierarchy and marks them clean
+// (used at workload barriers to flush residual state).
+func (h *Hierarchy) DrainDirty() []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, a := range h.L1.DirtyLines() {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range h.L2.DirtyLines() {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range out {
+		h.L1.Flush(a)
+		h.L2.Flush(a)
+	}
+	return out
+}
+
+// Reset clears both levels.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+}

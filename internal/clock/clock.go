@@ -1,0 +1,131 @@
+// Package clock provides picosecond-exact clock domains and cycle/time
+// conversion used throughout the EasyDRAM emulation.
+//
+// All simulated time is integer picoseconds (PS). A Clock is defined by its
+// integer period in picoseconds, never by a floating-point frequency, so
+// repeated conversions are exact and the emulation is deterministic.
+package clock
+
+import "fmt"
+
+// PS is a duration or point in simulated time, in picoseconds.
+type PS int64
+
+// Convenient duration units.
+const (
+	Picosecond  PS = 1
+	Nanosecond  PS = 1000
+	Microsecond PS = 1000 * Nanosecond
+	Millisecond PS = 1000 * Microsecond
+	Second      PS = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a floating-point nanosecond count.
+func (t PS) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a floating-point microsecond count.
+func (t PS) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a floating-point second count.
+func (t PS) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the duration with an auto-selected unit.
+func (t PS) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Cycles counts clock cycles in some clock domain.
+type Cycles int64
+
+// Clock is a fixed-frequency clock domain defined by an integer period.
+// The zero value is invalid; construct clocks with NewClock or the presets.
+type Clock struct {
+	periodPS PS
+	name     string
+}
+
+// NewClock returns a clock with the given period in picoseconds.
+// It panics if periodPS is not positive; clock definitions are static
+// configuration, and an invalid period is a programming error.
+func NewClock(name string, periodPS PS) Clock {
+	if periodPS <= 0 {
+		panic(fmt.Sprintf("clock: non-positive period %d for %q", periodPS, name))
+	}
+	return Clock{periodPS: periodPS, name: name}
+}
+
+// FromMHz returns a clock whose period is the closest integer picosecond
+// count for the given frequency in MHz.
+func FromMHz(name string, mhz float64) Clock {
+	if mhz <= 0 {
+		panic(fmt.Sprintf("clock: non-positive frequency %f for %q", mhz, name))
+	}
+	period := PS(1e6/mhz + 0.5)
+	return NewClock(name, period)
+}
+
+// Common preset clocks used by the paper's configurations.
+var (
+	// FPGA100MHz is the FPGA fabric clock used by EasyDRAM's prototype.
+	FPGA100MHz = NewClock("fpga-100mhz", 10000)
+	// Proc1GHz is the validation reference processor clock (§6).
+	Proc1GHz = NewClock("proc-1ghz", 1000)
+	// Proc50MHz is the PiDRAM-like in-order processor clock (§7).
+	Proc50MHz = NewClock("proc-50mhz", 20000)
+	// ProcA57 approximates the Jetson Nano Cortex-A57 at 1.43 GHz.
+	ProcA57 = NewClock("proc-a57-1.43ghz", 699)
+	// DDR4Bus1333 is the DDR4-1333 I/O bus clock (666.67 MHz, 1500 ps).
+	DDR4Bus1333 = NewClock("ddr4-1333-bus", 1500)
+)
+
+// Name reports the clock's configured name.
+func (c Clock) Name() string { return c.name }
+
+// Period reports the clock period in picoseconds.
+func (c Clock) Period() PS { return c.periodPS }
+
+// FreqMHz reports the clock frequency in MHz.
+func (c Clock) FreqMHz() float64 { return 1e6 / float64(c.periodPS) }
+
+// Valid reports whether the clock was constructed with a positive period.
+func (c Clock) Valid() bool { return c.periodPS > 0 }
+
+// ToTime converts a cycle count in this domain to picoseconds.
+func (c Clock) ToTime(n Cycles) PS { return PS(n) * c.periodPS }
+
+// CyclesCeil converts a duration to cycles, rounding up. A memory response
+// that takes a fraction of a cycle still occupies the whole cycle.
+func (c Clock) CyclesCeil(t PS) Cycles {
+	if t <= 0 {
+		return 0
+	}
+	return Cycles((t + c.periodPS - 1) / c.periodPS)
+}
+
+// CyclesFloor converts a duration to cycles, rounding down.
+func (c Clock) CyclesFloor(t PS) Cycles {
+	if t <= 0 {
+		return 0
+	}
+	return Cycles(t / c.periodPS)
+}
+
+// Rescale converts a cycle count from domain c to domain dst, rounding up.
+// Rescale is the fundamental time-scaling conversion: "n cycles of c is how
+// many cycles of dst".
+func (c Clock) Rescale(n Cycles, dst Clock) Cycles {
+	return dst.CyclesCeil(c.ToTime(n))
+}
+
+func (c Clock) String() string {
+	return fmt.Sprintf("%s(%.2fMHz)", c.name, c.FreqMHz())
+}

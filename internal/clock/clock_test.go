@@ -1,0 +1,116 @@
+package clock
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSUnits(t *testing.T) {
+	if Nanosecond != 1000 || Microsecond != 1_000_000 || Second != 1e12 {
+		t.Fatalf("unit constants wrong: ns=%d us=%d s=%d", Nanosecond, Microsecond, Second)
+	}
+	if got := (1500 * Nanosecond).Microseconds(); got != 1.5 {
+		t.Fatalf("Microseconds = %v, want 1.5", got)
+	}
+	if got := PS(2500).Nanoseconds(); got != 2.5 {
+		t.Fatalf("Nanoseconds = %v, want 2.5", got)
+	}
+}
+
+func TestPSString(t *testing.T) {
+	cases := map[PS]string{
+		500:               "500ps",
+		1500:              "1.500ns",
+		2 * Microsecond:   "2.000us",
+		3 * Millisecond:   "3.000ms",
+		1250 * Nanosecond: "1.250us",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("PS(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestNewClockPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for zero period")
+		}
+	}()
+	NewClock("bad", 0)
+}
+
+func TestFromMHz(t *testing.T) {
+	c := FromMHz("hundred", 100)
+	if c.Period() != 10000 {
+		t.Fatalf("100 MHz period = %d ps, want 10000", c.Period())
+	}
+	if got := c.FreqMHz(); got < 99.99 || got > 100.01 {
+		t.Fatalf("FreqMHz = %v", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, c := range []Clock{FPGA100MHz, Proc1GHz, Proc50MHz, ProcA57, DDR4Bus1333} {
+		if !c.Valid() {
+			t.Errorf("preset %v invalid", c)
+		}
+	}
+	if Proc1GHz.Period() != 1000 {
+		t.Fatalf("1 GHz period = %d", Proc1GHz.Period())
+	}
+	if Proc50MHz.Period() != 20000 {
+		t.Fatalf("50 MHz period = %d", Proc50MHz.Period())
+	}
+}
+
+func TestConversionsExact(t *testing.T) {
+	c := Proc1GHz
+	if c.ToTime(1234) != 1234*1000 {
+		t.Fatalf("ToTime wrong")
+	}
+	if c.CyclesCeil(999) != 1 || c.CyclesCeil(1000) != 1 || c.CyclesCeil(1001) != 2 {
+		t.Fatalf("CyclesCeil boundary wrong")
+	}
+	if c.CyclesFloor(999) != 0 || c.CyclesFloor(1000) != 1 || c.CyclesFloor(1999) != 1 {
+		t.Fatalf("CyclesFloor boundary wrong")
+	}
+	if c.CyclesCeil(-5) != 0 || c.CyclesFloor(-5) != 0 {
+		t.Fatalf("negative durations must clamp to zero cycles")
+	}
+}
+
+func TestRescale(t *testing.T) {
+	// 100 cycles at 100 MHz = 1000 ns = 1000 cycles at 1 GHz.
+	if got := FPGA100MHz.Rescale(100, Proc1GHz); got != 1000 {
+		t.Fatalf("Rescale = %d, want 1000", got)
+	}
+	// 3 cycles at 1 GHz = 3 ns -> ceil to 1 cycle of 100 MHz.
+	if got := Proc1GHz.Rescale(3, FPGA100MHz); got != 1 {
+		t.Fatalf("Rescale = %d, want 1", got)
+	}
+}
+
+// Property: ceil/floor bracket the exact conversion.
+func TestCycleConversionProperty(t *testing.T) {
+	c := NewClock("p7", 699)
+	f := func(raw int64) bool {
+		d := PS(raw % (1 << 40))
+		if d < 0 {
+			d = -d
+		}
+		lo, hi := c.CyclesFloor(d), c.CyclesCeil(d)
+		return c.ToTime(lo) <= d && c.ToTime(hi) >= d && hi-lo <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockString(t *testing.T) {
+	if !strings.Contains(FPGA100MHz.String(), "100.00MHz") {
+		t.Fatalf("String() = %q", FPGA100MHz.String())
+	}
+}

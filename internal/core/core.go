@@ -1,0 +1,303 @@
+// Package core is EasyDRAM's emulation engine — the paper's primary
+// contribution. It couples the processor model, the EasyTile hardware
+// buffers, the software memory controller, DRAM Bender, and the DRAM chip
+// model, and advances system state with the time-scaling mechanics of
+// Figures 5 and 6:
+//
+//   - processors are clock-gated while any memory request is outstanding;
+//   - the SMC enters critical mode, locks the processor counter, and
+//     advances the memory-controller counter by the *modeled* service time
+//     (controller decision latency + DRAM time);
+//   - responses carry a release tag; a processor never consumes a response
+//     before its release cycle;
+//   - processors replay the "missing" time-scaled duration as the MC
+//     counter advances, issuing any requests the real system would have.
+//
+// The engine also runs in two non-scaled modes: the raw software-MC mode
+// (PiDRAM-style, the paper's "EasyDRAM - No Time Scaling"), in which the
+// SMC's real latency is visible to the processor; and the hardware-MC
+// reference mode used to validate time scaling (§6).
+package core
+
+import (
+	"fmt"
+
+	"easydram/internal/cache"
+	"easydram/internal/clock"
+	"easydram/internal/cpu"
+	"easydram/internal/dram"
+	"easydram/internal/mem"
+	"easydram/internal/smc"
+	"easydram/internal/tile"
+	"easydram/internal/timescale"
+	"easydram/internal/workload"
+)
+
+// Config assembles one emulated system.
+type Config struct {
+	// Scaling selects time-scaled emulation. When false the processor
+	// follows the FPGA wall clock at its own frequency.
+	Scaling bool
+	// HardwareMC zeroes the software-memory-controller cost (an RTL
+	// controller): the §6 validation reference configuration.
+	HardwareMC bool
+
+	// FPGA is the fabric clock; ProcPhys is the physical clock the
+	// processor domain runs at on the FPGA.
+	FPGA     clock.Clock
+	ProcPhys clock.Clock
+
+	// CPU configures the core model (its Clock field is the emulated
+	// processor clock).
+	CPU  cpu.Config
+	Hier cache.HierConfig
+	DRAM dram.Config
+
+	Costs     tile.CostModel
+	Scheduler smc.Scheduler
+	// Policy selects the controller's row-buffer management.
+	Policy smc.PagePolicy
+	// TRCD is the optional reduced-tRCD provider (§8).
+	TRCD smc.TRCDProvider
+
+	// ModeledCtrlLatency is the modeled hardware memory controller's
+	// per-request decision latency in the target system.
+	ModeledCtrlLatency clock.PS
+	// MemPathLatency is the round-trip interconnect latency between the
+	// last-level cache and the memory controller in the target system.
+	MemPathLatency clock.PS
+
+	RefreshEnabled bool
+
+	// MaxProcCycles aborts runs that exceed this many emulated processor
+	// cycles (safety net; 0 means no limit).
+	MaxProcCycles clock.Cycles
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if !c.FPGA.Valid() || !c.ProcPhys.Valid() {
+		return fmt.Errorf("core: FPGA and processor physical clocks must be set")
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if !c.Scaling && c.CPU.Clock.Period() != c.ProcPhys.Period() {
+		return fmt.Errorf("core: without time scaling the emulated clock (%v) must equal the physical clock (%v)",
+			c.CPU.Clock, c.ProcPhys)
+	}
+	if c.ModeledCtrlLatency < 0 || c.MemPathLatency < 0 {
+		return fmt.Errorf("core: modeled latencies must be non-negative")
+	}
+	return nil
+}
+
+// Result reports one workload run.
+type Result struct {
+	// ProcCycles is the workload's execution time in emulated processor
+	// cycles — the paper's primary metric.
+	ProcCycles clock.Cycles
+	// EmulatedTime is ProcCycles converted to the emulated clock.
+	EmulatedTime clock.PS
+	// WallTime is the FPGA wall-clock time the emulation occupied and
+	// GlobalCycles the same in FPGA cycles (Figure 14's denominator).
+	WallTime     clock.PS
+	GlobalCycles clock.Cycles
+	// SimSpeedMHz is emulated processor cycles per FPGA wall second.
+	SimSpeedMHz float64
+
+	// Marks holds the processor cycle counts recorded at each OpMark, in
+	// order. Workloads bracket their measured region with two marks.
+	Marks []clock.Cycles
+
+	CPU  cpu.Stats
+	L1   cache.Stats
+	L2   cache.Stats
+	Ctrl smc.ControllerStats
+	Chip dram.Stats
+	Tile tile.Stats
+}
+
+// Window reports the measured region in emulated processor cycles: the span
+// between the last two marks, or the whole run when fewer than two marks
+// were recorded.
+func (r Result) Window() clock.Cycles {
+	if n := len(r.Marks); n >= 2 {
+		return r.Marks[n-1] - r.Marks[n-2]
+	}
+	return r.ProcCycles
+}
+
+// WindowTime reports the measured region in emulated time.
+func (r Result) WindowTime(c clock.Clock) clock.PS { return c.ToTime(r.Window()) }
+
+// MPKI reports last-level-cache misses per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.CPU.Instructions == 0 {
+		return 0
+	}
+	misses := r.CPU.MemReads + r.CPU.MemFills
+	return 1000 * float64(misses) / float64(r.CPU.Instructions)
+}
+
+// System is a fully assembled emulated system. Build one per run.
+type System struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	tile *tile.Tile
+	ctl  *smc.BaseController
+	env  *smc.Env
+	chip *dram.Chip
+}
+
+// NewSystem assembles a system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	chip, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	hier, err := cache.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	t := tile.New(chip, cfg.Costs)
+	mapper, err := smc.NewRowBankCol(chip.Geometry().Banks, cfg.DRAM.ColsPerRow)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ctl, err := smc.NewBaseController(smc.Config{
+		Mapper:         mapper,
+		Scheduler:      cfg.Scheduler,
+		TRCD:           cfg.TRCD,
+		RefreshEnabled: cfg.RefreshEnabled,
+		Policy:         cfg.Policy,
+	}, chip.Timing(), chip.Geometry().Banks)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{
+		cfg:  cfg,
+		hier: hier,
+		tile: t,
+		ctl:  ctl,
+		env:  smc.NewEnv(t),
+		chip: chip,
+	}, nil
+}
+
+// Chip exposes the DRAM model (profiling tools use it read-only).
+func (s *System) Chip() *dram.Chip { return s.chip }
+
+// Mapper exposes the physical-to-DRAM address mapping in use.
+func (s *System) Mapper() smc.Mapper { return s.ctl.Mapper() }
+
+// pending tracks one in-flight request.
+type pending struct {
+	posted bool
+	// arrival is the wall time of issue (non-scaled modes).
+	arrival clock.PS
+	// tag is the processor cycle count at issue (scaled mode).
+	tag clock.Cycles
+}
+
+// Run executes the workload stream to completion and returns the result.
+// The stream is closed before Run returns.
+func (s *System) Run(strm workload.Stream) (Result, error) {
+	defer strm.Close()
+	core, err := cpu.New(s.cfg.CPU, s.hier, strm)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	e := &engine{
+		cfg:      s.cfg,
+		sys:      s,
+		core:     core,
+		inflight: make(map[uint64]pending),
+		ready:    make(map[uint64]mem.Response),
+	}
+	if s.cfg.Scaling {
+		err = e.runScaled()
+	} else {
+		err = e.runUnscaled()
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return e.result(), nil
+}
+
+type engine struct {
+	cfg  Config
+	sys  *System
+	core *cpu.Core
+
+	ts *timescale.Counters
+
+	// Non-scaled mode wall clocks (picoseconds).
+	wallNow   clock.PS
+	smcFreeAt clock.PS
+
+	inflight map[uint64]pending
+	ready    map[uint64]mem.Response
+	// readyWall is the wall release time of ready responses (non-scaled).
+	readyWall map[uint64]clock.PS
+	// staged holds issued requests not yet visible to the controller
+	// (non-scaled mode): the SMC only observes requests that have arrived
+	// by its next decision point, mirroring the scaled engine's gating.
+	staged []mem.Request
+
+	blockedOn  uint64
+	fencing    bool
+	maxRelease clock.Cycles
+	marks      []clock.Cycles
+
+	procCycles  clock.Cycles // final, non-scaled mode
+	globalFinal clock.Cycles
+}
+
+// extraModeled is the per-response modeled latency added by the engine on
+// top of what the controller accounted (decision latency of the modeled
+// hardware controller plus the interconnect path).
+func (e *engine) extraModeled(nResponses int) clock.PS {
+	extra := e.cfg.MemPathLatency
+	if e.cfg.Scaling || e.cfg.HardwareMC {
+		extra += e.cfg.ModeledCtrlLatency
+	}
+	return extra * clock.PS(nResponses)
+}
+
+func (e *engine) result() Result {
+	var r Result
+	if e.cfg.Scaling {
+		r.ProcCycles = e.ts.Proc()
+		r.EmulatedTime = e.cfg.CPU.Clock.ToTime(r.ProcCycles)
+		r.GlobalCycles = e.ts.Global()
+		r.WallTime = e.ts.WallTime()
+	} else {
+		r.ProcCycles = e.procCycles
+		r.EmulatedTime = e.cfg.CPU.Clock.ToTime(r.ProcCycles)
+		r.GlobalCycles = e.globalFinal
+		r.WallTime = e.cfg.FPGA.ToTime(r.GlobalCycles)
+	}
+	if r.WallTime > 0 {
+		r.SimSpeedMHz = float64(r.ProcCycles) / r.WallTime.Seconds() / 1e6
+	}
+	r.Marks = e.marks
+	r.CPU = e.core.Stats()
+	r.L1 = e.sys.hier.L1.Stats()
+	r.L2 = e.sys.hier.L2.Stats()
+	r.Ctrl = e.sys.ctl.Stats()
+	r.Chip = e.sys.chip.Stats()
+	r.Tile = e.sys.tile.Stats()
+	return r
+}
+
+func (e *engine) checkCap(proc clock.Cycles) error {
+	if e.cfg.MaxProcCycles > 0 && proc > e.cfg.MaxProcCycles {
+		return fmt.Errorf("core: run exceeded %d emulated processor cycles", e.cfg.MaxProcCycles)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"easydram/internal/clock"
+	"easydram/internal/workload"
+)
+
+// streamOf builds a simple op stream.
+func streamOf(ops []workload.Op) workload.Stream {
+	return workload.NewSliceStream(ops)
+}
+
+// pointerChase emits n dependent loads with the given stride.
+func pointerChase(n int, stride uint64) []workload.Op {
+	ops := make([]workload.Op, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpLoad, Addr: uint64(i) * stride, Dep: true})
+	}
+	return ops
+}
+
+func mustRun(t *testing.T, cfg Config, ops []workload.Op) Result {
+	t.Helper()
+	cfg.MaxProcCycles = 1 << 40
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	res, err := sys.Run(streamOf(ops))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestScaledRunCompletes(t *testing.T) {
+	res := mustRun(t, TimeScalingA57(), pointerChase(1000, 4096))
+	if res.ProcCycles <= 0 {
+		t.Fatalf("no cycles recorded: %+v", res)
+	}
+	if res.CPU.Loads != 1000 {
+		t.Fatalf("loads = %d, want 1000", res.CPU.Loads)
+	}
+	if res.CPU.MemReads == 0 {
+		t.Fatalf("expected main-memory reads, got none")
+	}
+}
+
+func TestUnscaledRunCompletes(t *testing.T) {
+	res := mustRun(t, NoTimeScaling(), pointerChase(1000, 4096))
+	if res.ProcCycles <= 0 {
+		t.Fatalf("no cycles recorded: %+v", res)
+	}
+}
+
+// TestNoTSMissLatencyExceedsScaled pins the paper's core claim: without
+// time scaling, the software memory controller's real latency is visible,
+// and — measured in nanoseconds of emulated time — a main-memory access is
+// far slower than in the time-scaled system.
+func TestNoTSMissLatencyExceedsScaled(t *testing.T) {
+	ops := pointerChase(2000, 4096) // strides larger than L2 reach
+
+	scaled := mustRun(t, TimeScalingA57(), ops)
+	raw := mustRun(t, NoTimeScaling(), ops)
+
+	perMissScaled := float64(scaled.EmulatedTime) / float64(scaled.CPU.MemReads)
+	perMissRaw := float64(raw.EmulatedTime) / float64(raw.CPU.MemReads)
+	if perMissRaw < 2*perMissScaled {
+		t.Fatalf("NoTS per-miss time %.1fps should far exceed scaled %.1fps", perMissRaw, perMissScaled)
+	}
+}
+
+// TestScaledValidationAgainstReference is a miniature of the §6 validation:
+// the time-scaled 100 MHz->1 GHz system and the directly simulated 1 GHz
+// reference must report nearly identical execution times.
+func TestScaledValidationAgainstReference(t *testing.T) {
+	mix := make([]workload.Op, 0, 4000)
+	for i := 0; i < 1000; i++ {
+		mix = append(mix,
+			workload.Op{Kind: workload.OpCompute, N: 20},
+			workload.Op{Kind: workload.OpLoad, Addr: uint64(i) * 320},
+			workload.Op{Kind: workload.OpLoad, Addr: uint64(i) * 12800, Dep: true},
+			workload.Op{Kind: workload.OpStore, Addr: uint64(i) * 640},
+		)
+	}
+	ts := mustRun(t, TimeScaling1GHz(), mix)
+	ref := mustRun(t, Reference1GHz(), mix)
+
+	if ts.ProcCycles == 0 || ref.ProcCycles == 0 {
+		t.Fatalf("degenerate run: ts=%d ref=%d", ts.ProcCycles, ref.ProcCycles)
+	}
+	diff := float64(ts.ProcCycles-ref.ProcCycles) / float64(ref.ProcCycles)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.01 {
+		t.Fatalf("time-scaling validation error %.4f%% exceeds 1%% (ts=%d ref=%d)",
+			100*diff, ts.ProcCycles, ref.ProcCycles)
+	}
+}
+
+func TestHostProfileLine(t *testing.T) {
+	cfg := TimeScalingA57()
+	cfg.DRAM = TechniqueDRAM()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	okNominal, err := sys.ProfileLine(0, 13500)
+	if err != nil {
+		t.Fatalf("ProfileLine: %v", err)
+	}
+	if !okNominal {
+		t.Fatalf("nominal tRCD must always pass profiling")
+	}
+	// An absurdly low tRCD must fail.
+	okLow, err := sys.ProfileLine(0, 2*clock.Nanosecond)
+	if err != nil {
+		t.Fatalf("ProfileLine: %v", err)
+	}
+	if okLow {
+		t.Fatalf("2ns tRCD should not read reliably")
+	}
+}
+
+func TestHostRowClone(t *testing.T) {
+	cfg := TimeScalingA57()
+	cfg.DRAM = TechniqueDRAM()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	rowBytes := uint64(sys.Mapper().RowBytes())
+	banks := uint64(sys.Mapper().Banks())
+	// Adjacent rows in the same bank and subarray.
+	src := uint64(0)
+	dst := rowBytes * banks // next row, same bank under RowBankCol
+	a, b := sys.Mapper().Map(src), sys.Mapper().Map(dst)
+	if a.Bank != b.Bank || a.Row+1 != b.Row {
+		t.Fatalf("mapper layout unexpected: %v vs %v", a, b)
+	}
+	ok, err := sys.TestRowClone(src, dst, 3)
+	if err != nil {
+		t.Fatalf("TestRowClone: %v", err)
+	}
+	// Whether this specific pair clones is seed-dependent; the call itself
+	// must complete and cross-bank clones must always fail.
+	_ = ok
+	crossOK, err := sys.TestRowClone(0, rowBytes, 1) // next bank
+	if err != nil {
+		t.Fatalf("TestRowClone cross-bank: %v", err)
+	}
+	if crossOK {
+		t.Fatalf("cross-bank RowClone must fail")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"easydram/internal/workload"
+)
+
+// TestRunsAreDeterministic pins the repository's reproducibility guarantee:
+// identical configuration + seed + workload produce bit-identical results,
+// including every statistic. This is what makes characterization on a
+// scratch system transferable to the measured system.
+func TestRunsAreDeterministic(t *testing.T) {
+	configs := map[string]Config{
+		"scaled":   TimeScalingA57(),
+		"unscaled": NoTimeScaling(),
+	}
+	kernel := workload.PBGemver(48)
+	for name, cfg := range configs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			run := func() Result {
+				sys, err := NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.Run(kernel.Stream())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.ProcCycles != b.ProcCycles || a.GlobalCycles != b.GlobalCycles {
+				t.Fatalf("timing diverged: %d/%d vs %d/%d",
+					a.ProcCycles, a.GlobalCycles, b.ProcCycles, b.GlobalCycles)
+			}
+			if a.CPU != b.CPU || a.Ctrl != b.Ctrl || a.Chip != b.Chip {
+				t.Fatalf("statistics diverged:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestSeedChangesOutcomes verifies the seed actually flows into behaviour
+// that depends on the chip (RowClone success patterns).
+func TestSeedChangesOutcomes(t *testing.T) {
+	count := func(seed uint64) int64 {
+		cfg := TimeScalingA57()
+		cfg.DRAM = TechniqueDRAM()
+		cfg.DRAM.RowsPerBank = 4096
+		cfg.DRAM.Seed = seed
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := int64(0)
+		for i := uint64(0); i < 64; i++ {
+			base := i * 2 * 16 * 8192
+			good, err := sys.TestRowClone(base, base+16*8192, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if good {
+				ok++
+			}
+		}
+		return ok
+	}
+	a, b := count(1), count(999)
+	if a == 64 || a == 0 {
+		t.Fatalf("seed 1 gave degenerate clonability %d/64", a)
+	}
+	if a == b {
+		// Equal totals are possible but identical full patterns are not
+		// asserted here; equal totals alone are suspicious enough to check
+		// a second seed.
+		if c := count(12345); c == a {
+			t.Fatalf("three seeds gave identical clonability counts (%d)", a)
+		}
+	}
+}

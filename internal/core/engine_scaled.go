@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/mem"
+	"easydram/internal/timescale"
+)
+
+// runScaled executes the workload under time scaling (Figure 5 mechanics).
+func (e *engine) runScaled() error {
+	ts, err := timescale.New(e.cfg.FPGA, e.cfg.ProcPhys, e.cfg.CPU.Clock, true)
+	if err != nil {
+		return err
+	}
+	e.ts = ts
+
+	for {
+		e.deliverMaturedScaled()
+
+		if e.blockedOn != 0 {
+			if r, ok := e.ready[e.blockedOn]; ok {
+				ts.JumpProcTo(r.Release)
+				e.consumeScaled(r)
+				e.blockedOn = 0
+				continue
+			}
+			if err := e.smcStepScaled(); err != nil {
+				return err
+			}
+			continue
+		}
+
+		if e.fencing {
+			if len(e.inflight) == 0 && len(e.ready) == 0 {
+				ts.JumpProcTo(e.maxRelease)
+				e.maybeExitCritical()
+				e.fencing = false
+				e.core.FenceDone()
+				continue
+			}
+			if len(e.ready) > 0 {
+				r := e.earliestReady()
+				ts.JumpProcTo(r.Release)
+				e.consumeScaled(r)
+				continue
+			}
+			if err := e.smcStepScaled(); err != nil {
+				return err
+			}
+			continue
+		}
+
+		allowance := ts.ProcAllowance()
+		if allowance == 0 {
+			if err := e.smcStepScaled(); err != nil {
+				return err
+			}
+			continue
+		}
+		out := e.core.Step(ts.Proc(), allowance)
+		if out.Finished {
+			break
+		}
+		if out.Mark {
+			e.marks = append(e.marks, ts.Proc())
+		}
+		ts.AdvanceProc(out.Cycles)
+		if err := e.checkCap(ts.Proc()); err != nil {
+			return err
+		}
+		for i := range out.Reqs {
+			if debugTrace {
+				tracef("S issue id=%d kind=%v proc=%d", out.Reqs[i].ID, out.Reqs[i].Kind, ts.Proc())
+			}
+			e.issueScaled(out.Reqs[i])
+		}
+		if out.WaitID != 0 {
+			if debugTrace {
+				tracef("S block on %d at proc=%d", out.WaitID, ts.Proc())
+			}
+		}
+		if out.Fence {
+			e.fencing = true
+		}
+		if out.WaitID != 0 {
+			e.blockedOn = out.WaitID
+		}
+	}
+
+	// Drain posted writebacks so wall-time accounting covers them.
+	for len(e.inflight) > 0 {
+		if err := e.smcStepScaled(); err != nil {
+			return err
+		}
+	}
+	e.maybeExitCritical()
+	return nil
+}
+
+// deliverMaturedScaled hands the core every ready response whose release
+// point has been reached.
+func (e *engine) deliverMaturedScaled() {
+	if len(e.ready) == 0 {
+		return
+	}
+	proc := e.ts.Proc()
+	for id, r := range e.ready {
+		if r.Release <= proc {
+			delete(e.ready, id)
+			e.core.Deliver(id)
+			if e.blockedOn == id {
+				e.blockedOn = 0
+			}
+		}
+	}
+}
+
+// consumeScaled delivers one ready response the processor waited for.
+func (e *engine) consumeScaled(r mem.Response) {
+	delete(e.ready, r.ReqID)
+	e.core.Deliver(r.ReqID)
+	e.maybeExitCritical()
+}
+
+func (e *engine) earliestReady() mem.Response {
+	var best mem.Response
+	first := true
+	for _, r := range e.ready {
+		if first || r.Release < best.Release {
+			best, first = r, false
+		}
+	}
+	return best
+}
+
+// issueScaled places a new request into the EasyTile FIFO, tagging it with
+// the current processor cycle and gating the processor domain.
+func (e *engine) issueScaled(req mem.Request) {
+	req.Tag = e.ts.Proc()
+	e.sys.tile.PushRequest(req)
+	e.inflight[req.ID] = pending{posted: req.Posted, tag: req.Tag}
+	if !e.ts.Critical() {
+		e.ts.EnterCritical()
+	}
+}
+
+func (e *engine) maybeExitCritical() {
+	if len(e.inflight) == 0 && e.ts != nil && e.ts.Critical() {
+		e.ts.ExitCritical()
+	}
+}
+
+// earliestInflightTag reports the smallest arrival tag among unserved
+// requests (the refresh accounting horizon). ok is false when none exist.
+func (e *engine) earliestInflightTag() (clock.Cycles, bool) {
+	var min clock.Cycles
+	found := false
+	for _, p := range e.inflight {
+		if !found || p.tag < min {
+			min, found = p.tag, true
+		}
+	}
+	return min, found
+}
+
+// settleRefreshesScaled deterministically accounts every REF due before the
+// next request service starts: a refresh fires iff it is due by
+// max(service point, next arrival). Refreshes falling in idle periods chain
+// off the stale service point and so cost the emulated timeline nothing.
+func (e *engine) settleRefreshesScaled() error {
+	if !e.sys.ctl.RefreshEnabled() {
+		return nil
+	}
+	for {
+		arrival, ok := e.earliestInflightTag()
+		if !ok {
+			return nil
+		}
+		horizon := e.cfg.CPU.Clock.ToTime(arrival)
+		if mc := e.cfg.CPU.Clock.ToTime(e.ts.MC()); mc > horizon {
+			horizon = mc
+		}
+		due := e.sys.ctl.NextRefreshDue()
+		if due > horizon {
+			return nil
+		}
+		env := e.sys.env
+		env.Reset(due)
+		if err := e.sys.ctl.ServeRefresh(env); err != nil {
+			return err
+		}
+		charged := env.ChargedFPGA()
+		if e.cfg.HardwareMC {
+			charged = 0
+		}
+		e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + env.BenderWall())
+		e.ts.ServeModeled(e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
+		if debugTrace {
+			tracef("S refresh due=%v occ=%v mc=%d", due, env.Occupancy(), e.ts.MC())
+		}
+	}
+}
+
+// smcStepScaled runs one software-memory-controller iteration and settles
+// its cost into the time-scaling counters.
+func (e *engine) smcStepScaled() error {
+	if err := e.settleRefreshesScaled(); err != nil {
+		return err
+	}
+	env := e.sys.env
+	env.Reset(e.cfg.CPU.Clock.ToTime(e.ts.MC()))
+	worked, err := e.sys.ctl.ServeOne(env)
+	if err != nil {
+		return err
+	}
+	if !worked {
+		// Nothing left to serve: every in-flight request has a ready
+		// response. Let the processor domain catch up to the earliest
+		// release so the responses mature.
+		if len(e.ready) > 0 {
+			e.ts.JumpProcTo(e.earliestReady().Release)
+			return nil
+		}
+		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", len(e.inflight), e.blockedOn)
+	}
+
+	charged := env.ChargedFPGA()
+	if e.cfg.HardwareMC {
+		charged = 0
+	}
+	e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + env.BenderWall())
+
+	responses := env.Responses()
+	// One service on the MC resource: start at max(service point, the
+	// served request's arrival tag), occupy for the step's occupancy, and
+	// tag the responses with the release point (start + latency, plus the
+	// modeled hardware-controller extra) — the exact mirror of the
+	// reference engine's wall-clock service math.
+	arrival := clock.Cycles(0)
+	if len(responses) > 0 {
+		if p, ok := e.inflight[responses[0].ReqID]; ok {
+			arrival = p.tag
+		}
+	}
+	release := e.ts.ServeModeled(arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
+	if len(responses) > 0 {
+		if debugTrace {
+			tracef("S serve id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", responses[0].ReqID, arrival, env.Occupancy(), env.Latency(), e.ts.MC(), release, e.ts.Proc())
+		}
+	}
+	for _, r := range responses {
+		p, ok := e.inflight[r.ReqID]
+		if !ok {
+			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
+		}
+		delete(e.inflight, r.ReqID)
+		if release > e.maxRelease {
+			e.maxRelease = release
+		}
+		if p.posted {
+			continue
+		}
+		r.Release = release
+		e.ready[r.ReqID] = r
+	}
+	e.maybeExitCritical()
+	return nil
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+)
+
+// runUnscaled executes the workload without time scaling. The processor
+// follows the wall clock at its own frequency; the SMC is a concurrently
+// running serial resource whose busy time is tracked by smcFreeAt. Two
+// sub-modes share this path:
+//
+//   - raw software MC (HardwareMC=false): the "EasyDRAM - No Time Scaling"
+//     configuration; the full programmable-core latency is visible;
+//   - hardware MC (HardwareMC=true): the §6 validation reference, where
+//     each request costs only the modeled controller latency plus DRAM time.
+func (e *engine) runUnscaled() error {
+	e.readyWall = make(map[uint64]clock.PS)
+	procPeriod := e.cfg.ProcPhys.Period()
+	var maxWall clock.PS
+
+	proc := func() clock.Cycles { return clock.Cycles(e.wallNow / procPeriod) }
+
+	for {
+		// Deliver responses whose wall release time has passed.
+		for id, w := range e.readyWall {
+			if w <= e.wallNow {
+				delete(e.readyWall, id)
+				e.core.Deliver(id)
+				if e.blockedOn == id {
+					e.blockedOn = 0
+				}
+			}
+		}
+
+		if e.blockedOn != 0 {
+			if w, ok := e.readyWall[e.blockedOn]; ok {
+				// The processor consumes the response at its next clock
+				// edge (the scaled engine's release tags are integral
+				// cycles for the same reason).
+				if w > e.wallNow {
+					e.wallNow = clock.PS(e.cfg.ProcPhys.CyclesCeil(w)) * procPeriod
+				}
+				delete(e.readyWall, e.blockedOn)
+				e.core.Deliver(e.blockedOn)
+				e.blockedOn = 0
+				continue
+			}
+			w, err := e.smcStepUnscaled()
+			if err != nil {
+				return err
+			}
+			if w > maxWall {
+				maxWall = w
+			}
+			continue
+		}
+
+		if e.fencing {
+			if len(e.inflight) == 0 && len(e.readyWall) == 0 {
+				if maxWall > e.wallNow {
+					e.wallNow = maxWall
+				}
+				e.fencing = false
+				e.core.FenceDone()
+				continue
+			}
+			if len(e.inflight) > 0 {
+				w, err := e.smcStepUnscaled()
+				if err != nil {
+					return err
+				}
+				if w > maxWall {
+					maxWall = w
+				}
+				continue
+			}
+			// Only ready responses remain: advance to the earliest.
+			var earliest clock.PS = 1 << 62
+			for _, w := range e.readyWall {
+				if w < earliest {
+					earliest = w
+				}
+			}
+			if earliest > e.wallNow {
+				e.wallNow = earliest
+			}
+			continue
+		}
+
+		out := e.core.Step(proc(), 0)
+		if out.Finished {
+			break
+		}
+		if out.Mark {
+			e.marks = append(e.marks, proc())
+		}
+		e.wallNow += clock.PS(out.Cycles) * procPeriod
+		if err := e.checkCap(proc()); err != nil {
+			return err
+		}
+		for i := range out.Reqs {
+			req := out.Reqs[i]
+			req.Tag = proc()
+			if debugTrace {
+				tracef("U issue id=%d kind=%v wall=%d proc=%d", req.ID, req.Kind, e.wallNow, proc())
+			}
+			e.staged = append(e.staged, req)
+			e.inflight[req.ID] = pending{posted: req.Posted, arrival: e.wallNow}
+		}
+		if out.WaitID != 0 {
+			if debugTrace {
+				tracef("U block on %d at wall=%d", out.WaitID, e.wallNow)
+			}
+		}
+		if out.Fence {
+			e.fencing = true
+		}
+		if out.WaitID != 0 {
+			e.blockedOn = out.WaitID
+		}
+	}
+
+	e.procCycles = proc()
+	// Drain remaining posted writebacks for wall-time accounting.
+	for len(e.inflight) > 0 {
+		w, err := e.smcStepUnscaled()
+		if err != nil {
+			return err
+		}
+		if w > maxWall {
+			maxWall = w
+		}
+	}
+	final := e.wallNow
+	if e.smcFreeAt > final {
+		final = e.smcFreeAt
+	}
+	e.globalFinal = e.cfg.FPGA.CyclesCeil(final)
+	return nil
+}
+
+// settleRefreshesUnscaled mirrors settleRefreshesScaled: every REF due by
+// max(service point, next arrival) is accounted before the next request
+// service, chaining off the (possibly stale) service point.
+func (e *engine) settleRefreshesUnscaled() error {
+	if !e.sys.ctl.RefreshEnabled() {
+		return nil
+	}
+	for {
+		var arrival clock.PS
+		found := false
+		for _, p := range e.inflight {
+			if !found || p.arrival < arrival {
+				arrival, found = p.arrival, true
+			}
+		}
+		if !found {
+			return nil
+		}
+		horizon := arrival
+		if e.smcFreeAt > horizon {
+			horizon = e.smcFreeAt
+		}
+		due := e.sys.ctl.NextRefreshDue()
+		if due > horizon {
+			return nil
+		}
+		env := e.sys.env
+		env.Reset(due)
+		if err := e.sys.ctl.ServeRefresh(env); err != nil {
+			return err
+		}
+		start := e.smcFreeAt
+		if due > start {
+			start = due
+		}
+		var smcOcc clock.PS
+		if !e.cfg.HardwareMC {
+			smcOcc = clock.PS(env.ChargedFPGA()) * e.cfg.FPGA.Period()
+		}
+		e.smcFreeAt = start + smcOcc + env.Occupancy()
+		if debugTrace {
+			tracef("U refresh due=%v occ=%v free=%d", due, env.Occupancy(), e.smcFreeAt)
+		}
+	}
+}
+
+// smcStepUnscaled runs one controller iteration and settles its cost onto
+// the SMC's wall-time resource. It returns the completion wall time of the
+// work done.
+func (e *engine) smcStepUnscaled() (clock.PS, error) {
+	if err := e.settleRefreshesUnscaled(); err != nil {
+		return 0, err
+	}
+	env := e.sys.env
+	// Make exactly the requests that have arrived by the controller's next
+	// decision point visible. If the controller is idle, the next decision
+	// happens when the earliest staged request arrives.
+	decision := e.smcFreeAt
+	if len(e.staged) > 0 && e.sys.tile.IncomingEmpty() && e.sys.ctl.Pending() == 0 {
+		earliest := e.inflight[e.staged[0].ID].arrival
+		for _, req := range e.staged[1:] {
+			if a := e.inflight[req.ID].arrival; a < earliest {
+				earliest = a
+			}
+		}
+		if decision < earliest {
+			decision = earliest
+		}
+	}
+	kept := e.staged[:0]
+	for _, req := range e.staged {
+		if e.inflight[req.ID].arrival <= decision {
+			e.sys.tile.PushRequest(req)
+		} else {
+			kept = append(kept, req)
+		}
+	}
+	e.staged = kept
+
+	now := e.wallNow
+	if e.smcFreeAt > now {
+		now = e.smcFreeAt
+	}
+	env.Reset(now)
+	worked, err := e.sys.ctl.ServeOne(env)
+	if err != nil {
+		return 0, err
+	}
+	if !worked {
+		if len(e.readyWall) > 0 {
+			// Everything outstanding is already responded; nothing to do.
+			return e.smcFreeAt, nil
+		}
+		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", len(e.inflight), e.blockedOn)
+	}
+
+	responses := env.Responses()
+
+	// Service start: the SMC must be free and the request must have
+	// arrived (the model serves one request per step, so the first
+	// response identifies the request being served).
+	start := e.smcFreeAt
+	if len(responses) > 0 {
+		if p, ok := e.inflight[responses[0].ReqID]; ok && p.arrival > start {
+			start = p.arrival
+		}
+	}
+
+	// Occupancy chains the serial resource; latency (plus the modeled
+	// controller extra) sets the response release — mirroring the scaled
+	// engine's MC/release split so the §6 validation compares like with
+	// like. The raw software MC is itself the serial resource, so its
+	// charged cycles appear in both terms.
+	var smcOcc, smcLat clock.PS
+	if e.cfg.HardwareMC {
+		smcLat = e.extraModeled(len(responses))
+	} else {
+		chargedPS := clock.PS(env.ChargedFPGA()) * e.cfg.FPGA.Period()
+		smcOcc = chargedPS
+		smcLat = chargedPS + e.extraModeled(len(responses))
+	}
+	completion := start + smcOcc + env.Occupancy()
+	release := start + smcLat + env.Latency()
+	if release < completion {
+		release = completion
+	}
+	e.smcFreeAt = completion
+	if len(responses) > 0 {
+		if debugTrace {
+			tracef("U serve id=%d start=%d occ=%v lat=%v completion=%d release=%d", responses[0].ReqID, start, env.Occupancy(), env.Latency(), completion, release)
+		}
+	}
+
+	for _, r := range responses {
+		p, ok := e.inflight[r.ReqID]
+		if !ok {
+			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
+		}
+		delete(e.inflight, r.ReqID)
+		if p.posted {
+			continue
+		}
+		e.readyWall[r.ReqID] = release
+	}
+	return completion, nil
+}

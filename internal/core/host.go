@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/mem"
+)
+
+// Host-driven controller access. Characterization studies (DRAM profiling,
+// clonability testing) run before workload emulation begins: the host
+// enqueues requests directly into EasyTile and executes controller
+// iterations synchronously, outside the emulated timeline (§8.1).
+
+var hostReqID uint64 = 1 << 48 // distinct from CPU-issued request IDs
+
+// hostServe pushes req and runs controller iterations until its response
+// appears, returning the response's OK flag.
+func (s *System) hostServe(req mem.Request) (bool, error) {
+	hostReqID++
+	req.ID = hostReqID
+	s.tile.PushRequest(req)
+	for i := 0; i < 1024; i++ {
+		s.env.Reset(0)
+		worked, err := s.ctl.ServeOne(s.env)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range s.env.Responses() {
+			if r.ReqID == req.ID {
+				return r.OK, nil
+			}
+		}
+		if !worked {
+			break
+		}
+	}
+	return false, fmt.Errorf("core: host request %v not served", req.Kind)
+}
+
+// ProfileLine tests whether the cache line at physical address pa reads
+// reliably with the given tRCD (a §8.1 profiling request).
+func (s *System) ProfileLine(pa uint64, rcd clock.PS) (bool, error) {
+	return s.hostServe(mem.Request{Kind: mem.Profile, Addr: pa, RCD: rcd})
+}
+
+// BitwiseMAJ performs an in-DRAM bulk bitwise majority across the rows at
+// r1, r2 (row-aligned physical addresses) and their address-OR row, via a
+// many-row activation (ComputeDRAM-class extension). It reports whether the
+// chip committed the result.
+func (s *System) BitwiseMAJ(r1, r2 uint64) (bool, error) {
+	return s.hostServe(mem.Request{Kind: mem.Bitwise, Addr: r2, Src: r1})
+}
+
+// TestRowClone performs trial RowClone copies from the row at src to the
+// row at dst (both physical, row-aligned) and reports whether every trial
+// succeeded — the PiDRAM-style clonability test (§7.1: an address pair is
+// clonable only if it never fails).
+func (s *System) TestRowClone(src, dst uint64, trials int) (bool, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	for i := 0; i < trials; i++ {
+		ok, err := s.hostServe(mem.Request{Kind: mem.RowClone, Addr: dst, Src: src})
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

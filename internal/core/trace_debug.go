@@ -1,0 +1,15 @@
+package core
+
+import "fmt"
+
+// debugTrace enables verbose engine event tracing (tests only).
+var debugTrace = false
+
+func tracef(format string, args ...any) {
+	if debugTrace {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// SetDebugTrace toggles engine tracing (diagnostics only).
+func SetDebugTrace(on bool) { debugTrace = on }

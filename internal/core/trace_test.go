@@ -1,0 +1,25 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"easydram/internal/workload"
+)
+
+func TestTraceStores(t *testing.T) {
+	if os.Getenv("EASYDRAM_TRACE") == "" {
+		t.Skip("set EASYDRAM_TRACE=1 to dump engine event traces")
+	}
+	var ops []workload.Op
+	for i := 0; i < 12; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpStore, Addr: uint64(i) << 20})
+	}
+	debugTrace = true
+	defer func() { debugTrace = false }()
+	t.Log("=== scaled ===")
+	ts := mustRun(t, TimeScaling1GHz(), ops)
+	t.Log("=== reference ===")
+	ref := mustRun(t, Reference1GHz(), ops)
+	t.Logf("ts=%d ref=%d", ts.ProcCycles, ref.ProcCycles)
+}

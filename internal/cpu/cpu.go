@@ -1,0 +1,399 @@
+// Package cpu models the processors EasyDRAM emulates: a simple in-order
+// blocking core (the PiDRAM-class 50 MHz Rocket) and an out-of-order core
+// with memory-level parallelism and a reorder-buffer window (the BOOM core
+// configured to mirror a Cortex-A57, §6).
+//
+// The model is memory-behaviour-accurate rather than ISA-accurate: it
+// executes workload op streams through a two-level cache hierarchy and
+// surfaces last-level-cache misses as main-memory requests. All state
+// advances in emulated processor cycles; the engine owns the time-scaling
+// counters and tells the core how far it may run.
+package cpu
+
+import (
+	"fmt"
+
+	"easydram/internal/cache"
+	"easydram/internal/clock"
+	"easydram/internal/mem"
+	"easydram/internal/workload"
+)
+
+// Config parameterises a core model.
+type Config struct {
+	Name string
+	// Clock is the emulated clock of the core.
+	Clock clock.Clock
+	// InOrder cores block on every cache miss.
+	InOrder bool
+	// IssueWidth is the number of instructions retired per cycle when no
+	// memory stalls occur.
+	IssueWidth int
+	// MLP is the maximum number of outstanding main-memory misses.
+	MLP int
+	// ROBWindow is the maximum number of cycles the core may run ahead of
+	// its oldest outstanding miss before stalling (reorder-buffer limit).
+	ROBWindow clock.Cycles
+	// L1Lat / L2Lat are load-to-use latencies charged on L1 and L2 hits.
+	L1Lat clock.Cycles
+	L2Lat clock.Cycles
+	// FlushCost is the cost of the memory-mapped CLFLUSH store.
+	FlushCost clock.Cycles
+	// MissIssueCost is the pipeline cost of issuing a miss that does not
+	// block (out-of-order cores).
+	MissIssueCost clock.Cycles
+	// MaxInstructions truncates the run after this many instructions
+	// (Ramulator-style partial simulation; 0 means unlimited).
+	MaxInstructions int64
+	// NextLinePrefetch enables a simple L2 next-line prefetcher: every
+	// demand miss also fetches the following line (posted, so the core
+	// never waits on it, but it occupies the memory controller).
+	NextLinePrefetch bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case !c.Clock.Valid():
+		return fmt.Errorf("cpu %s: clock not set", c.Name)
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("cpu %s: issue width must be positive", c.Name)
+	case !c.InOrder && c.MLP <= 0:
+		return fmt.Errorf("cpu %s: out-of-order core needs MLP >= 1", c.Name)
+	case !c.InOrder && c.ROBWindow <= 0:
+		return fmt.Errorf("cpu %s: out-of-order core needs a ROB window", c.Name)
+	case c.L1Lat <= 0 || c.L2Lat <= 0:
+		return fmt.Errorf("cpu %s: cache latencies must be positive", c.Name)
+	}
+	return nil
+}
+
+// CortexA57 approximates the Jetson Nano's Cortex-A57 at 1.43 GHz: 3-wide
+// out-of-order, modest MLP, 128-entry ROB.
+func CortexA57() Config {
+	return Config{
+		Name:          "cortex-a57",
+		Clock:         clock.ProcA57,
+		InOrder:       false,
+		IssueWidth:    2,
+		MLP:           6,
+		ROBWindow:     128,
+		L1Lat:         2,
+		L2Lat:         19,
+		FlushCost:     4,
+		MissIssueCost: 1,
+	}
+}
+
+// Rocket50 approximates PiDRAM's in-order Rocket core at 50 MHz.
+func Rocket50() Config {
+	return Config{
+		Name:       "rocket-50mhz",
+		Clock:      clock.Proc50MHz,
+		InOrder:    true,
+		IssueWidth: 1,
+		L1Lat:      2,
+		L2Lat:      14,
+		FlushCost:  4,
+	}
+}
+
+// Boom1GHz is the validation reference core (§6): the BOOM configuration
+// emulated at 1 GHz.
+func Boom1GHz() Config {
+	cfg := CortexA57()
+	cfg.Name = "boom-1ghz"
+	cfg.Clock = clock.Proc1GHz
+	return cfg
+}
+
+// Stats counts core events.
+type Stats struct {
+	Instructions  int64
+	Loads         int64
+	Stores        int64
+	ComputeCycles int64
+	L1Hits        int64
+	L2Hits        int64
+	MemReads      int64
+	MemFills      int64 // store-allocate fills
+	Writebacks    int64
+	Flushes       int64
+	RowClones     int64
+	Prefetches    int64
+	StallCycles   clock.Cycles
+}
+
+// Outcome is the result of one core step.
+type Outcome struct {
+	// Cycles consumed by this step (the engine advances Proc by this).
+	Cycles clock.Cycles
+	// Reqs are memory requests issued this step (may be several: a demand
+	// miss plus eviction writebacks).
+	Reqs []mem.Request
+	// WaitID, when non-zero, blocks the core until that response arrives.
+	WaitID uint64
+	// Fence, when true, blocks the core until all outstanding requests
+	// (including posted writebacks) have completed.
+	Fence bool
+	// Mark records a measurement-window boundary.
+	Mark bool
+	// Finished reports the op stream is exhausted and nothing is pending.
+	Finished bool
+}
+
+type outstandingMiss struct {
+	id    uint64
+	issue clock.Cycles
+}
+
+// Core executes one op stream over a cache hierarchy.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	strm workload.Stream
+
+	op               workload.Op
+	opValid          bool
+	computeRemaining clock.Cycles
+
+	nextID      uint64
+	outstanding []outstandingMiss
+	// lastLoadMiss is the request ID of the most recent load if it is
+	// still outstanding (dependence target), else 0.
+	lastLoadMiss uint64
+	fencePending bool
+	// rcFenced marks that the pending RowClone op has completed its fence.
+	rcFenced bool
+
+	reqScratch []mem.Request
+	stats      Stats
+}
+
+// New returns a core executing strm over hier.
+func New(cfg Config, hier *cache.Hierarchy, strm workload.Stream) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil {
+		return nil, fmt.Errorf("cpu %s: nil cache hierarchy", cfg.Name)
+	}
+	if strm == nil {
+		return nil, fmt.Errorf("cpu %s: nil op stream", cfg.Name)
+	}
+	return &Core{cfg: cfg, hier: hier, strm: strm, nextID: 1}, nil
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of event counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Outstanding reports the number of in-flight misses.
+func (c *Core) Outstanding() int { return len(c.outstanding) }
+
+// Deliver informs the core that the response for request id arrived.
+func (c *Core) Deliver(id uint64) {
+	for i := range c.outstanding {
+		if c.outstanding[i].id == id {
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			break
+		}
+	}
+	if c.lastLoadMiss == id {
+		c.lastLoadMiss = 0
+	}
+}
+
+// FenceDone informs the core a requested fence has completed.
+func (c *Core) FenceDone() { c.fencePending = false }
+
+// AddStall accounts cycles the engine spent unblocking the core.
+func (c *Core) AddStall(n clock.Cycles) { c.stats.StallCycles += n }
+
+func (c *Core) newID() uint64 {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+// Step advances the core by at most budget cycles starting at emulated
+// processor cycle now. A budget <= 0 means unlimited. The engine must honor
+// Outcome.WaitID/Fence before calling Step again.
+func (c *Core) Step(now clock.Cycles, budget clock.Cycles) Outcome {
+	if budget <= 0 {
+		budget = 1 << 60
+	}
+	if c.fencePending {
+		return Outcome{Fence: true}
+	}
+	// ROB window: the core cannot run arbitrarily far past its oldest
+	// outstanding miss.
+	if !c.cfg.InOrder && len(c.outstanding) > 0 {
+		oldest := c.outstanding[0]
+		if now-oldest.issue >= c.cfg.ROBWindow {
+			return Outcome{WaitID: oldest.id}
+		}
+	}
+	if !c.opValid {
+		truncated := c.cfg.MaxInstructions > 0 && c.stats.Instructions >= c.cfg.MaxInstructions
+		if truncated || !c.strm.Next(&c.op) {
+			if len(c.outstanding) > 0 || c.fencePending {
+				return Outcome{Fence: true}
+			}
+			return Outcome{Finished: true}
+		}
+		c.opValid = true
+		if c.op.Kind == workload.OpCompute {
+			w := clock.Cycles(c.cfg.IssueWidth)
+			c.computeRemaining = (clock.Cycles(c.op.N) + w - 1) / w
+			if c.computeRemaining == 0 {
+				c.computeRemaining = 1
+			}
+			c.stats.Instructions += c.op.N
+			c.stats.ComputeCycles += int64(c.computeRemaining)
+		}
+	}
+
+	switch c.op.Kind {
+	case workload.OpCompute:
+		take := c.computeRemaining
+		if take > budget {
+			take = budget
+		}
+		c.computeRemaining -= take
+		if c.computeRemaining == 0 {
+			c.opValid = false
+		}
+		return Outcome{Cycles: take}
+
+	case workload.OpLoad, workload.OpStore:
+		// A dependent op cannot issue until the producing load returns.
+		if c.op.Dep && c.lastLoadMiss != 0 {
+			return Outcome{WaitID: c.lastLoadMiss}
+		}
+		isStore := c.op.Kind == workload.OpStore
+		// Back-pressure before touching the hierarchy: with all MSHRs
+		// busy, an access that would miss cannot even issue.
+		if !c.cfg.InOrder && len(c.outstanding) >= c.cfg.MLP && c.hier.WouldMiss(c.op.Addr) {
+			return Outcome{WaitID: c.outstanding[0].id}
+		}
+		c.stats.Instructions++
+		if isStore {
+			c.stats.Stores++
+		} else {
+			c.stats.Loads++
+		}
+		out := c.hier.Access(c.op.Addr, isStore)
+		c.opValid = false
+		dep := c.op.Dep
+		switch out.Level {
+		case 1:
+			c.stats.L1Hits++
+			return Outcome{Cycles: c.hitCost(c.cfg.L1Lat, dep)}
+		case 2:
+			c.stats.L2Hits++
+			return Outcome{Cycles: c.hitCost(c.cfg.L2Lat, dep)}
+		}
+		// Main-memory miss.
+		id := c.newID()
+		c.reqScratch = c.reqScratch[:0]
+		c.reqScratch = append(c.reqScratch, mem.Request{
+			ID: id, Kind: mem.Read, Addr: lineAlign(c.op.Addr),
+		})
+		if isStore {
+			c.stats.MemFills++
+		} else {
+			c.stats.MemReads++
+		}
+		for _, wb := range out.Writebacks {
+			c.stats.Writebacks++
+			c.reqScratch = append(c.reqScratch, mem.Request{
+				ID: c.newID(), Kind: mem.Writeback, Addr: wb, Posted: true,
+			})
+		}
+		if c.cfg.NextLinePrefetch {
+			next := lineAlign(c.op.Addr) + cache.LineBytes
+			if c.hier.WouldMiss(next) {
+				c.stats.Prefetches++
+				c.hier.Access(next, false) // install into the hierarchy
+				c.reqScratch = append(c.reqScratch, mem.Request{
+					ID: c.newID(), Kind: mem.Read, Addr: next, Posted: true,
+				})
+			}
+		}
+		o := Outcome{Cycles: c.cfg.MissIssueCost, Reqs: c.reqScratch}
+		if o.Cycles <= 0 {
+			o.Cycles = 1
+		}
+		if c.cfg.InOrder {
+			o.WaitID = id
+		} else {
+			c.outstanding = append(c.outstanding, outstandingMiss{id: id, issue: now})
+			if !isStore {
+				c.lastLoadMiss = id
+			}
+		}
+		return o
+
+	case workload.OpFlush:
+		c.stats.Instructions++
+		c.stats.Flushes++
+		c.opValid = false
+		o := Outcome{Cycles: c.cfg.FlushCost}
+		if c.hier.Flush(c.op.Addr) {
+			o.Reqs = append(c.reqScratch[:0], mem.Request{
+				ID: c.newID(), Kind: mem.Writeback, Addr: lineAlign(c.op.Addr), Posted: true,
+			})
+			c.reqScratch = o.Reqs
+		}
+		return o
+
+	case workload.OpRowClone:
+		// The clone must observe all prior stores and writebacks: fence
+		// first, then issue a blocking RowClone request.
+		if !c.rcFenced {
+			c.rcFenced = true
+			c.fencePending = true
+			return Outcome{Cycles: 1, Fence: true}
+		}
+		c.rcFenced = false
+		c.stats.Instructions++
+		c.stats.RowClones++
+		c.opValid = false
+		id := c.newID()
+		c.reqScratch = append(c.reqScratch[:0], mem.Request{
+			ID: id, Kind: mem.RowClone, Addr: c.op.Addr, Src: c.op.Src,
+		})
+		return Outcome{Cycles: 2, Reqs: c.reqScratch, WaitID: id}
+
+	case workload.OpBarrier:
+		c.opValid = false
+		c.fencePending = true
+		return Outcome{Cycles: 1, Fence: true}
+
+	case workload.OpMark:
+		c.opValid = false
+		return Outcome{Mark: true}
+
+	default:
+		panic(fmt.Sprintf("cpu %s: unknown op kind %v", c.cfg.Name, c.op.Kind))
+	}
+}
+
+// hitCost converts a load-to-use latency into charged cycles. Out-of-order
+// cores hide most of an independent hit's latency behind other work, but a
+// dependent (pointer-chase) access pays the full load-to-use latency.
+func (c *Core) hitCost(lat clock.Cycles, dep bool) clock.Cycles {
+	if c.cfg.InOrder || dep {
+		return lat
+	}
+	charged := lat / 4
+	if charged < 1 {
+		charged = 1
+	}
+	return charged
+}
+
+func lineAlign(a uint64) uint64 { return a &^ uint64(cache.LineBytes-1) }

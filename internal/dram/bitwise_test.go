@@ -1,0 +1,135 @@
+package dram
+
+import (
+	"bytes"
+	"testing"
+
+	"easydram/internal/clock"
+)
+
+// apa issues the back-to-back ACT(r1)-PRE-ACT(r2) many-row-activation
+// sequence (1.5 ns command slots, DDR4-1333).
+func apa(c *Chip, bank, r1, r2 int) (bool, bool) {
+	base := clock.PS(1_000_000)
+	c.Activate(bank, r1, base, 0)
+	c.Precharge(bank, base+1500)
+	return c.Activate(bank, r2, base+3000, 0)
+}
+
+func TestTripleRow(t *testing.T) {
+	if TripleRow(0b0100, 0b0010) != 0b0110 {
+		t.Fatalf("TripleRow wrong")
+	}
+}
+
+func TestBitwiseMAJComputesMajority(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ideal = true // deterministic success for the data check
+	c := newTestChip(t, cfg)
+
+	r1, r2 := 4, 2
+	r3 := TripleRow(r1, r2) // 6
+	a := bytes.Repeat([]byte{0b1100_1100}, LineBytes)
+	b := bytes.Repeat([]byte{0b1010_1010}, LineBytes)
+	ctl := bytes.Repeat([]byte{0x00}, LineBytes) // all-zero control: AND
+	c.PokeLine(Addr{Bank: 0, Row: r1, Col: 5}, a)
+	c.PokeLine(Addr{Bank: 0, Row: r2, Col: 5}, b)
+	c.PokeLine(Addr{Bank: 0, Row: r3, Col: 5}, ctl)
+
+	attempted, ok := apa(c, 0, r1, r2)
+	if !attempted || !ok {
+		t.Fatalf("many-row activation not detected: attempted=%v ok=%v", attempted, ok)
+	}
+	got := make([]byte, LineBytes)
+	c.PeekLine(Addr{Bank: 0, Row: r3, Col: 5}, got)
+	want := byte(0b1000_1000) // AND of the two operands
+	for _, v := range got {
+		if v != want {
+			t.Fatalf("MAJ result %08b, want %08b", v, want)
+		}
+	}
+	// All three rows end with the result (destructive, like Ambit).
+	c.PeekLine(Addr{Bank: 0, Row: r1, Col: 5}, got)
+	if got[0] != want {
+		t.Fatalf("operand row not overwritten with the result")
+	}
+	if c.Stats().BitwiseOps != 1 || c.Stats().BitwiseFails != 0 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestBitwiseORWithOnesControl(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ideal = true
+	c := newTestChip(t, cfg)
+	r1, r2 := 8, 1
+	r3 := TripleRow(r1, r2)
+	a := bytes.Repeat([]byte{0b1100_0000}, LineBytes)
+	b := bytes.Repeat([]byte{0b0000_0011}, LineBytes)
+	ones := bytes.Repeat([]byte{0xFF}, LineBytes)
+	c.PokeLine(Addr{Bank: 1, Row: r1, Col: 0}, a)
+	c.PokeLine(Addr{Bank: 1, Row: r2, Col: 0}, b)
+	c.PokeLine(Addr{Bank: 1, Row: r3, Col: 0}, ones)
+	if _, ok := apa(c, 1, r1, r2); !ok {
+		t.Fatalf("activation failed")
+	}
+	got := make([]byte, LineBytes)
+	c.PeekLine(Addr{Bank: 1, Row: r3, Col: 0}, got)
+	if got[0] != 0b1100_0011 {
+		t.Fatalf("OR result %08b", got[0])
+	}
+}
+
+func TestBitwiseCrossSubarrayFails(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ideal = true
+	c := newTestChip(t, cfg)
+	// r1 in subarray 0, r2 in subarray 1 (512-row subarrays).
+	attempted, ok := apa(c, 0, 4, 600)
+	if !attempted || ok {
+		t.Fatalf("cross-subarray triple must fail: attempted=%v ok=%v", attempted, ok)
+	}
+	if c.Stats().BitwiseFails != 1 {
+		t.Fatalf("failure not counted")
+	}
+}
+
+func TestBitwiseVariationGatesSuccess(t *testing.T) {
+	c := newTestChip(t, testConfig()) // non-ideal
+	okCount, n := 0, 128
+	for i := 0; i < n; i++ {
+		r1, r2 := 16+i*3, 17+i*3
+		if (16+i*3)/512 != (17+i*3)/512 || TripleRow(r1, r2)/512 != r1/512 {
+			continue
+		}
+		if _, ok := apa(c, 2, r1, r2); ok {
+			okCount++
+		}
+	}
+	if okCount == 0 {
+		t.Fatalf("no triples succeeded — variation model too pessimistic")
+	}
+	if okCount == n {
+		t.Fatalf("all triples succeeded — variation model not applied")
+	}
+}
+
+func TestRowCloneWindowStillDistinct(t *testing.T) {
+	// RowClone's 3 ns gaps must NOT trigger the bitwise path.
+	cfg := testConfig()
+	cfg.ClonableFraction = 1
+	c := newTestChip(t, cfg)
+	base := clock.PS(1_000_000)
+	c.Activate(0, 10, base, 0)
+	c.Precharge(0, base+3000)
+	cloned, ok := c.Activate(0, 11, base+6000, 0)
+	if !cloned || !ok {
+		t.Fatalf("rowclone path broken: %v %v", cloned, ok)
+	}
+	if c.Stats().BitwiseOps != 0 {
+		t.Fatalf("rowclone timing misdetected as bitwise")
+	}
+	if c.Stats().RowClones != 1 {
+		t.Fatalf("rowclone not counted")
+	}
+}

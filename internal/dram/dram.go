@@ -1,0 +1,389 @@
+// Package dram is a behavioural model of a DDR4 rank: banks, rows,
+// subarrays, open-row state, and — critically for EasyDRAM — the physical
+// consequences of command sequences that violate JEDEC timing:
+//
+//   - ACT -> (early) PRE -> (early) ACT inside one subarray performs a
+//     RowClone copy from the first to the second row when the row pair is
+//     clonable, and corrupts the destination otherwise;
+//   - RD issued before the row's minimum reliable tRCD returns corrupted
+//     data for weak cache lines.
+//
+// The model stands in for the real DDR4 module behind DRAM Bender. It is
+// deterministic: physical behaviour is a pure function of the command trace
+// and the seeded variation model.
+package dram
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/timing"
+	"easydram/internal/variation"
+)
+
+// LineBytes is the cache-line (and DRAM burst) size in bytes.
+const LineBytes = 64
+
+// Addr identifies one cache-line-sized column in the rank.
+type Addr struct {
+	Bank int
+	Row  int
+	Col  int
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("<bank %d, row %d, col %d>", a.Bank, a.Row, a.Col)
+}
+
+// Stats counts chip-level events.
+type Stats struct {
+	ACTs             int64
+	PREs             int64
+	RDs              int64
+	WRs              int64
+	REFs             int64
+	RowClones        int64
+	RowCloneFails    int64
+	BitwiseOps       int64
+	BitwiseFails     int64
+	CorruptedReads   int64
+	TimingViolations int64
+}
+
+// Config describes the modelled rank.
+type Config struct {
+	BankGroups    int
+	BanksPerGroup int
+	RowsPerBank   int
+	ColsPerRow    int // cache-line columns per row (128 => 8 KiB rows)
+	SubarrayRows  int
+	Timing        timing.Params
+	Seed          uint64
+	// TrackData disables the backing data store when false; timing-only
+	// workload runs set it false to avoid moving bytes they never check.
+	TrackData bool
+	// ClonableFraction overrides the variation model's default when > 0.
+	ClonableFraction float64
+	// Ideal removes process variation entirely: every read is reliable at
+	// any tRCD and every intra-subarray RowClone succeeds. This is how
+	// software simulators (Ramulator 2.0) model DRAM (§7.2: "All source
+	// and destination row pairs can successfully perform RowClone
+	// operations in Ramulator 2.0 simulations").
+	Ideal bool
+}
+
+// DefaultConfig mirrors the paper's module: 4 bank groups x 4 banks,
+// 32K rows x 8 KiB, DDR4-1333.
+func DefaultConfig() Config {
+	return Config{
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		RowsPerBank:   32768,
+		ColsPerRow:    128,
+		SubarrayRows:  512,
+		Timing:        timing.DDR41333(),
+		Seed:          1,
+		TrackData:     true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BankGroups <= 0 || c.BanksPerGroup <= 0 {
+		return fmt.Errorf("dram: bank organisation must be positive, got %dx%d", c.BankGroups, c.BanksPerGroup)
+	}
+	if c.RowsPerBank <= 0 || c.ColsPerRow <= 0 {
+		return fmt.Errorf("dram: row organisation must be positive, got %d rows x %d cols", c.RowsPerBank, c.ColsPerRow)
+	}
+	if c.SubarrayRows <= 0 || c.RowsPerBank%c.SubarrayRows != 0 {
+		return fmt.Errorf("dram: subarray size %d must divide rows per bank %d", c.SubarrayRows, c.RowsPerBank)
+	}
+	return c.Timing.Validate()
+}
+
+// bankState is the chip-internal state of one bank.
+type bankState struct {
+	openRow     int // -1 when precharged
+	lastActRow  int
+	lastActTime clock.PS
+	lastPreTime clock.PS
+	// senseAmpsHold reports that the last precharge happened so early that
+	// the sense amplifiers still hold the previously activated row's charge
+	// (precondition for RowClone's second activation).
+	senseAmpsHold bool
+	// preGap is the ACT->PRE spacing of the last precharge (distinguishes
+	// the many-row-activation window from RowClone's).
+	preGap clock.PS
+}
+
+// Chip is the behavioural rank model. Not safe for concurrent use; the
+// emulation engine is single-threaded by design (determinism).
+type Chip struct {
+	cfg     Config
+	geom    variation.Geometry
+	vm      *variation.Model
+	checker *timing.Checker
+	banks   []bankState
+	rows    map[uint64][]byte
+	stats   Stats
+}
+
+// New constructs a Chip.
+func New(cfg Config) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom := variation.Geometry{
+		Banks:        cfg.BankGroups * cfg.BanksPerGroup,
+		RowsPerBank:  cfg.RowsPerBank,
+		ColsPerRow:   cfg.ColsPerRow,
+		SubarrayRows: cfg.SubarrayRows,
+	}
+	var opts []variation.Option
+	if cfg.ClonableFraction > 0 {
+		opts = append(opts, variation.WithClonableFraction(cfg.ClonableFraction))
+	}
+	vm, err := variation.NewModel(geom, cfg.Seed, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("dram: %w", err)
+	}
+	banks := make([]bankState, geom.Banks)
+	for i := range banks {
+		banks[i] = bankState{openRow: -1, lastActRow: -1, lastActTime: -1 << 60, lastPreTime: -1 << 60}
+	}
+	return &Chip{
+		cfg:     cfg,
+		geom:    geom,
+		vm:      vm,
+		checker: timing.NewChecker(cfg.Timing, cfg.BankGroups, cfg.BanksPerGroup),
+		banks:   banks,
+		rows:    make(map[uint64][]byte),
+	}, nil
+}
+
+// Config returns the chip configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Geometry returns the modelled geometry.
+func (c *Chip) Geometry() variation.Geometry { return c.geom }
+
+// Variation exposes the underlying variation model (used by characterization
+// tests; the SMC must discover it by profiling, like on real silicon).
+func (c *Chip) Variation() *variation.Model { return c.vm }
+
+// Stats returns a snapshot of chip event counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// Timing returns the nominal timing parameters of the module.
+func (c *Chip) Timing() timing.Params { return c.cfg.Timing }
+
+// RowBytes reports the row size in bytes.
+func (c *Chip) RowBytes() int { return c.cfg.ColsPerRow * LineBytes }
+
+func (c *Chip) rowKey(bank, row int) uint64 {
+	return uint64(bank)<<40 | uint64(uint32(row))
+}
+
+func (c *Chip) rowData(bank, row int) []byte {
+	k := c.rowKey(bank, row)
+	d, ok := c.rows[k]
+	if !ok {
+		d = make([]byte, c.RowBytes())
+		c.rows[k] = d
+	}
+	return d
+}
+
+// rowCloneEarlyPRE is how soon after ACT a PRE must arrive for the sense
+// amps to still hold the row (interrupted restoration).
+const rowCloneEarlyPRE = 15 * clock.Nanosecond
+
+// rowCloneEarlyACT is how soon after the early PRE the second ACT must
+// arrive for charge sharing to copy the held data into the new row.
+const rowCloneEarlyACT = 10 * clock.Nanosecond
+
+// Activate issues ACT(bank,row) at absolute time t with effective tRCD rcd
+// (0 = nominal). It returns whether this activation completed a RowClone
+// sequence, and whether that clone succeeded. (Many-row activations —
+// bitwise MAJ, see bitwise.go — are detected here too and reported through
+// Stats; they also count as a "clone" attempt for the caller.)
+func (c *Chip) Activate(bank, row int, t clock.PS, rcd clock.PS) (cloned, cloneOK bool) {
+	c.boundsRow(bank, row)
+	b := &c.banks[bank]
+	viol := c.checker.Apply(timing.CmdACT, bank, t, rcd)
+	c.stats.TimingViolations += int64(len(viol))
+	c.stats.ACTs++
+
+	if attempted, ok := c.tryBitwiseMAJ(bank, row, t); attempted {
+		b.openRow = row
+		b.lastActRow = row
+		b.lastActTime = t
+		b.senseAmpsHold = false
+		c.checker.Bank(bank).OpenRow = row
+		return true, ok
+	}
+
+	if b.senseAmpsHold && t-b.lastPreTime <= rowCloneEarlyACT && row != b.lastActRow {
+		// RowClone second activation: the sense amps drive the held data
+		// into the newly opened row.
+		cloned = true
+		if c.cfg.Ideal || c.vm.Clonable(bank, b.lastActRow, row) {
+			c.stats.RowClones++
+			cloneOK = true
+			if c.cfg.TrackData {
+				copy(c.rowData(bank, row), c.rowData(bank, b.lastActRow))
+			}
+		} else {
+			c.stats.RowCloneFails++
+			if c.cfg.TrackData {
+				c.scramble(bank, row)
+			}
+		}
+	}
+
+	b.openRow = row
+	b.lastActRow = row
+	b.lastActTime = t
+	b.senseAmpsHold = false
+	c.checker.Bank(bank).OpenRow = row
+	return cloned, cloneOK
+}
+
+// Precharge issues PRE(bank) at absolute time t.
+func (c *Chip) Precharge(bank int, t clock.PS) {
+	c.boundsBank(bank)
+	b := &c.banks[bank]
+	viol := c.checker.Apply(timing.CmdPRE, bank, t, 0)
+	c.stats.TimingViolations += int64(len(viol))
+	c.stats.PREs++
+	// Early precharge interrupts restoration and leaves the sense amps
+	// holding the row's data (RowClone first half).
+	b.senseAmpsHold = b.openRow >= 0 && t-b.lastActTime <= rowCloneEarlyPRE
+	b.preGap = t - b.lastActTime
+	b.lastPreTime = t
+	b.openRow = -1
+}
+
+// Read issues RD(bank, open row, col) at absolute time t and copies the line
+// into dst (len >= LineBytes) when data tracking is on. It reports whether
+// the read returned reliable data given the effective tRCD of the open row's
+// activation.
+func (c *Chip) Read(bank, col int, t clock.PS, dst []byte) (reliable bool, err error) {
+	c.boundsBank(bank)
+	b := &c.banks[bank]
+	if b.openRow < 0 {
+		return false, fmt.Errorf("dram: RD on precharged bank %d", bank)
+	}
+	if col < 0 || col >= c.cfg.ColsPerRow {
+		return false, fmt.Errorf("dram: RD column %d out of range", col)
+	}
+	viol := c.checker.Apply(timing.CmdRD, bank, t, 0)
+	c.stats.TimingViolations += int64(len(viol))
+	c.stats.RDs++
+
+	effRCD := t - b.lastActTime
+	if nominal := c.cfg.Timing.TRCD; effRCD > nominal {
+		effRCD = nominal
+	}
+	reliable = c.cfg.Ideal || c.vm.ReadReliable(bank, b.openRow, col, effRCD)
+	if !reliable {
+		c.stats.CorruptedReads++
+	}
+	if c.cfg.TrackData && dst != nil {
+		data := c.rowData(bank, b.openRow)
+		copy(dst[:LineBytes], data[col*LineBytes:])
+		if !reliable {
+			mask := c.vm.CorruptionMask(bank, b.openRow, col)
+			v := binary.LittleEndian.Uint64(dst[:8])
+			binary.LittleEndian.PutUint64(dst[:8], v^mask)
+		}
+	}
+	return reliable, nil
+}
+
+// Write issues WR(bank, open row, col) at absolute time t, storing src when
+// data tracking is on.
+func (c *Chip) Write(bank, col int, t clock.PS, src []byte) error {
+	c.boundsBank(bank)
+	b := &c.banks[bank]
+	if b.openRow < 0 {
+		return fmt.Errorf("dram: WR on precharged bank %d", bank)
+	}
+	if col < 0 || col >= c.cfg.ColsPerRow {
+		return fmt.Errorf("dram: WR column %d out of range", col)
+	}
+	viol := c.checker.Apply(timing.CmdWR, bank, t, 0)
+	c.stats.TimingViolations += int64(len(viol))
+	c.stats.WRs++
+	if c.cfg.TrackData && src != nil {
+		data := c.rowData(bank, b.openRow)
+		copy(data[col*LineBytes:(col+1)*LineBytes], src[:LineBytes])
+	}
+	return nil
+}
+
+// Refresh issues REF at absolute time t (all banks must be precharged in
+// real DDR4; the model tolerates open banks but closes them).
+func (c *Chip) Refresh(t clock.PS) {
+	c.checker.Apply(timing.CmdREF, 0, t, 0)
+	c.stats.REFs++
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].senseAmpsHold = false
+	}
+}
+
+// OpenRow reports the open row of bank, or -1 when precharged.
+func (c *Chip) OpenRow(bank int) int {
+	c.boundsBank(bank)
+	return c.banks[bank].openRow
+}
+
+// PeekLine copies the stored contents of addr into dst without issuing any
+// command. Test/debug helper; returns false when data tracking is off.
+func (c *Chip) PeekLine(a Addr, dst []byte) bool {
+	if !c.cfg.TrackData {
+		return false
+	}
+	c.boundsRow(a.Bank, a.Row)
+	data := c.rowData(a.Bank, a.Row)
+	copy(dst[:LineBytes], data[a.Col*LineBytes:])
+	return true
+}
+
+// PokeLine stores src at addr without issuing any command. Test helper.
+func (c *Chip) PokeLine(a Addr, src []byte) bool {
+	if !c.cfg.TrackData {
+		return false
+	}
+	c.boundsRow(a.Bank, a.Row)
+	data := c.rowData(a.Bank, a.Row)
+	copy(data[a.Col*LineBytes:(a.Col+1)*LineBytes], src[:LineBytes])
+	return true
+}
+
+// scramble fills a row with deterministic garbage (failed RowClone target).
+func (c *Chip) scramble(bank, row int) {
+	data := c.rowData(bank, row)
+	h := uint64(bank)<<32 ^ uint64(row) ^ c.cfg.Seed ^ 0x5ca3b1e
+	for i := 0; i+8 <= len(data); i += 8 {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		binary.LittleEndian.PutUint64(data[i:], h)
+	}
+}
+
+func (c *Chip) boundsBank(bank int) {
+	if bank < 0 || bank >= len(c.banks) {
+		panic(fmt.Sprintf("dram: bank %d out of range [0,%d)", bank, len(c.banks)))
+	}
+}
+
+func (c *Chip) boundsRow(bank, row int) {
+	c.boundsBank(bank)
+	if row < 0 || row >= c.cfg.RowsPerBank {
+		panic(fmt.Sprintf("dram: row %d out of range [0,%d)", row, c.cfg.RowsPerBank))
+	}
+}

@@ -1,0 +1,274 @@
+package dram
+
+import (
+	"bytes"
+	"testing"
+
+	"easydram/internal/clock"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RowsPerBank = 4096
+	return cfg
+}
+
+func newTestChip(t *testing.T, cfg Config) *Chip {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := testConfig()
+	bad.SubarrayRows = 500 // does not divide rows per bank
+	if _, err := New(bad); err == nil {
+		t.Fatalf("expected subarray validation error")
+	}
+	bad = testConfig()
+	bad.BankGroups = 0
+	if _, err := New(bad); err == nil {
+		t.Fatalf("expected bank validation error")
+	}
+	bad = testConfig()
+	bad.Timing.TRCD = 0
+	if _, err := New(bad); err == nil {
+		t.Fatalf("expected timing validation error")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	p := c.Timing()
+	var tnow clock.PS
+
+	want := bytes.Repeat([]byte{0x5A}, LineBytes)
+	c.Activate(2, 100, tnow, 0)
+	tnow += p.TRCD
+	if err := c.Write(2, 7, tnow, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	tnow += p.TCWL + p.TBL + p.TWR
+	c.Precharge(2, tnow)
+	tnow += p.TRP
+
+	c.Activate(2, 100, tnow, 0)
+	tnow += p.TRCD
+	got := make([]byte, LineBytes)
+	reliable, err := c.Read(2, 7, tnow, got)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reliable {
+		t.Fatalf("nominal-timing read must be reliable")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %x, want %x", got[:8], want[:8])
+	}
+}
+
+func TestReadOnPrechargedBankFails(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	if _, err := c.Read(0, 0, 0, nil); err == nil {
+		t.Fatalf("RD on precharged bank must error")
+	}
+	if err := c.Write(0, 0, 0, nil); err == nil {
+		t.Fatalf("WR on precharged bank must error")
+	}
+}
+
+func TestColumnBounds(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	c.Activate(0, 0, 0, 0)
+	if _, err := c.Read(0, 4096, 20000, nil); err == nil {
+		t.Fatalf("out-of-range column must error")
+	}
+}
+
+func TestRowCloneIntraSubarray(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClonableFraction = 1 // guarantee success for this test
+	c := newTestChip(t, cfg)
+	p := c.Timing()
+
+	src := Addr{Bank: 1, Row: 10, Col: 3}
+	want := bytes.Repeat([]byte{0xC3}, LineBytes)
+	c.PokeLine(src, want)
+
+	// ACT(src) -> early PRE -> early ACT(dst).
+	var tnow clock.PS
+	c.Activate(1, 10, tnow, 0)
+	tnow += 3 * clock.Nanosecond
+	c.Precharge(1, tnow)
+	tnow += 3 * clock.Nanosecond
+	cloned, ok := c.Activate(1, 11, tnow, 0)
+	if !cloned || !ok {
+		t.Fatalf("intra-subarray quick ACT-PRE-ACT should clone (cloned=%v ok=%v)", cloned, ok)
+	}
+	got := make([]byte, LineBytes)
+	c.PeekLine(Addr{Bank: 1, Row: 11, Col: 3}, got)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("clone data mismatch")
+	}
+	if c.Stats().RowClones != 1 {
+		t.Fatalf("stats.RowClones = %d", c.Stats().RowClones)
+	}
+	_ = p
+}
+
+func TestRowCloneRequiresQuickTiming(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	p := c.Timing()
+	var tnow clock.PS
+	c.Activate(1, 10, tnow, 0)
+	tnow += p.TRAS // full restoration: sense amps released
+	c.Precharge(1, tnow)
+	tnow += p.TRP
+	cloned, _ := c.Activate(1, 11, tnow, 0)
+	if cloned {
+		t.Fatalf("standard-timing ACT-PRE-ACT must not clone")
+	}
+}
+
+func TestRowCloneFailureScrambles(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClonableFraction = 0.001 // rounds to zero pairs: force failure
+	c := newTestChip(t, cfg)
+
+	src := Addr{Bank: 0, Row: 20, Col: 0}
+	dst := Addr{Bank: 0, Row: 21, Col: 0}
+	pattern := bytes.Repeat([]byte{0x77}, LineBytes)
+	c.PokeLine(src, pattern)
+	c.PokeLine(dst, pattern)
+
+	var tnow clock.PS
+	c.Activate(0, 20, tnow, 0)
+	c.Precharge(0, tnow+3000)
+	cloned, ok := c.Activate(0, 21, tnow+6000, 0)
+	if !cloned || ok {
+		t.Fatalf("expected failed clone attempt (cloned=%v ok=%v)", cloned, ok)
+	}
+	got := make([]byte, LineBytes)
+	c.PeekLine(dst, got)
+	if bytes.Equal(got, pattern) {
+		t.Fatalf("failed clone must corrupt the destination row")
+	}
+	if c.Stats().RowCloneFails != 1 {
+		t.Fatalf("stats.RowCloneFails = %d", c.Stats().RowCloneFails)
+	}
+}
+
+func TestReducedTRCDReadCorrupts(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	vm := c.Variation()
+
+	// Find a weak line.
+	for bank := 0; bank < 16; bank++ {
+		for row := 0; row < 4096; row++ {
+			if vm.Strong(bank, row) {
+				continue
+			}
+			rowV := vm.MinTRCDRow(bank, row)
+			for col := 0; col < 128; col++ {
+				if vm.MinTRCDLine(bank, row, col) != rowV {
+					continue
+				}
+				want := bytes.Repeat([]byte{0xAB}, LineBytes)
+				c.PokeLine(Addr{Bank: bank, Row: row, Col: col}, want)
+				var tnow clock.PS
+				c.Activate(bank, row, tnow, rowV-500)
+				got := make([]byte, LineBytes)
+				reliable, err := c.Read(bank, col, tnow+rowV-500, got)
+				if err != nil {
+					t.Fatalf("Read: %v", err)
+				}
+				if reliable {
+					t.Fatalf("read below min tRCD must be unreliable")
+				}
+				if bytes.Equal(got, want) {
+					t.Fatalf("unreliable read must corrupt data")
+				}
+				if c.Stats().CorruptedReads != 1 {
+					t.Fatalf("stats.CorruptedReads = %d", c.Stats().CorruptedReads)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("no weak line found")
+}
+
+func TestRefreshClosesBanks(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	c.Activate(3, 9, 0, 0)
+	if c.OpenRow(3) != 9 {
+		t.Fatalf("open row not tracked")
+	}
+	c.Refresh(100000)
+	if c.OpenRow(3) != -1 {
+		t.Fatalf("refresh must close banks")
+	}
+	if c.Stats().REFs != 1 {
+		t.Fatalf("stats.REFs = %d", c.Stats().REFs)
+	}
+}
+
+func TestTrackDataOff(t *testing.T) {
+	cfg := testConfig()
+	cfg.TrackData = false
+	c := newTestChip(t, cfg)
+	if c.PokeLine(Addr{}, make([]byte, LineBytes)) {
+		t.Fatalf("PokeLine must report false with data tracking off")
+	}
+	c.Activate(0, 0, 0, 0)
+	buf := make([]byte, LineBytes)
+	if _, err := c.Read(0, 0, 20000, buf); err != nil {
+		t.Fatalf("timing-only read failed: %v", err)
+	}
+}
+
+func TestIdealChipNeverCorrupts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Ideal = true
+	c := newTestChip(t, cfg)
+	c.Activate(0, 0, 0, 2000)
+	reliable, err := c.Read(0, 0, 2000, nil)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reliable {
+		t.Fatalf("ideal chip must never corrupt reads")
+	}
+	// Ideal clones always succeed, even for normally unclonable pairs.
+	c.Precharge(0, 5000)
+	if _, ok := c.Activate(0, 1, 8000, 0); !ok {
+		t.Fatalf("ideal chip clones must succeed")
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for out-of-range bank")
+		}
+	}()
+	c.Activate(99, 0, 0, 0)
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{Bank: 1, Row: 2, Col: 3}
+	if a.String() != "<bank 1, row 2, col 3>" {
+		t.Fatalf("Addr.String() = %q", a.String())
+	}
+}
+
+func TestRowBytes(t *testing.T) {
+	c := newTestChip(t, testConfig())
+	if c.RowBytes() != 8192 {
+		t.Fatalf("RowBytes = %d, want 8192", c.RowBytes())
+	}
+}

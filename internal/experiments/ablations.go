@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/core"
+	"easydram/internal/smc"
+	"easydram/internal/stats"
+	"easydram/internal/timing"
+	"easydram/internal/workload"
+)
+
+// Ablations beyond the paper's evaluation (DESIGN.md §4.5): each sweeps one
+// design axis of the software-defined memory controller or the modeled
+// system and reports execution time on a fixed workload mix, demonstrating
+// the configurability the paper's Table 1 claims for EasyDRAM.
+
+// AblationResult holds one swept axis.
+type AblationResult struct {
+	Axis   string
+	Labels []string
+	// Cycles is the execution time per configuration.
+	Cycles []float64
+	// Relative is Cycles normalised to the first configuration.
+	Relative []float64
+}
+
+// Table renders the sweep.
+func (r *AblationResult) Table() string {
+	t := stats.Table{
+		Title:  fmt.Sprintf("Ablation: %s", r.Axis),
+		Header: []string{"configuration", "cycles", "vs first"},
+	}
+	for i := range r.Labels {
+		t.AddRow(r.Labels[i],
+			fmt.Sprintf("%.0f", r.Cycles[i]),
+			fmt.Sprintf("%.3fx", r.Relative[i]))
+	}
+	return t.Render()
+}
+
+func (r *AblationResult) finish() {
+	base := r.Cycles[0]
+	for _, c := range r.Cycles {
+		r.Relative = append(r.Relative, c/base)
+	}
+}
+
+// ablationRun executes k on cfg and records the point.
+func (r *AblationResult) ablationRun(label string, cfg core.Config, k workload.Kernel, opt Options) error {
+	res, err := runKernel(cfg, k, opt.MaxProcCycles)
+	if err != nil {
+		return err
+	}
+	r.Labels = append(r.Labels, label)
+	r.Cycles = append(r.Cycles, float64(res.ProcCycles))
+	return nil
+}
+
+// AblationScheduler compares the bundled scheduling policies on a
+// read/writeback mix where read priority matters.
+func AblationScheduler(opt Options) (*AblationResult, error) {
+	r := &AblationResult{Axis: "scheduling policy (reads vs writeback backlog)"}
+	k := schedulerStress()
+	for _, s := range []smc.Scheduler{smc.FRFCFS{}, smc.FCFS{}, smc.NewBLISS()} {
+		cfg := core.TimeScalingA57()
+		cfg.DRAM.Seed = opt.Seed
+		cfg.Scheduler = s
+		if err := r.ablationRun(s.Name(), cfg, k, opt); err != nil {
+			return nil, err
+		}
+	}
+	r.finish()
+	return r, nil
+}
+
+// schedulerStress mixes a dependent-load chain with store bursts whose
+// evictions flood the controller with writebacks.
+func schedulerStress() workload.Kernel {
+	return workload.Kernel{Name: "scheduler-stress", Body: func(g *workload.Gen) {
+		for i := 0; i < 1024; i++ {
+			for j := 0; j < 8; j++ {
+				g.Store(uint64(256<<20) + uint64(i*8+j)*4096)
+			}
+			g.LoadDep(uint64(i) * 8192)
+		}
+	}}
+}
+
+// AblationPagePolicy compares open-page and closed-page row management on
+// row-friendly (streaming) versus row-hostile (random) traffic.
+func AblationPagePolicy(opt Options) (*AblationResult, error) {
+	r := &AblationResult{Axis: "row-buffer policy (stream then random)"}
+	mix := workload.Kernel{Name: "policy-mix", Body: func(g *workload.Gen) {
+		workload.StreamTriad(16384).Body(g)
+		workload.RandomAccess(64<<20, 4096).Body(g)
+	}}
+	for _, p := range []struct {
+		name   string
+		policy smc.PagePolicy
+	}{{"open-page", smc.OpenPage}, {"closed-page", smc.ClosedPage}} {
+		cfg := core.TimeScalingA57()
+		cfg.DRAM.Seed = opt.Seed
+		cfg.Policy = p.policy
+		if err := r.ablationRun(p.name, cfg, mix, opt); err != nil {
+			return nil, err
+		}
+	}
+	r.finish()
+	return r, nil
+}
+
+// AblationPrefetcher measures the L2 next-line prefetcher on a streaming
+// kernel (helps) and a pointer chase (wastes bandwidth).
+func AblationPrefetcher(opt Options) (*AblationResult, error) {
+	r := &AblationResult{Axis: "L2 next-line prefetcher (stream triad)"}
+	k := workload.StreamTriad(65536)
+	for _, pf := range []bool{false, true} {
+		cfg := core.TimeScalingA57()
+		cfg.DRAM.Seed = opt.Seed
+		cfg.CPU.NextLinePrefetch = pf
+		label := "off"
+		if pf {
+			label = "next-line"
+		}
+		if err := r.ablationRun(label, cfg, k, opt); err != nil {
+			return nil, err
+		}
+	}
+	r.finish()
+	return r, nil
+}
+
+// AblationDDR5 swaps the module for DDR5-4800-class timings (double the
+// refresh rate, longer bursts) and measures a memory-intensive kernel.
+func AblationDDR5(opt Options) (*AblationResult, error) {
+	r := &AblationResult{Axis: "DRAM generation (gemver)"}
+	k := workload.PBGemver(260)
+	for _, gen := range []struct {
+		name string
+		t    timing.Params
+	}{{"ddr4-1333", timing.DDR41333()}, {"ddr4-2400", timing.DDR42400()}, {"ddr5-4800", timing.DDR54800()}} {
+		cfg := core.TimeScalingA57()
+		cfg.DRAM.Seed = opt.Seed
+		cfg.DRAM.Timing = gen.t
+		if err := r.ablationRun(gen.name, cfg, k, opt); err != nil {
+			return nil, err
+		}
+	}
+	r.finish()
+	return r, nil
+}
+
+// Ablations runs every sweep.
+func Ablations(opt Options) ([]*AblationResult, error) {
+	runs := []func(Options) (*AblationResult, error){
+		AblationScheduler, AblationPagePolicy, AblationPrefetcher, AblationDDR5,
+	}
+	var out []*AblationResult
+	for _, f := range runs {
+		r, err := f(opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/alloc"
+	"easydram/internal/core"
+	"easydram/internal/power"
+	"easydram/internal/stats"
+	"easydram/internal/techniques"
+	"easydram/internal/workload"
+)
+
+// EnergyResult extends the paper's evaluation with RowClone's energy story
+// (the original RowClone paper's second headline): DRAM energy of a bulk
+// copy with CPU loads/stores versus in-DRAM RowClone, measured from the
+// chip model's actual command counts.
+type EnergyResult struct {
+	Sizes []int
+	// CPUnJ / RowClonenJ are measured DRAM energies per size.
+	CPUnJ      []float64
+	RowClonenJ []float64
+	// Ratio is the energy advantage of RowClone.
+	Ratio []float64
+}
+
+// Energy measures DRAM energy for the Copy workload across sizes on the
+// time-scaled system.
+func Energy(opt Options) (*EnergyResult, error) {
+	res := &EnergyResult{Sizes: opt.Sizes}
+	cfg := core.TimeScalingA57()
+	cfg.DRAM.Seed = opt.Seed
+	calc, err := power.NewCalculator(power.MicronEDY4016A(), cfg.DRAM.Timing)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: energy: %w", err)
+	}
+	for _, size := range opt.Sizes {
+		planSys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a, err := alloc.New(planSys.Mapper(), cfg.DRAM.SubarrayRows, cfg.DRAM.RowsPerBank)
+		if err != nil {
+			return nil, err
+		}
+		src, err := a.AllocContiguous(a.RowsFor(size))
+		if err != nil {
+			return nil, err
+		}
+		plan, err := techniques.PlanCopy(a, src, size, techniques.SystemTester(planSys, opt.Trials), false)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := a.AllocContiguous(a.RowsFor(size))
+		if err != nil {
+			return nil, err
+		}
+
+		base, err := runKernel(cfg, workload.CopyBench(src, dst, size, false), opt.MaxProcCycles)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := runKernel(cfg, plan.Kernel(), opt.MaxProcCycles)
+		if err != nil {
+			return nil, err
+		}
+		eBase := calc.FromStats(base.Chip, base.EmulatedTime).Total()
+		eRC := calc.FromStats(rc.Chip, rc.EmulatedTime).Total()
+		res.CPUnJ = append(res.CPUnJ, eBase)
+		res.RowClonenJ = append(res.RowClonenJ, eRC)
+		ratio := 0.0
+		if eRC > 0 {
+			ratio = eBase / eRC
+		}
+		res.Ratio = append(res.Ratio, ratio)
+	}
+	return res, nil
+}
+
+// Table renders the energy comparison.
+func (r *EnergyResult) Table() string {
+	t := stats.Table{
+		Title:  "DRAM energy: CPU copy vs RowClone (measured from command counts)",
+		Header: []string{"size", "CPU copy (nJ)", "RowClone (nJ)", "advantage"},
+	}
+	for i, s := range r.Sizes {
+		t.AddRow(stats.FormatBytes(s),
+			fmt.Sprintf("%.0f", r.CPUnJ[i]),
+			fmt.Sprintf("%.0f", r.RowClonenJ[i]),
+			fmt.Sprintf("%.1fx", r.Ratio[i]))
+	}
+	return t.Render()
+}

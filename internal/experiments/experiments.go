@@ -1,0 +1,90 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§6-§8). Each runner assembles the systems it needs,
+// executes the workloads, and returns both raw numbers and a rendered
+// text table, so the cmd/ tools and the benchmark harness share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/core"
+	"easydram/internal/workload"
+)
+
+// Options tunes experiment scale. Default() reproduces the paper's sweep
+// points; Quick() shrinks everything for unit tests.
+type Options struct {
+	// Sizes are the Copy/Init sweep points in bytes (Figures 10, 11).
+	Sizes []int
+	// KernelSize selects PolyBench dimensions (Figures 13, 14, §6).
+	KernelSize workload.SizeClass
+	// LatSizesKiB are the lmbench working-set points (Figure 8).
+	LatSizesKiB []int
+	// LatAccesses is the measured access count per lmbench point.
+	LatAccesses int
+	// HeatRows is the per-bank row count profiled for Figure 12.
+	HeatRows int
+	// Trials is the clonability test repeat count (§7.1).
+	Trials int
+	// FPRate is the Bloom filter's target false-positive rate (§8.2).
+	FPRate float64
+	// Seed drives the DRAM variation model.
+	Seed uint64
+	// MaxProcCycles aborts runaway runs.
+	MaxProcCycles clock.Cycles
+}
+
+// Default returns the paper-scale options.
+func Default() Options {
+	return Options{
+		Sizes: []int{
+			8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10,
+			512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20,
+		},
+		KernelSize:    workload.Eval,
+		LatSizesKiB:   []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+		LatAccesses:   20000,
+		HeatRows:      4096,
+		Trials:        3,
+		FPRate:        0.001,
+		Seed:          1,
+		MaxProcCycles: 1 << 44,
+	}
+}
+
+// Quick returns unit-test-scale options.
+func Quick() Options {
+	o := Default()
+	o.Sizes = []int{8 << 10, 32 << 10, 128 << 10}
+	o.KernelSize = workload.Tiny
+	o.LatSizesKiB = []int{4, 64, 2048}
+	o.LatAccesses = 2000
+	o.HeatRows = 192
+	return o
+}
+
+// runKernel executes one kernel on a fresh system built from cfg.
+func runKernel(cfg core.Config, k workload.Kernel, maxCycles clock.Cycles) (core.Result, error) {
+	if maxCycles > 0 {
+		cfg.MaxProcCycles = maxCycles
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: %s: %w", k.Name, err)
+	}
+	res, err := sys.Run(k.Stream())
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: %s: %w", k.Name, err)
+	}
+	return res, nil
+}
+
+// Config names used across experiment outputs (the paper's legend).
+const (
+	NameNoTS      = "EasyDRAM - No Time Scaling"
+	NameTS        = "EasyDRAM - Time Scaling"
+	NameRamulator = "Ramulator 2.0"
+	NameCortex    = "Cortex A57 (modeled)"
+)

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"easydram/internal/workload"
+)
+
+// The tests below run each experiment at Quick scale and assert the
+// paper-level *shape* of the results: who wins, which orderings hold, and
+// which regimes appear. Absolute paper numbers are asserted only loosely
+// (they depend on the authors' testbed).
+
+func TestRowCloneNoFlushShape(t *testing.T) {
+	opt := Quick()
+	opt.Sizes = []int{64 << 10, 512 << 10}
+	res, err := RowClone(opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Sizes {
+		noTS := res.Copy[NameNoTS][i]
+		ts := res.Copy[NameTS][i]
+		if noTS < 5*ts {
+			t.Errorf("size %d: NoTS copy speedup %.1fx should dwarf TS %.1fx (paper: ~20x skew)",
+				res.Sizes[i], noTS, ts)
+		}
+		if ts < 2 {
+			t.Errorf("size %d: TS copy speedup %.1fx — RowClone must still win", res.Sizes[i], ts)
+		}
+		if res.Init[NameTS][i] >= res.Copy[NameTS][i] {
+			t.Errorf("size %d: init speedup %.1fx should trail copy %.1fx",
+				res.Sizes[i], res.Init[NameTS][i], res.Copy[NameTS][i])
+		}
+	}
+	// Copy plans find clonable destinations: essentially no fallback.
+	for i, fb := range res.CopyFallback {
+		if fb > 0.1 {
+			t.Errorf("copy fallback %.2f at size %d", fb, res.Sizes[i])
+		}
+	}
+	if !strings.Contains(res.Table(), "No Flush") {
+		t.Fatalf("table missing setting name")
+	}
+}
+
+func TestRowCloneCLFLUSHShape(t *testing.T) {
+	opt := Quick()
+	opt.Sizes = []int{32 << 10, 1 << 20}
+	res, err := RowClone(opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFlush, err := RowClone(Options{
+		Sizes: opt.Sizes, Trials: opt.Trials, Seed: opt.Seed,
+		MaxProcCycles: opt.MaxProcCycles, FPRate: opt.FPRate,
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Sizes {
+		// Coherence flushes must cost: CLFLUSH speedups trail No Flush.
+		if res.Copy[NameTS][i] >= noFlush.Copy[NameTS][i] {
+			t.Errorf("size %d: CLFLUSH copy %.1fx should trail No Flush %.1fx",
+				res.Sizes[i], res.Copy[NameTS][i], noFlush.Copy[NameTS][i])
+		}
+	}
+	// Small-size init degrades under CLFLUSH (paper: <=256 KiB with TS).
+	if res.Init[NameTS][0] >= 1.5 {
+		t.Errorf("small CLFLUSH init speedup %.2fx: expected heavy degradation", res.Init[NameTS][0])
+	}
+	// Benefits grow with size (paper observation four).
+	if res.Copy[NameTS][1] <= res.Copy[NameTS][0] {
+		t.Errorf("CLFLUSH copy speedup should grow with size: %.2f -> %.2f",
+			res.Copy[NameTS][0], res.Copy[NameTS][1])
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	opt := Quick()
+	opt.LatSizesKiB = []int{4, 64, 4096}
+	res, err := Figure8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Curves[NameTS]
+	noTS := res.Curves[NameNoTS]
+	cortex := res.Curves[NameCortex]
+
+	// L1 region: all systems identical.
+	if ts[0] != cortex[0] {
+		t.Errorf("L1 latencies differ: ts=%.1f cortex=%.1f", ts[0], cortex[0])
+	}
+	// Memory region: NoTS reports far fewer cycles than the modeled real
+	// system (the paper's headline observation for Figure 8).
+	if noTS[2] >= cortex[2]/2 {
+		t.Errorf("NoTS memory plateau %.1f should be well below the real system's %.1f", noTS[2], cortex[2])
+	}
+	// Time scaling tracks the real system closely.
+	diff := (ts[2] - cortex[2]) / cortex[2]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05 {
+		t.Errorf("TS plateau %.1f deviates %.1f%% from the modeled system %.1f", ts[2], 100*diff, cortex[2])
+	}
+	// Plateaus are ordered: L1 < L2 < memory.
+	if !(ts[0] < ts[1] && ts[1] < ts[2]) {
+		t.Errorf("latency plateaus not ordered: %v", ts)
+	}
+}
+
+func TestValidationUnderOnePercent(t *testing.T) {
+	opt := Quick()
+	res, err := Validation(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 29 { // 28 PolyBench + lmbench
+		t.Fatalf("validated %d workloads, want 29", len(res.Names))
+	}
+	if res.MaxPct > 1.0 {
+		t.Fatalf("max validation error %.3f%% exceeds the paper's 1%% bound", res.MaxPct)
+	}
+	if res.AvgPct > 0.1 {
+		t.Fatalf("avg validation error %.3f%% exceeds the paper's 0.1%% bound", res.AvgPct)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	opt := Quick()
+	opt.HeatRows = 384
+	res, err := Figure12(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Banks != 2 || len(res.MinTRCDns) != 2 {
+		t.Fatalf("banks = %d", res.Banks)
+	}
+	// All rows operate below nominal (paper observation one).
+	for b := range res.MinTRCDns {
+		for r, v := range res.MinTRCDns[b] {
+			if v >= res.NominalNs {
+				t.Fatalf("bank %d row %d at nominal %.1f ns — all rows should beat nominal", b, r, v)
+			}
+		}
+	}
+	if res.StrongFraction <= 0.5 || res.StrongFraction >= 1 {
+		t.Fatalf("strong fraction %.2f implausible", res.StrongFraction)
+	}
+	if !strings.Contains(res.Heatmap(), "strong rows") {
+		t.Fatalf("heatmap missing summary")
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	opt := Quick()
+	opt.KernelSize = workload.Small
+	res, err := Figure13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 11 {
+		t.Fatalf("evaluated %d workloads, want 11", len(res.Names))
+	}
+	for i, n := range res.Names {
+		for _, cfg := range []string{NameTS, NameRamulator} {
+			s := res.Speedup[cfg][i]
+			if s < 0.97 || s > 1.25 {
+				t.Errorf("%s/%s speedup %.3f outside the plausible band", cfg, n, s)
+			}
+		}
+	}
+	// durbin is cache-resident: essentially no benefit.
+	last := len(res.Names) - 1
+	if res.Names[last] != "durbin" {
+		t.Fatalf("last workload = %s", res.Names[last])
+	}
+	if res.Speedup[NameTS][last] > 1.01 {
+		t.Errorf("durbin speedup %.4f should be negligible", res.Speedup[NameTS][last])
+	}
+	if res.MPKI[last] > 1 {
+		t.Errorf("durbin MPKI %.2f should be tiny", res.MPKI[last])
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	opt := Quick()
+	opt.KernelSize = workload.Small
+	res, err := Figure13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.Names {
+		e, m := res.SimSpeedMHz[NameTS][i], res.SimSpeedMHz[NameRamulator][i]
+		if e <= m {
+			t.Errorf("%s: EasyDRAM %.2f MHz should beat Ramulator %.2f MHz", n, e, m)
+		}
+	}
+	if !strings.Contains(res.SpeedTable(), "geomean") {
+		t.Fatalf("speed table missing summary")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	res, err := Figure2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Platforms) != 4 {
+		t.Fatalf("platforms = %d", len(res.Platforms))
+	}
+	real, rtl, smc, ts := res.LatencyNs[0], res.LatencyNs[1], res.LatencyNs[2], res.LatencyNs[3]
+	// The raw software MC is an order of magnitude slower than an RTL MC.
+	if smc < 5*rtl {
+		t.Errorf("software MC %.0f ns should dwarf RTL MC %.0f ns", smc, rtl)
+	}
+	// Time scaling restores the real system's latency.
+	diff := (ts - real) / real
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02 {
+		t.Errorf("TS latency %.1f ns deviates from real %.1f ns", ts, real)
+	}
+	// The DRAM-array component is identical everywhere (the paper's "Main
+	// Memory bar stays the same length").
+	for i := 1; i < 4; i++ {
+		if res.MainMemoryNs[i] != res.MainMemoryNs[0] {
+			t.Errorf("DRAM component differs across platforms")
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredCyclesPerSec < 1e6 || res.MeasuredCyclesPerSec > 100e6 {
+		t.Fatalf("measured speed %.1fM cycles/s outside Table 1's EasyDRAM class (~10M)",
+			res.MeasuredCyclesPerSec/1e6)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "EasyDRAM (this work)") || !strings.Contains(out, "measured") {
+		t.Fatalf("table missing EasyDRAM row:\n%s", out)
+	}
+}
+
+// TestEnergyShape pins RowClone's energy headline: in-DRAM copy moves no
+// data over the bus, so its DRAM energy is far below the CPU baseline's.
+func TestEnergyShape(t *testing.T) {
+	opt := Quick()
+	opt.Sizes = []int{256 << 10}
+	res, err := Energy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio[0] < 3 {
+		t.Fatalf("RowClone energy advantage %.1fx implausibly low", res.Ratio[0])
+	}
+	if !strings.Contains(res.Table(), "advantage") {
+		t.Fatalf("table malformed")
+	}
+}
+
+// TestAblations asserts the direction of each design-axis sweep.
+func TestAblations(t *testing.T) {
+	opt := Quick()
+	t.Run("scheduler", func(t *testing.T) {
+		r, err := AblationScheduler(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FCFS (index 1) must trail FR-FCFS (index 0) on the stress mix.
+		if r.Relative[1] <= 1.0 {
+			t.Errorf("FCFS %.3fx should be slower than FR-FCFS", r.Relative[1])
+		}
+	})
+	t.Run("prefetcher", func(t *testing.T) {
+		r, err := AblationPrefetcher(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The next-line prefetcher must speed up streaming.
+		if r.Relative[1] >= 1.0 {
+			t.Errorf("prefetcher %.3fx should accelerate a stream", r.Relative[1])
+		}
+	})
+	t.Run("pagepolicy", func(t *testing.T) {
+		r, err := AblationPagePolicy(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Labels) != 2 || r.Cycles[0] <= 0 || r.Cycles[1] <= 0 {
+			t.Fatalf("sweep malformed: %+v", r)
+		}
+	})
+	t.Run("ddr5", func(t *testing.T) {
+		r, err := AblationDDR5(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Labels) != 3 {
+			t.Fatalf("sweep malformed: %+v", r)
+		}
+		if !strings.Contains(r.Table(), "ddr5-4800") {
+			t.Fatalf("table missing DDR5 row")
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/core"
+	"easydram/internal/cpu"
+	"easydram/internal/stats"
+	"easydram/internal/workload"
+)
+
+// LatencyProfileResult holds Figure 8 data: average processor cycles per
+// load instruction for increasing lmbench working-set sizes.
+type LatencyProfileResult struct {
+	SizesKiB []int
+	// Curves map configuration name -> cycles-per-load aligned with sizes.
+	Curves map[string][]float64
+}
+
+// cortexA57Reference is the stand-in for the paper's real Jetson Nano
+// measurement: the same A57 core model simulated directly at 1.43 GHz with
+// a hardware memory controller (no FPGA artifacts to hide). The time-scaled
+// system is supposed to approximate this curve; the non-scaled one is not.
+func cortexA57Reference() core.Config {
+	cfg := core.Reference1GHz()
+	cfg.CPU = cpu.CortexA57()
+	cfg.ProcPhys = cfg.CPU.Clock
+	return cfg
+}
+
+// Figure8 sweeps the lmbench pointer chase over the three systems.
+func Figure8(opt Options) (*LatencyProfileResult, error) {
+	res := &LatencyProfileResult{
+		SizesKiB: opt.LatSizesKiB,
+		Curves:   make(map[string][]float64),
+	}
+	configs := []rcConfig{
+		{NameNoTS, core.NoTimeScaling()},
+		{NameTS, core.TimeScalingA57()},
+		{NameCortex, cortexA57Reference()},
+	}
+	for _, c := range configs {
+		for _, kib := range opt.LatSizesKiB {
+			cfg := c.cfg
+			cfg.DRAM.Seed = opt.Seed
+			k := workload.LatMemRd(kib<<10, opt.LatAccesses)
+			r, err := runKernel(cfg, k, opt.MaxProcCycles)
+			if err != nil {
+				return nil, err
+			}
+			cycles := float64(r.Window()) / float64(opt.LatAccesses)
+			res.Curves[c.name] = append(res.Curves[c.name], cycles)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the latency profile.
+func (r *LatencyProfileResult) Table() string {
+	xs := make([]string, len(r.SizesKiB))
+	for i, s := range r.SizesKiB {
+		xs[i] = fmt.Sprintf("%dKiB", s)
+	}
+	order := []string{NameNoTS, NameTS, NameCortex}
+	var series []stats.Series
+	for _, n := range order {
+		series = append(series, stats.Series{Name: n, Y: r.Curves[n]})
+	}
+	return stats.RenderSeries("lmbench memory read latency (cycles per load)", "size", xs, series)
+}
+
+// PlateauCycles reports the main-memory plateau (the largest size's value)
+// for the named curve.
+func (r *LatencyProfileResult) PlateauCycles(name string) float64 {
+	ys := r.Curves[name]
+	if len(ys) == 0 {
+		return 0
+	}
+	return ys[len(ys)-1]
+}
+
+// ValidationResult holds the §6 time-scaling validation data.
+type ValidationResult struct {
+	Names     []string
+	TSCycles  []clock.Cycles
+	RefCycles []clock.Cycles
+	ErrorPct  []float64
+	AvgPct    float64
+	MaxPct    float64
+}
+
+// Validation compares the time-scaled 100 MHz -> 1 GHz system against the
+// directly simulated 1 GHz reference across the 28 PolyBench kernels plus
+// the lmbench latency benchmark (§6).
+func Validation(opt Options) (*ValidationResult, error) {
+	kernels := workload.ValidationSuite(opt.KernelSize)
+	kernels = append(kernels, workload.LatMemRd(1<<20, opt.LatAccesses))
+	res := &ValidationResult{}
+	for _, k := range kernels {
+		tsCfg := core.TimeScaling1GHz()
+		tsCfg.DRAM.Seed = opt.Seed
+		refCfg := core.Reference1GHz()
+		refCfg.DRAM.Seed = opt.Seed
+
+		ts, err := runKernel(tsCfg, k, opt.MaxProcCycles)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := runKernel(refCfg, k, opt.MaxProcCycles)
+		if err != nil {
+			return nil, err
+		}
+		if ref.ProcCycles == 0 {
+			return nil, fmt.Errorf("experiments: validation: %s ran for zero cycles", k.Name)
+		}
+		errPct := 100 * float64(ts.ProcCycles-ref.ProcCycles) / float64(ref.ProcCycles)
+		if errPct < 0 {
+			errPct = -errPct
+		}
+		res.Names = append(res.Names, k.Name)
+		res.TSCycles = append(res.TSCycles, ts.ProcCycles)
+		res.RefCycles = append(res.RefCycles, ref.ProcCycles)
+		res.ErrorPct = append(res.ErrorPct, errPct)
+	}
+	res.AvgPct = stats.Mean(res.ErrorPct)
+	res.MaxPct = stats.Max(res.ErrorPct)
+	return res, nil
+}
+
+// Table renders the validation summary.
+func (r *ValidationResult) Table() string {
+	t := stats.Table{
+		Title:  "Time-scaling validation: 100 MHz processor scaled to 1 GHz vs 1 GHz reference",
+		Header: []string{"workload", "scaled cycles", "reference cycles", "error %"},
+	}
+	for i, n := range r.Names {
+		t.AddRow(n,
+			fmt.Sprintf("%d", r.TSCycles[i]),
+			fmt.Sprintf("%d", r.RefCycles[i]),
+			fmt.Sprintf("%.4f", r.ErrorPct[i]))
+	}
+	t.AddRow("AVG", "", "", fmt.Sprintf("%.4f", r.AvgPct))
+	t.AddRow("MAX", "", "", fmt.Sprintf("%.4f", r.MaxPct))
+	return t.Render()
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/alloc"
+	"easydram/internal/core"
+	"easydram/internal/ramulator"
+	"easydram/internal/stats"
+	"easydram/internal/techniques"
+	"easydram/internal/workload"
+)
+
+// RowCloneResult holds Figure 10 (NoFlush) or Figure 11 (CLFLUSH) data:
+// execution-time speedup of the RowClone variant over the CPU baseline,
+// per configuration and data size.
+type RowCloneResult struct {
+	Flush bool
+	Sizes []int
+	// Copy and Init map configuration name -> speedups aligned with Sizes.
+	Copy map[string][]float64
+	Init map[string][]float64
+	// CopyFallback / InitFallback are the plan fallback fractions on the
+	// real (non-ideal) chip model.
+	CopyFallback []float64
+	InitFallback []float64
+}
+
+// rcConfig describes one evaluated platform.
+type rcConfig struct {
+	name string
+	cfg  core.Config
+}
+
+func rowcloneConfigs() []rcConfig {
+	return []rcConfig{
+		{NameNoTS, core.NoTimeScaling()},
+		{NameTS, core.TimeScalingA57()},
+		{NameRamulator, ramulator.Config(1 << 40)}, // no truncation for microbenchmarks
+	}
+}
+
+// RowClone runs the §7 case study in the given setting (flush=false is
+// Figure 10 "No Flush", flush=true is Figure 11 "CLFLUSH").
+func RowClone(opt Options, flush bool) (*RowCloneResult, error) {
+	res := &RowCloneResult{
+		Flush: flush,
+		Sizes: opt.Sizes,
+		Copy:  make(map[string][]float64),
+		Init:  make(map[string][]float64),
+	}
+	for _, c := range rowcloneConfigs() {
+		for _, size := range opt.Sizes {
+			copySp, copyFB, err := rowcloneOne(opt, c, size, flush, false)
+			if err != nil {
+				return nil, err
+			}
+			initSp, initFB, err := rowcloneOne(opt, c, size, flush, true)
+			if err != nil {
+				return nil, err
+			}
+			res.Copy[c.name] = append(res.Copy[c.name], copySp)
+			res.Init[c.name] = append(res.Init[c.name], initSp)
+			if c.name == NameTS {
+				res.CopyFallback = append(res.CopyFallback, copyFB)
+				res.InitFallback = append(res.InitFallback, initFB)
+			}
+		}
+	}
+	return res, nil
+}
+
+// rowcloneOne measures one (config, size, workload) cell and returns the
+// speedup plus the plan's fallback fraction.
+func rowcloneOne(opt Options, c rcConfig, size int, flush, isInit bool) (float64, float64, error) {
+	cfg := c.cfg
+	cfg.DRAM.Seed = opt.Seed
+
+	// Plan on a scratch system so characterization does not pollute the
+	// measured run. The chip variation model is a pure function of the
+	// seed, so clonability observed here holds in the measured run.
+	planSys, err := core.NewSystem(cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: rowclone: %w", err)
+	}
+	a, err := alloc.New(planSys.Mapper(), cfg.DRAM.SubarrayRows, cfg.DRAM.RowsPerBank)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: rowclone: %w", err)
+	}
+	tester := techniques.SystemTester(planSys, opt.Trials)
+
+	rows := a.RowsFor(size)
+	var plan workload.RowClonePlan
+	var baseKernel workload.Kernel
+	if isInit {
+		dstBase, err := a.AllocContiguous(rows)
+		if err != nil {
+			return 0, 0, err
+		}
+		plan, err = techniques.PlanInit(a, dstBase, size, tester, flush)
+		if err != nil {
+			return 0, 0, err
+		}
+		baseKernel = workload.InitBench(dstBase, size, flush)
+	} else {
+		srcBase, err := a.AllocContiguous(rows)
+		if err != nil {
+			return 0, 0, err
+		}
+		plan, err = techniques.PlanCopy(a, srcBase, size, tester, flush)
+		if err != nil {
+			return 0, 0, err
+		}
+		// The baseline copies into a contiguous destination of its own.
+		dstBase, err := a.AllocContiguous(rows)
+		if err != nil {
+			return 0, 0, err
+		}
+		baseKernel = workload.CopyBench(srcBase, dstBase, size, flush)
+	}
+
+	base, err := runKernel(cfg, baseKernel, opt.MaxProcCycles)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, err := runKernel(cfg, plan.Kernel(), opt.MaxProcCycles)
+	if err != nil {
+		return 0, 0, err
+	}
+	bw, rw := base.Window(), rc.Window()
+	if rw <= 0 {
+		return 0, 0, fmt.Errorf("experiments: rowclone: empty measured window for %s", plan.Name)
+	}
+	return float64(bw) / float64(rw), techniques.FallbackFraction(plan), nil
+}
+
+// Table renders the result in the paper's layout.
+func (r *RowCloneResult) Table() string {
+	setting := "No Flush"
+	if r.Flush {
+		setting = "CLFLUSH"
+	}
+	xs := make([]string, len(r.Sizes))
+	for i, s := range r.Sizes {
+		xs[i] = stats.FormatBytes(s)
+	}
+	order := []string{NameNoTS, NameTS, NameRamulator}
+	var copySeries, initSeries []stats.Series
+	for _, n := range order {
+		copySeries = append(copySeries, stats.Series{Name: n, Y: r.Copy[n]})
+		initSeries = append(initSeries, stats.Series{Name: n, Y: r.Init[n]})
+	}
+	out := stats.RenderSeries(
+		fmt.Sprintf("RowClone - %s: Copy speedup over CPU baseline", setting), "size", xs, copySeries)
+	out += "\n" + stats.RenderSeries(
+		fmt.Sprintf("RowClone - %s: Init speedup over CPU baseline", setting), "size", xs, initSeries)
+	summary := func(name string, m map[string][]float64) string {
+		s := fmt.Sprintf("%-8s", name)
+		for _, n := range order {
+			s += fmt.Sprintf("  %s avg %.1fx (max %.1fx)", n, stats.Mean(m[n]), stats.Max(m[n]))
+		}
+		return s
+	}
+	out += "\n" + summary("Copy:", r.Copy) + "\n" + summary("Init:", r.Init) + "\n"
+	return out
+}

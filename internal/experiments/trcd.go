@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/core"
+	"easydram/internal/dram"
+	"easydram/internal/ramulator"
+	"easydram/internal/stats"
+	"easydram/internal/techniques"
+	"easydram/internal/workload"
+)
+
+// HeatmapResult holds Figure 12 data: per-row minimum reliable tRCD for
+// the first banks of the module.
+type HeatmapResult struct {
+	Banks int
+	Rows  int
+	// MinTRCDns[bank][row] is the profiled minimum reliable tRCD in ns.
+	MinTRCDns [][]float64
+	// StrongFraction is the measured fraction of rows reliable at 9.0 ns.
+	StrongFraction float64
+	NominalNs      float64
+}
+
+// Figure12 profiles the minimum reliable tRCD of opt.HeatRows rows in each
+// of the first two banks, using §8.1 profiling requests end to end.
+func Figure12(opt Options) (*HeatmapResult, error) {
+	cfg := core.TimeScalingA57()
+	cfg.DRAM = core.TechniqueDRAM()
+	cfg.DRAM.Seed = opt.Seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure12: %w", err)
+	}
+	nominal := cfg.DRAM.Timing.TRCD
+	res := &HeatmapResult{
+		Banks:     2,
+		Rows:      opt.HeatRows,
+		NominalNs: nominal.Nanoseconds(),
+	}
+	strong, total := 0, 0
+	for bank := 0; bank < res.Banks; bank++ {
+		rowVals := make([]float64, res.Rows)
+		for row := 0; row < res.Rows; row++ {
+			base := sys.Mapper().Unmap(dram.Addr{Bank: bank, Row: row})
+			min, err := techniques.MinReliableTRCD(sys, base, nominal)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure12: %w", err)
+			}
+			rowVals[row] = min.Nanoseconds()
+			total++
+			if min <= techniques.ReducedTRCD {
+				strong++
+			}
+		}
+		res.MinTRCDns = append(res.MinTRCDns, rowVals)
+	}
+	res.StrongFraction = float64(strong) / float64(total)
+	return res, nil
+}
+
+// Heatmap renders the profile as ASCII (one glyph per row group).
+func (r *HeatmapResult) Heatmap() string {
+	out := ""
+	const groups = 64
+	for bank := range r.MinTRCDns {
+		vals := r.MinTRCDns[bank]
+		per := len(vals) / groups
+		if per == 0 {
+			per = 1
+		}
+		grid := make([][]float64, 0, groups)
+		for g := 0; g < len(vals); g += per * 8 {
+			row := make([]float64, 0, 8)
+			for x := 0; x < 8 && g+x*per < len(vals); x++ {
+				// Group max: the weakest row in the group.
+				max := 0.0
+				for i := 0; i < per && g+x*per+i < len(vals); i++ {
+					if v := vals[g+x*per+i]; v > max {
+						max = v
+					}
+				}
+				row = append(row, max)
+			}
+			grid = append(grid, row)
+		}
+		out += stats.Heatmap(
+			fmt.Sprintf("Bank %d minimum reliable tRCD (.=9.0ns -=9.5 +=10.0 #=10.5+)", bank),
+			grid, []float64{9.0, 9.5, 10.0}, ".-+#")
+	}
+	out += fmt.Sprintf("strong rows (<=9.0ns): %.1f%% (nominal tRCD %.1fns)\n",
+		100*r.StrongFraction, r.NominalNs)
+	return out
+}
+
+// TRCDResult holds Figures 13 and 14 data.
+type TRCDResult struct {
+	Names []string
+	// Speedup maps configuration name -> per-workload execution-time
+	// speedup of reduced-tRCD over nominal.
+	Speedup map[string][]float64
+	// SimSpeedMHz maps configuration name -> simulation speed (Figure 14).
+	SimSpeedMHz map[string][]float64
+	// MPKI is the baseline LLC misses per kilo-instruction per workload.
+	MPKI []float64
+	// WeakFraction is the profiled weak-row fraction per workload range.
+	WeakFraction []float64
+}
+
+// Figure13 evaluates tRCD reduction end to end on the 11 PolyBench
+// workloads: characterize the rows each workload touches (§8.1), build the
+// weak-row Bloom filter (§8.2), then compare execution time with and
+// without the reduced-tRCD scheduler hook on both EasyDRAM (time scaling)
+// and the Ramulator baseline. Figure 14's simulation speeds come from the
+// same runs.
+func Figure13(opt Options) (*TRCDResult, error) {
+	res := &TRCDResult{
+		Speedup:     map[string][]float64{NameTS: nil, NameRamulator: nil},
+		SimSpeedMHz: map[string][]float64{NameTS: nil, NameRamulator: nil},
+	}
+	for _, k := range workload.Fig13Suite(opt.KernelSize) {
+		res.Names = append(res.Names, k.Name)
+		extent := workload.Extent(k)
+
+		// Host-driven characterization on a scratch system with the data
+		// store enabled.
+		profCfg := core.TimeScalingA57()
+		profCfg.DRAM = core.TechniqueDRAM()
+		profCfg.DRAM.Seed = opt.Seed
+		profSys, err := core.NewSystem(profCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure13: %w", err)
+		}
+		weak, pstats, err := techniques.ProfileWeakRows(profSys, 0, extent, techniques.ReducedTRCD)
+		if err != nil {
+			return nil, err
+		}
+		filter, err := techniques.BuildWeakRowFilter(weak, opt.FPRate, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		provider := techniques.TRCDProvider(filter, profSys.Mapper(), 0, extent, techniques.ReducedTRCD)
+		res.WeakFraction = append(res.WeakFraction, 1-pstats.StrongFraction())
+
+		for _, c := range []rcConfig{
+			{NameTS, core.TimeScalingA57()},
+			{NameRamulator, ramulator.Config(0)},
+		} {
+			base := c.cfg
+			base.DRAM.Seed = opt.Seed
+			fast := base
+			fast.TRCD = provider
+
+			baseRes, err := runKernel(base, k, opt.MaxProcCycles)
+			if err != nil {
+				return nil, err
+			}
+			fastRes, err := runKernel(fast, k, opt.MaxProcCycles)
+			if err != nil {
+				return nil, err
+			}
+			if fastRes.ProcCycles == 0 {
+				return nil, fmt.Errorf("experiments: figure13: %s ran for zero cycles", k.Name)
+			}
+			res.Speedup[c.name] = append(res.Speedup[c.name],
+				float64(baseRes.ProcCycles)/float64(fastRes.ProcCycles))
+			speed := baseRes.SimSpeedMHz
+			if c.name == NameRamulator {
+				speed = ramulator.SimSpeedMHz(baseRes)
+			}
+			res.SimSpeedMHz[c.name] = append(res.SimSpeedMHz[c.name], speed)
+			if c.name == NameTS {
+				res.MPKI = append(res.MPKI, baseRes.MPKI())
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders Figure 13 (speedups).
+func (r *TRCDResult) Table() string {
+	t := stats.Table{
+		Title:  "tRCD reduction: execution-time speedup over nominal tRCD",
+		Header: []string{"workload", "EasyDRAM", "Ramulator 2.0", "MPKI", "weak rows"},
+	}
+	for i, n := range r.Names {
+		t.AddRow(n,
+			fmt.Sprintf("%.4f", r.Speedup[NameTS][i]),
+			fmt.Sprintf("%.4f", r.Speedup[NameRamulator][i]),
+			fmt.Sprintf("%.2f", r.MPKI[i]),
+			fmt.Sprintf("%.1f%%", 100*r.WeakFraction[i]))
+	}
+	t.AddRow("geomean",
+		fmt.Sprintf("%.4f", stats.Geomean(r.Speedup[NameTS])),
+		fmt.Sprintf("%.4f", stats.Geomean(r.Speedup[NameRamulator])), "", "")
+	return t.Render()
+}
+
+// SpeedTable renders Figure 14 (simulation speed).
+func (r *TRCDResult) SpeedTable() string {
+	t := stats.Table{
+		Title:  "Simulation speed (simulated processor MHz)",
+		Header: []string{"workload", "EasyDRAM", "Ramulator 2.0", "ratio"},
+	}
+	var ratios []float64
+	for i, n := range r.Names {
+		e, m := r.SimSpeedMHz[NameTS][i], r.SimSpeedMHz[NameRamulator][i]
+		ratio := 0.0
+		if m > 0 {
+			ratio = e / m
+		}
+		ratios = append(ratios, ratio)
+		t.AddRow(n, fmt.Sprintf("%.2f", e), fmt.Sprintf("%.2f", m), fmt.Sprintf("%.1fx", ratio))
+	}
+	t.AddRow("geomean",
+		fmt.Sprintf("%.2f", stats.Geomean(r.SimSpeedMHz[NameTS])),
+		fmt.Sprintf("%.2f", stats.Geomean(r.SimSpeedMHz[NameRamulator])),
+		fmt.Sprintf("%.1fx", stats.Geomean(ratios)))
+	return t.Render()
+}
+
+// AvgSpeedupPct reports the named config's mean improvement percentage.
+func (r *TRCDResult) AvgSpeedupPct(name string) float64 {
+	var pts []float64
+	for _, s := range r.Speedup[name] {
+		pts = append(pts, (s-1)*100)
+	}
+	return stats.Mean(pts)
+}
+
+// MaxSpeedupPct reports the named config's maximum improvement percentage.
+func (r *TRCDResult) MaxSpeedupPct(name string) float64 {
+	var best float64
+	for _, s := range r.Speedup[name] {
+		if p := (s - 1) * 100; p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+var _ = clock.PS(0)

@@ -1,0 +1,74 @@
+// Package mem defines the memory-request types exchanged between the
+// processor model, the EasyTile hardware buffers, and the software memory
+// controller. It exists so the cpu, tile, and smc packages do not import
+// each other.
+package mem
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+)
+
+// Kind classifies a main-memory request.
+type Kind uint8
+
+// Request kinds.
+const (
+	// Read is a demand cache-line fill.
+	Read Kind = iota + 1
+	// Write is a cache-line store reaching memory (uncached or flushed).
+	Write
+	// Writeback is a dirty-line eviction; posted (no processor waits on it).
+	Writeback
+	// RowClone asks the controller to perform an in-DRAM row copy.
+	RowClone
+	// Profile asks the controller to test a cache line at a reduced tRCD
+	// (§8.1 profiling request).
+	Profile
+	// Bitwise asks the controller to perform an in-DRAM bulk bitwise
+	// majority (ComputeDRAM-class many-row activation; extension).
+	Bitwise
+)
+
+var kindNames = map[Kind]string{
+	Read: "read", Write: "write", Writeback: "writeback",
+	RowClone: "rowclone", Profile: "profile", Bitwise: "bitwise",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Request is one main-memory request as it sits in the EasyTile hardware
+// request buffer.
+type Request struct {
+	ID   uint64
+	Kind Kind
+	// Addr is the physical byte address (line-aligned for Read/Write/
+	// Writeback, row-aligned destination for RowClone).
+	Addr uint64
+	// Src is the row-aligned RowClone source address.
+	Src uint64
+	// Tag is the processor cycle counter value when the request was issued
+	// (Figure 5: requests are tagged on entry).
+	Tag clock.Cycles
+	// RCD is the reduced tRCD to test for Profile requests.
+	RCD clock.PS
+	// Posted requests complete without the processor consuming a response.
+	Posted bool
+}
+
+// Response is the controller's answer to a request.
+type Response struct {
+	ReqID uint64
+	// Release is the processor cycle count at which the processor is
+	// allowed to consume this response (Figure 5 step 10).
+	Release clock.Cycles
+	// OK reports technique-specific success: profile passed, RowClone
+	// succeeded. Always true for plain reads/writes.
+	OK bool
+}

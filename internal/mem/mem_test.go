@@ -1,0 +1,18 @@
+package mem
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Read: "read", Write: "write", Writeback: "writeback",
+		RowClone: "rowclone", Profile: "profile",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d -> %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Fatalf("unknown kind must render")
+	}
+}

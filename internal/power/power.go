@@ -1,0 +1,142 @@
+// Package power implements the standard Micron DRAM power methodology over
+// the chip model's command statistics. RowClone's original claim is "fast
+// AND energy-efficient in-DRAM bulk data copy"; this package quantifies the
+// energy side for any workload run: per-command energies are derived from
+// datasheet IDD currents, plus background power split between precharge and
+// active standby.
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"easydram/internal/clock"
+	"easydram/internal/dram"
+	"easydram/internal/timing"
+)
+
+// Profile holds the datasheet electrical parameters of a DRAM device.
+// Currents are in milliamps, voltage in volts.
+type Profile struct {
+	Name string
+	VDD  float64
+	// IDD0: one-bank ACT-PRE cycling; IDD2N: precharge standby;
+	// IDD3N: active standby; IDD4R/IDD4W: read/write burst;
+	// IDD5B: burst refresh.
+	IDD0, IDD2N, IDD3N, IDD4R, IDD4W, IDD5B float64
+}
+
+// MicronEDY4016A returns the profile of the paper's evaluated device class
+// (DDR4-2400 x16 datasheet values, derated to the 1333 MT/s operating
+// point used in the evaluation).
+func MicronEDY4016A() Profile {
+	return Profile{
+		Name: "EDY4016A",
+		VDD:  1.2,
+		IDD0: 55, IDD2N: 34, IDD3N: 44,
+		IDD4R: 140, IDD4W: 130, IDD5B: 190,
+	}
+}
+
+// Validate reports an error for physically inconsistent profiles.
+func (p Profile) Validate() error {
+	if p.VDD <= 0 {
+		return fmt.Errorf("power: VDD must be positive")
+	}
+	if p.IDD0 <= 0 || p.IDD2N <= 0 || p.IDD3N <= 0 || p.IDD4R <= 0 || p.IDD4W <= 0 || p.IDD5B <= 0 {
+		return fmt.Errorf("power: all IDD currents must be positive")
+	}
+	if p.IDD3N < p.IDD2N {
+		return fmt.Errorf("power: active standby (IDD3N) below precharge standby (IDD2N)")
+	}
+	if p.IDD4R < p.IDD3N || p.IDD4W < p.IDD3N {
+		return fmt.Errorf("power: burst currents must exceed active standby")
+	}
+	return nil
+}
+
+// Energy is a per-component energy breakdown in nanojoules.
+type Energy struct {
+	ActPre     float64
+	Read       float64
+	Write      float64
+	Refresh    float64
+	Background float64
+}
+
+// Total sums the components.
+func (e Energy) Total() float64 {
+	return e.ActPre + e.Read + e.Write + e.Refresh + e.Background
+}
+
+// String renders the breakdown.
+func (e Energy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "act/pre %.1fnJ + read %.1fnJ + write %.1fnJ + refresh %.1fnJ + background %.1fnJ = %.1fnJ",
+		e.ActPre, e.Read, e.Write, e.Refresh, e.Background, e.Total())
+	return b.String()
+}
+
+// Calculator converts chip statistics into energy.
+type Calculator struct {
+	prof Profile
+	t    timing.Params
+}
+
+// NewCalculator builds a calculator for the profile and timing set.
+func NewCalculator(prof Profile, t timing.Params) (*Calculator, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("power: %w", err)
+	}
+	return &Calculator{prof: prof, t: t}, nil
+}
+
+// nj computes current(mA) * VDD(V) * time(ps) in nanojoules:
+// mA * V * ps = 1e-3 A*V * 1e-12 s = 1e-15 J = 1e-6 nJ.
+func (c *Calculator) nj(currentMA float64, t clock.PS) float64 {
+	return currentMA * c.prof.VDD * float64(t) * 1e-6
+}
+
+// FromStats converts the chip's command counters plus the DRAM-busy wall
+// time into an energy breakdown. busyTime is the total time the module was
+// powered for the measured region (for a workload run, the emulated
+// execution time).
+func (c *Calculator) FromStats(s dram.Stats, busyTime clock.PS) Energy {
+	var e Energy
+	// One ACT-PRE pair dissipates (IDD0 - IDD3N) over tRAS plus
+	// (IDD0 - IDD2N) over tRP beyond the standby floor (Micron power
+	// calculator formulation, folded to tRC granularity).
+	actPairs := float64(s.ACTs)
+	e.ActPre = actPairs * (c.nj(c.prof.IDD0-c.prof.IDD3N, c.t.TRAS) +
+		c.nj(c.prof.IDD0-c.prof.IDD2N, c.t.TRP))
+	e.Read = float64(s.RDs) * c.nj(c.prof.IDD4R-c.prof.IDD3N, c.t.TBL)
+	e.Write = float64(s.WRs) * c.nj(c.prof.IDD4W-c.prof.IDD3N, c.t.TBL)
+	e.Refresh = float64(s.REFs) * c.nj(c.prof.IDD5B-c.prof.IDD2N, c.t.TRFC)
+	// Background: precharge standby for the whole window, plus the active
+	// adder while rows were open (approximated as tRAS per activation).
+	e.Background = c.nj(c.prof.IDD2N, busyTime) +
+		actPairs*c.nj(c.prof.IDD3N-c.prof.IDD2N, c.t.TRAS)
+	return e
+}
+
+// CopyEnergyPerRow reports the DRAM energy of copying one row with CPU
+// loads/stores (reads + write bursts + the activates they need) versus one
+// RowClone (two activates), the comparison RowClone's original paper
+// makes. colsPerRow is the number of line-sized columns per row.
+func (c *Calculator) CopyEnergyPerRow(colsPerRow int) (cpu, rowClone float64) {
+	var s dram.Stats
+	// CPU copy: read every column of the source, write every column of the
+	// destination; with open-row batching that is 2 activates plus per-line
+	// bursts (plus the write-allocate fill reads of the destination).
+	s.ACTs = 3
+	s.RDs = int64(2 * colsPerRow)
+	s.WRs = int64(colsPerRow)
+	cpu = c.FromStats(s, 0).Total()
+	var r dram.Stats
+	r.ACTs = 2 // ACT(src) + ACT(dst); the early PRE is folded into the pair
+	rowClone = c.FromStats(r, 0).Total()
+	return cpu, rowClone
+}

@@ -1,0 +1,94 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"easydram/internal/dram"
+	"easydram/internal/timing"
+)
+
+func newCalc(t *testing.T) *Calculator {
+	t.Helper()
+	c, err := NewCalculator(MicronEDY4016A(), timing.DDR41333())
+	if err != nil {
+		t.Fatalf("NewCalculator: %v", err)
+	}
+	return c
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := MicronEDY4016A()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("datasheet profile invalid: %v", err)
+	}
+	p.IDD3N = p.IDD2N - 1
+	if err := p.Validate(); err == nil {
+		t.Fatalf("inverted standby currents must fail")
+	}
+	p = MicronEDY4016A()
+	p.VDD = 0
+	if err := p.Validate(); err == nil {
+		t.Fatalf("zero VDD must fail")
+	}
+	p = MicronEDY4016A()
+	p.IDD4R = p.IDD3N - 1
+	if err := p.Validate(); err == nil {
+		t.Fatalf("burst below standby must fail")
+	}
+}
+
+func TestEnergyComponents(t *testing.T) {
+	c := newCalc(t)
+	var s dram.Stats
+	s.ACTs, s.RDs, s.WRs, s.REFs = 10, 100, 50, 2
+	e := c.FromStats(s, 1_000_000_000) // 1 ms window
+	if e.ActPre <= 0 || e.Read <= 0 || e.Write <= 0 || e.Refresh <= 0 || e.Background <= 0 {
+		t.Fatalf("all components must be positive: %+v", e)
+	}
+	if e.Total() <= e.Background {
+		t.Fatalf("total must exceed background alone")
+	}
+	if !strings.Contains(e.String(), "nJ") {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestEnergyScalesWithCommands(t *testing.T) {
+	c := newCalc(t)
+	var a, b dram.Stats
+	a.RDs = 100
+	b.RDs = 200
+	if c.FromStats(b, 0).Read != 2*c.FromStats(a, 0).Read {
+		t.Fatalf("read energy must scale linearly")
+	}
+}
+
+// TestRowCloneEnergyAdvantage pins the RowClone paper's headline: in-DRAM
+// copy saves well over an order of magnitude of DRAM energy versus reading
+// and writing every line over the bus (RowClone reports 74.4x for FPM).
+func TestRowCloneEnergyAdvantage(t *testing.T) {
+	c := newCalc(t)
+	cpu, rc := c.CopyEnergyPerRow(128)
+	if rc <= 0 || cpu <= 0 {
+		t.Fatalf("energies must be positive: cpu=%v rc=%v", cpu, rc)
+	}
+	ratio := cpu / rc
+	if ratio < 10 {
+		t.Fatalf("RowClone energy advantage %.1fx implausibly low", ratio)
+	}
+	if ratio > 500 {
+		t.Fatalf("RowClone energy advantage %.1fx implausibly high", ratio)
+	}
+}
+
+func TestMagnitudeSanity(t *testing.T) {
+	// A single activate-precharge pair on DDR4 costs a few nanojoules.
+	c := newCalc(t)
+	var s dram.Stats
+	s.ACTs = 1
+	e := c.FromStats(s, 0).ActPre
+	if e < 0.1 || e > 20 {
+		t.Fatalf("ACT-PRE energy %.2f nJ outside the plausible DDR4 range", e)
+	}
+}

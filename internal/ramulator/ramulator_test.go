@@ -1,0 +1,68 @@
+package ramulator
+
+import (
+	"testing"
+
+	"easydram/internal/core"
+	"easydram/internal/cpu"
+	"easydram/internal/workload"
+)
+
+func TestConfigIsValid(t *testing.T) {
+	cfg := Config(0)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("baseline config invalid: %v", err)
+	}
+	if !cfg.DRAM.Ideal {
+		t.Fatalf("the software-simulator baseline must use an ideal chip")
+	}
+	if !cfg.HardwareMC {
+		t.Fatalf("the baseline schedules in zero simulated time")
+	}
+	if cfg.CPU.MaxInstructions != DefaultInstructionCap {
+		t.Fatalf("instruction cap = %d", cfg.CPU.MaxInstructions)
+	}
+}
+
+func TestInstructionCapApplies(t *testing.T) {
+	cfg := Config(1000)
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(workload.PBGemm(16, 16, 16).Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Instructions > 1100 {
+		t.Fatalf("ran %d instructions past the cap", res.CPU.Instructions)
+	}
+}
+
+func TestSimpleOoOValidates(t *testing.T) {
+	if err := SimpleOoO().Validate(); err != nil {
+		t.Fatalf("SimpleOoO invalid: %v", err)
+	}
+}
+
+func TestSimSpeedModelDecreasesWithMemoryIntensity(t *testing.T) {
+	base := core.Result{ProcCycles: 1_000_000}
+	base.CPU = cpu.Stats{Instructions: 1_000_000}
+	light := base
+	light.CPU.MemReads = 100
+	heavy := base
+	heavy.CPU.MemReads = 100_000
+	if SimSpeedMHz(light) <= SimSpeedMHz(heavy) {
+		t.Fatalf("memory-heavy workloads must simulate slower: %.2f vs %.2f",
+			SimSpeedMHz(light), SimSpeedMHz(heavy))
+	}
+	if s := SimSpeedMHz(light); s < 0.2 || s > 3.5 {
+		t.Fatalf("speed %.2f MHz outside Ramulator's published class", s)
+	}
+}
+
+func TestSimSpeedZeroForEmptyRun(t *testing.T) {
+	if SimSpeedMHz(core.Result{}) != 0 {
+		t.Fatalf("empty run must report zero speed")
+	}
+}

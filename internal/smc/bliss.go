@@ -1,0 +1,69 @@
+package smc
+
+import "easydram/internal/mem"
+
+// BLISS implements the Blacklisting memory scheduler (Subramanian et al.,
+// cited by the paper's §2.3): applications that hit the row buffer too many
+// times in a row get blacklisted, capping the row-hit streak so other
+// requesters are not starved. In this single-requester emulation the
+// blacklist degenerates to a per-bank streak cap, which is still the
+// interesting scheduling behaviour: bounded row-hit batching.
+//
+// BLISS exists to demonstrate how little code a new scheduling policy
+// needs on the software-defined memory controller.
+type BLISS struct {
+	// MaxStreak is the longest run of consecutive row hits served from one
+	// bank before the scheduler reverts to oldest-first (default 4, the
+	// BLISS paper's blacklisting threshold).
+	MaxStreak int
+
+	streakBank int
+	streak     int
+}
+
+// NewBLISS returns a BLISS scheduler with the published default threshold.
+func NewBLISS() *BLISS { return &BLISS{MaxStreak: 4, streakBank: -1} }
+
+// Name implements Scheduler.
+func (s *BLISS) Name() string { return "bliss" }
+
+// Pick implements Scheduler.
+func (s *BLISS) Pick(table []mem.Request, openRow func(bank int) int, m Mapper) int {
+	max := s.MaxStreak
+	if max <= 0 {
+		max = 4
+	}
+	pick := -1
+	for i, r := range table {
+		switch r.Kind {
+		case mem.Read, mem.Write, mem.Writeback:
+		default:
+			continue
+		}
+		a := m.Map(r.Addr)
+		if openRow(a.Bank) != a.Row {
+			continue
+		}
+		if a.Bank == s.streakBank && s.streak >= max {
+			continue // blacklisted: streak cap reached
+		}
+		pick = i
+		break
+	}
+	if pick < 0 {
+		// Oldest first; reset the streak for the newly opened bank.
+		pick = 0
+		a := m.Map(table[pick].Addr)
+		s.streakBank, s.streak = a.Bank, 0
+		return pick
+	}
+	a := m.Map(table[pick].Addr)
+	if a.Bank == s.streakBank {
+		s.streak++
+	} else {
+		s.streakBank, s.streak = a.Bank, 1
+	}
+	return pick
+}
+
+var _ Scheduler = (*BLISS)(nil)

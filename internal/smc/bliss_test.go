@@ -1,0 +1,81 @@
+package smc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"easydram/internal/dram"
+	"easydram/internal/mem"
+)
+
+func TestBLISSCapsRowHitStreak(t *testing.T) {
+	m, err := NewRowBankCol(16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBLISS()
+	openRow := func(bank int) int {
+		if bank == 0 {
+			return 7
+		}
+		return -1
+	}
+	hit := func(id uint64, col int) mem.Request {
+		return mem.Request{ID: id, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 7, Col: col})}
+	}
+	missReq := mem.Request{ID: 99, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 3, Row: 1})}
+
+	table := []mem.Request{missReq, hit(1, 0), hit(2, 1), hit(3, 2), hit(4, 3), hit(5, 4)}
+	// The first MaxStreak picks favour row hits...
+	for i := 0; i < s.MaxStreak; i++ {
+		got := s.Pick(table, openRow, m)
+		if table[got].ID == 99 {
+			t.Fatalf("pick %d chose the miss before the streak cap", i)
+		}
+		table = append(table[:got], table[got+1:]...)
+	}
+	// ...then the blacklist forces the oldest (the miss).
+	got := s.Pick(table, openRow, m)
+	if table[got].ID != 99 {
+		t.Fatalf("streak cap did not trigger: picked %d", table[got].ID)
+	}
+}
+
+func TestBLISSName(t *testing.T) {
+	if NewBLISS().Name() != "bliss" {
+		t.Fatalf("name wrong")
+	}
+}
+
+func TestXORBankRoundTrip(t *testing.T) {
+	m, err := NewXORBank(16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		pa := (raw % (1 << 38)) &^ 63
+		return m.Unmap(m.Map(pa)) == pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORBankSpreadsConflictingStride(t *testing.T) {
+	plain, _ := NewRowBankCol(16, 128)
+	xor, _ := NewXORBank(16, 128)
+	// A 128 KiB stride hits the same bank under plain mapping.
+	stride := uint64(16 * 8192)
+	plainBanks := map[int]bool{}
+	xorBanks := map[int]bool{}
+	for i := uint64(0); i < 16; i++ {
+		plainBanks[plain.Map(i*stride).Bank] = true
+		xorBanks[xor.Map(i*stride).Bank] = true
+	}
+	if len(plainBanks) != 1 {
+		t.Fatalf("plain mapping should conflict: %v", plainBanks)
+	}
+	if len(xorBanks) < 8 {
+		t.Fatalf("xor mapping should spread the stride: %v", xorBanks)
+	}
+}

@@ -1,0 +1,368 @@
+package smc
+
+import (
+	"bytes"
+	"fmt"
+
+	"easydram/internal/clock"
+	"easydram/internal/dram"
+	"easydram/internal/mem"
+	"easydram/internal/timing"
+)
+
+// Controller is a software memory controller program: the C++ loop of
+// Listing 1, expressed against the EasyAPI Env.
+type Controller interface {
+	// ServeOne performs one iteration of the controller loop: ingest new
+	// requests, make one scheduling decision, operate DRAM, and respond.
+	// It reports whether any request was served.
+	ServeOne(env *Env) (bool, error)
+	// Pending reports the number of requests buffered in the controller's
+	// software request table.
+	Pending() int
+}
+
+// TRCDProvider returns the tRCD to use when activating a row (the
+// tRCD-reduction technique's scheduler hook, §8.2). Returning 0 selects the
+// nominal value.
+type TRCDProvider func(a dram.Addr) clock.PS
+
+// PagePolicy selects the controller's row-buffer management.
+type PagePolicy uint8
+
+// Page policies.
+const (
+	// OpenPage leaves the row open after a column access, betting on row
+	// locality (the default; what FR-FCFS exploits).
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges immediately after each access, betting against
+	// locality (lower row-conflict latency for random traffic).
+	ClosedPage
+)
+
+// Config parameterises the base controller.
+type Config struct {
+	Mapper    Mapper
+	Scheduler Scheduler
+	// TRCD, when set, is consulted on every activation.
+	TRCD TRCDProvider
+	// RefreshEnabled issues REF every tREFI of emulated time.
+	RefreshEnabled bool
+	// Policy selects open-page (default) or closed-page row management.
+	Policy PagePolicy
+}
+
+// BaseController is the standard EasyDRAM software memory controller: a
+// request table, a pluggable scheduler, open-row tracking, and service
+// routines for reads, writes, RowClone, and profiling requests.
+type BaseController struct {
+	cfg      Config
+	p        timing.Params
+	openRows []int
+	table    []mem.Request
+	// profilePattern is the known data pattern used by profiling requests.
+	profilePattern [dram.LineBytes]byte
+
+	refreshDue clock.PS
+
+	stats ControllerStats
+}
+
+// ControllerStats counts controller events.
+type ControllerStats struct {
+	Served     int64
+	Reads      int64
+	Writes     int64
+	RowClones  int64
+	BitwiseOps int64
+	Profiles   int64
+	Refreshes  int64
+	RowHits    int64
+	RowMisses  int64
+}
+
+// NewBaseController builds the controller for a chip with the given timing.
+func NewBaseController(cfg Config, p timing.Params, banks int) (*BaseController, error) {
+	if cfg.Mapper == nil {
+		return nil, fmt.Errorf("smc: controller needs a mapper")
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = FRFCFS{}
+	}
+	open := make([]int, banks)
+	for i := range open {
+		open[i] = -1
+	}
+	c := &BaseController{cfg: cfg, p: p, openRows: open, refreshDue: p.TREFI}
+	for i := range c.profilePattern {
+		c.profilePattern[i] = 0xA5
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of controller counters.
+func (c *BaseController) Stats() ControllerStats { return c.stats }
+
+// Mapper returns the physical-to-DRAM address mapper in use.
+func (c *BaseController) Mapper() Mapper { return c.cfg.Mapper }
+
+// Pending implements Controller.
+func (c *BaseController) Pending() int { return len(c.table) }
+
+// OpenRow reports the controller's view of the open row in bank.
+func (c *BaseController) OpenRow(bank int) int { return c.openRows[bank] }
+
+// RefreshEnabled reports whether periodic refresh is configured.
+func (c *BaseController) RefreshEnabled() bool { return c.cfg.RefreshEnabled }
+
+// NextRefreshDue reports when the next REF command is due (emulated time).
+func (c *BaseController) NextRefreshDue() clock.PS { return c.refreshDue }
+
+// ServeRefresh issues one REF command sequence (precharge-all + REF) and
+// advances the refresh schedule. The engine decides *when* a due refresh is
+// accounted: deterministically against the controller's service timeline,
+// so both the time-scaled and the reference engines charge it identically.
+func (c *BaseController) ServeRefresh(env *Env) error {
+	b := env.Tile().Builder()
+	for bank := range c.openRows {
+		if c.openRows[bank] >= 0 {
+			b.PRE(bank)
+			c.openRows[bank] = -1
+		}
+	}
+	b.Wait(c.p.TRP)
+	b.REF()
+	if _, err := env.Exec(); err != nil {
+		return err
+	}
+	env.AddService(c.p.TRP+c.p.TRFC, c.p.TRP+c.p.TRFC)
+	c.refreshDue += c.p.TREFI
+	c.stats.Refreshes++
+	return nil
+}
+
+// ServeOne implements Controller.
+func (c *BaseController) ServeOne(env *Env) (bool, error) {
+	costs := env.Tile().Costs()
+	env.Charge(costs.Poll)
+
+	// Transfer new requests from the hardware buffers to the software
+	// request table (Figure 6 step 5).
+	for {
+		req, ok := env.Tile().PopRequest()
+		if !ok {
+			break
+		}
+		env.Charge(costs.ReceiveRequest)
+		c.table = append(c.table, req)
+	}
+	if len(c.table) == 0 {
+		return false, nil
+	}
+	if !env.Critical() {
+		env.SetCritical(true)
+	}
+
+	// Scheduling decision.
+	env.Charge(costs.ScheduleBase + costs.SchedulePerReq*len(c.table))
+	idx := c.cfg.Scheduler.Pick(c.table, func(b int) int { return c.openRows[b] }, c.cfg.Mapper)
+	req := c.table[idx]
+	c.table = append(c.table[:idx], c.table[idx+1:]...)
+
+	var err error
+	switch req.Kind {
+	case mem.Read:
+		err = c.serveAccess(env, req, false)
+	case mem.Write, mem.Writeback:
+		err = c.serveAccess(env, req, true)
+	case mem.RowClone:
+		err = c.serveRowClone(env, req)
+	case mem.Profile:
+		err = c.serveProfile(env, req)
+	case mem.Bitwise:
+		err = c.serveBitwise(env, req)
+	default:
+		err = fmt.Errorf("smc: unknown request kind %v", req.Kind)
+	}
+	if err != nil {
+		return false, err
+	}
+	c.stats.Served++
+	if len(c.table) == 0 && env.Tile().IncomingEmpty() {
+		env.SetCritical(false)
+	}
+	return true, nil
+}
+
+// serveAccess serves a cache-line read or write with an open-row policy.
+func (c *BaseController) serveAccess(env *Env, req mem.Request, isWrite bool) error {
+	costs := env.Tile().Costs()
+	env.Charge(costs.MapAddr)
+	a := c.cfg.Mapper.Map(req.Addr)
+	b := env.Tile().Builder()
+
+	rowHit := c.openRows[a.Bank] == a.Row
+	var actLatency clock.PS
+	if rowHit {
+		c.stats.RowHits++
+	} else {
+		c.stats.RowMisses++
+		if c.openRows[a.Bank] >= 0 {
+			b.PRE(a.Bank)
+			b.Wait(c.p.TRP - c.p.Bus.Period())
+			actLatency += c.p.TRP
+		}
+		rcd := c.p.TRCD
+		if c.cfg.TRCD != nil {
+			env.Charge(costs.BloomCheck)
+			if v := c.cfg.TRCD(a); v > 0 {
+				rcd = v
+			}
+		}
+		b.ACTWithRCD(a.Bank, a.Row, rcd)
+		b.Wait(rcd - c.p.Bus.Period())
+		actLatency += rcd
+		c.openRows[a.Bank] = a.Row
+	}
+	if isWrite {
+		b.WR(a.Bank, a.Col, nil)
+		c.stats.Writes++
+	} else {
+		b.RD(a.Bank, a.Col)
+		c.stats.Reads++
+	}
+	if _, err := env.Exec(); err != nil {
+		return err
+	}
+	// Occupancy: row preparation (when needed) plus the data burst. The
+	// CAS pipeline tail overlaps other requests, so it contributes to the
+	// response latency only.
+	occ := actLatency + c.p.TBL
+	if isWrite {
+		env.AddService(occ, actLatency+c.p.TCWL+c.p.TBL)
+	} else {
+		env.Charge(costs.ReadbackPerLine)
+		env.AddService(occ, actLatency+c.p.TCL+c.p.TBL)
+	}
+	if c.cfg.Policy == ClosedPage {
+		// Auto-precharge: close the row right after the column access.
+		// The precharge overlaps subsequent commands to other banks, so it
+		// adds no occupancy here; the next access to this bank simply needs
+		// no explicit PRE (its tRP is folded into the closed-row path).
+		pb := env.Tile().Builder()
+		pb.Wait(c.p.TRTP)
+		pb.PRE(a.Bank)
+		if _, err := env.Exec(); err != nil {
+			return err
+		}
+		c.openRows[a.Bank] = -1
+	}
+	env.Respond(req, true)
+	return nil
+}
+
+// serveRowClone serves an in-DRAM row copy (§7).
+func (c *BaseController) serveRowClone(env *Env, req mem.Request) error {
+	costs := env.Tile().Costs()
+	env.Charge(2 * costs.MapAddr)
+	src := c.cfg.Mapper.Map(req.Src)
+	dst := c.cfg.Mapper.Map(req.Addr)
+	c.stats.RowClones++
+	if src.Bank != dst.Bank {
+		// FPM RowClone cannot cross banks; the caller must fall back.
+		env.Respond(req, false)
+		return nil
+	}
+	b := env.Tile().Builder()
+	if c.openRows[src.Bank] >= 0 {
+		b.PRE(src.Bank)
+		b.Wait(c.p.TRP - c.p.Bus.Period())
+	}
+	b.RowClone(src.Bank, src.Row, dst.Row)
+	res, err := env.Exec()
+	if err != nil {
+		return err
+	}
+	c.openRows[src.Bank] = -1
+	env.AddService(res.Elapsed, res.Elapsed)
+	env.Respond(req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	return nil
+}
+
+// serveBitwise serves an in-DRAM bulk bitwise majority: a many-row
+// activation of the rows at req.Src and req.Addr (which drags in their
+// address-OR row). Success means the chip committed the majority result.
+func (c *BaseController) serveBitwise(env *Env, req mem.Request) error {
+	costs := env.Tile().Costs()
+	env.Charge(2 * costs.MapAddr)
+	r1 := c.cfg.Mapper.Map(req.Src)
+	r2 := c.cfg.Mapper.Map(req.Addr)
+	c.stats.BitwiseOps++
+	if r1.Bank != r2.Bank {
+		env.Respond(req, false)
+		return nil
+	}
+	b := env.Tile().Builder()
+	if c.openRows[r1.Bank] >= 0 {
+		b.PRE(r1.Bank)
+		b.Wait(c.p.TRP - c.p.Bus.Period())
+	}
+	b.BitwiseMAJ(r1.Bank, r1.Row, r2.Row)
+	res, err := env.Exec()
+	if err != nil {
+		return err
+	}
+	c.openRows[r1.Bank] = -1
+	env.AddService(res.Elapsed, res.Elapsed)
+	env.Respond(req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	return nil
+}
+
+// serveProfile serves a §8.1 profiling request: initialize the target line
+// with a known pattern, read it back with the requested tRCD, and report
+// whether the data survived.
+func (c *BaseController) serveProfile(env *Env, req mem.Request) error {
+	costs := env.Tile().Costs()
+	env.Charge(costs.MapAddr)
+	a := c.cfg.Mapper.Map(req.Addr)
+	c.stats.Profiles++
+	b := env.Tile().Builder()
+	if c.openRows[a.Bank] >= 0 {
+		b.PRE(a.Bank)
+		b.Wait(c.p.TRP - c.p.Bus.Period())
+	}
+	// Step 1: initialize the target cache line with the known pattern.
+	b.ACT(a.Bank, a.Row)
+	b.Wait(c.p.TRCD - c.p.Bus.Period())
+	b.WR(a.Bank, a.Col, c.profilePattern[:])
+	b.Wait(c.p.TCWL + c.p.TBL + c.p.TWR)
+	b.PRE(a.Bank)
+	b.Wait(c.p.TRP - c.p.Bus.Period())
+	// Step 2: access it with the requested (reduced) tRCD.
+	b.ACTWithRCD(a.Bank, a.Row, req.RCD)
+	b.Wait(req.RCD - c.p.Bus.Period())
+	b.RD(a.Bank, a.Col)
+	b.Wait(c.p.TCL + c.p.TBL + c.p.TRTP)
+	b.PRE(a.Bank)
+	b.Wait(c.p.TRP - c.p.Bus.Period())
+
+	res, err := env.Exec()
+	if err != nil {
+		return err
+	}
+	c.openRows[a.Bank] = -1
+	env.Charge(costs.ReadbackPerLine + costs.ProfileCompare)
+	env.AddService(res.Elapsed, res.Elapsed)
+
+	// Step 3: compare.
+	rb := env.Readback()
+	ok := false
+	if len(rb) > 0 {
+		last := rb[len(rb)-1]
+		ok = last.Reliable && bytes.Equal(last.Data[:], c.profilePattern[:])
+	}
+	env.Respond(req, ok)
+	return nil
+}
+
+var _ Controller = (*BaseController)(nil)

@@ -1,0 +1,136 @@
+// Package smc implements EasyDRAM's software memory controller: the program
+// the programmable core executes to arbitrate, schedule, and serve memory
+// requests by driving DRAM Bender (§4.1, §5.2).
+package smc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"easydram/internal/cache"
+	"easydram/internal/dram"
+)
+
+// Mapper translates physical addresses to DRAM coordinates and back
+// (EasyAPI get_addr_mapping).
+type Mapper interface {
+	Map(pa uint64) dram.Addr
+	Unmap(a dram.Addr) uint64
+	// RowBytes reports the bytes covered by one DRAM row.
+	RowBytes() int
+	// Banks reports the number of banks addressable.
+	Banks() int
+}
+
+// RowBankCol maps physical addresses as {row | bank | col | line offset}:
+// consecutive row-sized blocks rotate across banks, so any row-aligned
+// 8 KiB block occupies exactly one DRAM row — the layout RowClone's
+// allocator relies on (§7.1).
+type RowBankCol struct {
+	colBits  uint
+	bankBits uint
+	banks    int
+	cols     int
+}
+
+// NewRowBankCol builds the mapper for the chip geometry.
+func NewRowBankCol(banks, colsPerRow int) (*RowBankCol, error) {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		return nil, fmt.Errorf("smc: bank count %d must be a power of two", banks)
+	}
+	if colsPerRow <= 0 || colsPerRow&(colsPerRow-1) != 0 {
+		return nil, fmt.Errorf("smc: columns per row %d must be a power of two", colsPerRow)
+	}
+	return &RowBankCol{
+		colBits:  uint(bits.TrailingZeros(uint(colsPerRow))),
+		bankBits: uint(bits.TrailingZeros(uint(banks))),
+		banks:    banks,
+		cols:     colsPerRow,
+	}, nil
+}
+
+const lineShift = 6 // log2(cache.LineBytes)
+
+// Map implements Mapper.
+func (m *RowBankCol) Map(pa uint64) dram.Addr {
+	l := pa >> lineShift
+	col := int(l & uint64(m.cols-1))
+	l >>= m.colBits
+	bank := int(l & uint64(m.banks-1))
+	l >>= m.bankBits
+	return dram.Addr{Bank: bank, Row: int(l), Col: col}
+}
+
+// Unmap implements Mapper.
+func (m *RowBankCol) Unmap(a dram.Addr) uint64 {
+	l := uint64(a.Row)
+	l = l<<m.bankBits | uint64(a.Bank)
+	l = l<<m.colBits | uint64(a.Col)
+	return l << lineShift
+}
+
+// RowBytes implements Mapper.
+func (m *RowBankCol) RowBytes() int { return m.cols * cache.LineBytes }
+
+// Banks implements Mapper.
+func (m *RowBankCol) Banks() int { return m.banks }
+
+// BankRowCol maps physical addresses as {bank | row | col | line offset}:
+// each bank owns a contiguous region of the physical space. Used by
+// configuration sweeps.
+type BankRowCol struct {
+	colBits uint
+	rowBits uint
+	banks   int
+	cols    int
+	rows    int
+}
+
+// NewBankRowCol builds the mapper for the chip geometry.
+func NewBankRowCol(banks, rowsPerBank, colsPerRow int) (*BankRowCol, error) {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		return nil, fmt.Errorf("smc: bank count %d must be a power of two", banks)
+	}
+	if rowsPerBank <= 0 || rowsPerBank&(rowsPerBank-1) != 0 {
+		return nil, fmt.Errorf("smc: rows per bank %d must be a power of two", rowsPerBank)
+	}
+	if colsPerRow <= 0 || colsPerRow&(colsPerRow-1) != 0 {
+		return nil, fmt.Errorf("smc: columns per row %d must be a power of two", colsPerRow)
+	}
+	return &BankRowCol{
+		colBits: uint(bits.TrailingZeros(uint(colsPerRow))),
+		rowBits: uint(bits.TrailingZeros(uint(rowsPerBank))),
+		banks:   banks,
+		cols:    colsPerRow,
+		rows:    rowsPerBank,
+	}, nil
+}
+
+// Map implements Mapper.
+func (m *BankRowCol) Map(pa uint64) dram.Addr {
+	l := pa >> lineShift
+	col := int(l & uint64(m.cols-1))
+	l >>= m.colBits
+	row := int(l & uint64(m.rows-1))
+	l >>= m.rowBits
+	return dram.Addr{Bank: int(l) % m.banks, Row: row, Col: col}
+}
+
+// Unmap implements Mapper.
+func (m *BankRowCol) Unmap(a dram.Addr) uint64 {
+	l := uint64(a.Bank)
+	l = l<<m.rowBits | uint64(a.Row)
+	l = l<<m.colBits | uint64(a.Col)
+	return l << lineShift
+}
+
+// RowBytes implements Mapper.
+func (m *BankRowCol) RowBytes() int { return m.cols * cache.LineBytes }
+
+// Banks implements Mapper.
+func (m *BankRowCol) Banks() int { return m.banks }
+
+var (
+	_ Mapper = (*RowBankCol)(nil)
+	_ Mapper = (*BankRowCol)(nil)
+)

@@ -1,0 +1,70 @@
+package smc
+
+import (
+	"easydram/internal/mem"
+)
+
+// Scheduler selects the next buffered request to serve (EasyAPI provides
+// FCFS and FR-FCFS implementations; users can plug their own).
+type Scheduler interface {
+	Name() string
+	// Pick returns the index of the request to serve next. openRow reports
+	// the currently open row of a bank (-1 when precharged). Pick is only
+	// called with a non-empty table.
+	Pick(table []mem.Request, openRow func(bank int) int, m Mapper) int
+}
+
+// FCFS serves requests strictly in arrival order.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Scheduler.
+func (FCFS) Pick(table []mem.Request, openRow func(int) int, m Mapper) int { return 0 }
+
+// FRFCFS implements First-Ready, First-Come-First-Served with read priority:
+// row-hit reads, then row-hit writes, then the oldest read, then the oldest
+// request.
+type FRFCFS struct{}
+
+// Name implements Scheduler.
+func (FRFCFS) Name() string { return "fr-fcfs" }
+
+// Pick implements Scheduler.
+func (FRFCFS) Pick(table []mem.Request, openRow func(int) int, m Mapper) int {
+	hitWrite, read, first := -1, -1, 0
+	for i, r := range table {
+		switch r.Kind {
+		case mem.Read, mem.Write, mem.Writeback:
+		default:
+			// Techniques (RowClone, Profile) are never row hits; they are
+			// served in arrival order.
+			continue
+		}
+		a := m.Map(r.Addr)
+		if openRow(a.Bank) == a.Row {
+			if r.Kind == mem.Read {
+				return i // oldest row-hit read wins immediately
+			}
+			if hitWrite < 0 {
+				hitWrite = i
+			}
+		}
+		if read < 0 && r.Kind == mem.Read {
+			read = i
+		}
+	}
+	if hitWrite >= 0 {
+		return hitWrite
+	}
+	if read >= 0 {
+		return read
+	}
+	return first
+}
+
+var (
+	_ Scheduler = FCFS{}
+	_ Scheduler = FRFCFS{}
+)

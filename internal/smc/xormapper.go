@@ -1,0 +1,51 @@
+package smc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"easydram/internal/dram"
+)
+
+// XORBank is the permutation-based bank indexing of Zhang et al. (the
+// scheme most real memory controllers use): the bank index is XORed with
+// low-order row bits, spreading row-conflicting strides across banks.
+// Layout otherwise matches RowBankCol, and the transformation is an
+// involution, so Unmap applies the same XOR.
+type XORBank struct {
+	inner *RowBankCol
+	banks int
+}
+
+// NewXORBank builds the XOR-permuted mapper.
+func NewXORBank(banks, colsPerRow int) (*XORBank, error) {
+	inner, err := NewRowBankCol(banks, colsPerRow)
+	if err != nil {
+		return nil, fmt.Errorf("smc: xor mapper: %w", err)
+	}
+	if bits.OnesCount(uint(banks)) != 1 {
+		return nil, fmt.Errorf("smc: xor mapper: bank count %d must be a power of two", banks)
+	}
+	return &XORBank{inner: inner, banks: banks}, nil
+}
+
+// Map implements Mapper.
+func (m *XORBank) Map(pa uint64) dram.Addr {
+	a := m.inner.Map(pa)
+	a.Bank ^= a.Row & (m.banks - 1)
+	return a
+}
+
+// Unmap implements Mapper.
+func (m *XORBank) Unmap(a dram.Addr) uint64 {
+	a.Bank ^= a.Row & (m.banks - 1)
+	return m.inner.Unmap(a)
+}
+
+// RowBytes implements Mapper.
+func (m *XORBank) RowBytes() int { return m.inner.RowBytes() }
+
+// Banks implements Mapper.
+func (m *XORBank) Banks() int { return m.banks }
+
+var _ Mapper = (*XORBank)(nil)

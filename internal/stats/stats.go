@@ -1,0 +1,162 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment runners share: geometric means, aligned tables, series
+// rendering, and ASCII heatmaps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (ignoring non-positive values).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	out := 0.0
+	for i, x := range xs {
+		if i == 0 || x > out {
+			out = x
+		}
+	}
+	return out
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render returns the aligned text rendering.
+func (t Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x label, y value) pairs.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// RenderSeries renders several series sharing x labels as a table.
+func RenderSeries(title, xName string, xs []string, series []Series) string {
+	t := Table{Title: title, Header: append([]string{xName}, names(series)...)}
+	for i, x := range xs {
+		row := []string{x}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Heatmap renders a dense matrix as ASCII using the given level glyphs
+// (value -> glyph index chosen by thresholds ascending).
+func Heatmap(title string, values [][]float64, thresholds []float64, glyphs string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, row := range values {
+		for _, v := range row {
+			idx := 0
+			for i, th := range thresholds {
+				if v > th {
+					idx = i + 1
+				}
+			}
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+			b.WriteByte(glyphs[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count in the paper's axis style (8K, 16M...).
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Geomean = %v, want 2", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatalf("empty geomean must be 0")
+	}
+	// Non-positive values are ignored.
+	if math.Abs(Geomean([]float64{0, -1, 4})-4) > 1e-9 {
+		t.Fatalf("geomean must skip non-positive values")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatalf("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatalf("empty mean must be 0")
+	}
+	if Max([]float64{3, 1, 2}) != 3 {
+		t.Fatalf("Max wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Title: "demo", Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "100")
+	out := tbl.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns are aligned: both data rows have the same prefix width.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "100") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("t", "x", []string{"a", "b"}, []Series{
+		{Name: "s1", Y: []float64{1, 2}},
+		{Name: "s2", Y: []float64{3}},
+	})
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "1.000") {
+		t.Fatalf("series render wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "-") { // missing point placeholder
+		t.Fatalf("missing placeholder for short series:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("h", [][]float64{{1, 5}, {9, 12}}, []float64{4, 8}, ".-#")
+	if !strings.Contains(out, ".-") || !strings.Contains(out, "##") {
+		t.Fatalf("heatmap wrong:\n%s", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		8 << 10:  "8K",
+		16 << 20: "16M",
+		100:      "100",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

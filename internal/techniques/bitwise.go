@@ -1,0 +1,100 @@
+package techniques
+
+import (
+	"fmt"
+
+	"easydram/internal/alloc"
+	"easydram/internal/core"
+	"easydram/internal/dram"
+)
+
+// In-DRAM bulk bitwise operations (extension; the paper's §9 lists
+// ComputeDRAM/Ambit as techniques EasyDRAM can host). A many-row activation
+// computes the bitwise majority of three rows; presetting the third
+// ("control") row to all-zeros yields AND of the operands, all-ones yields
+// OR. The operation is destructive: all three rows end with the result.
+
+// BitwiseTriple is a set of row addresses usable for one in-DRAM bitwise
+// operation: Ctl's row index is the bitwise OR of A's and B's, all three in
+// one subarray.
+type BitwiseTriple struct {
+	A, B, Ctl uint64
+}
+
+// FindBitwiseTriple allocates a row triple suitable for many-row activation
+// inside one subarray: row indices rA, rB with rA|rB = rCtl, all three
+// free. It scans the allocator's subarrays for aligned rows of the form
+// (base+2^k, base+2^j, base+2^k+2^j).
+func FindBitwiseTriple(a *alloc.Allocator) (BitwiseTriple, error) {
+	rowBytes := uint64(a.RowBytes())
+	banks := uint64(16)
+	// Row r of bank 0 sits at linear block r*banks. Try (4,2,6)-style
+	// offsets within successive aligned groups of 8 rows.
+	for group := uint64(0); group < 4096; group += 8 {
+		rA, rB := group+4, group+2
+		rCtl := rA | rB // group+6
+		baseA := rA * banks * rowBytes
+		baseB := rB * banks * rowBytes
+		baseC := rCtl * banks * rowBytes
+		if !a.SameSubarray(baseA, baseB) || !a.SameSubarray(baseA, baseC) {
+			continue
+		}
+		if a.TakeRow(baseA) != nil {
+			continue
+		}
+		if a.TakeRow(baseB) != nil {
+			continue
+		}
+		if a.TakeRow(baseC) != nil {
+			continue
+		}
+		return BitwiseTriple{A: baseA, B: baseB, Ctl: baseC}, nil
+	}
+	return BitwiseTriple{}, fmt.Errorf("techniques: no free bitwise triple found")
+}
+
+// BulkAND computes, in DRAM, the bitwise AND of the rows at t.A and t.B,
+// leaving the result in all three rows of the triple. The control row must
+// already hold all-zeros (use InitRowPattern). Returns whether the chip
+// committed the operation.
+func BulkAND(sys *core.System, t BitwiseTriple) (bool, error) {
+	return sys.BitwiseMAJ(t.A, t.B)
+}
+
+// BulkOR is BulkAND with an all-ones control row.
+func BulkOR(sys *core.System, t BitwiseTriple) (bool, error) {
+	return sys.BitwiseMAJ(t.A, t.B)
+}
+
+// InitRowPattern fills a row with a repeated byte via the chip's debug
+// store (host-side setup; a production flow would stream WR commands).
+// Requires a data-tracking chip.
+func InitRowPattern(sys *core.System, rowBase uint64, pattern byte) error {
+	chip := sys.Chip()
+	if !chip.Config().TrackData {
+		return fmt.Errorf("techniques: bitwise setup needs a data-tracking chip")
+	}
+	line := make([]byte, dram.LineBytes)
+	for i := range line {
+		line[i] = pattern
+	}
+	rowBytes := uint64(chip.RowBytes())
+	for off := uint64(0); off < rowBytes; off += dram.LineBytes {
+		a := sys.Mapper().Map(rowBase + off)
+		if !chip.PokeLine(a, line) {
+			return fmt.Errorf("techniques: poke failed at %v", a)
+		}
+	}
+	return nil
+}
+
+// ReadRowByte returns the first byte of the row's first line (result
+// checks in tests and examples).
+func ReadRowByte(sys *core.System, rowBase uint64) (byte, error) {
+	chip := sys.Chip()
+	buf := make([]byte, dram.LineBytes)
+	if !chip.PeekLine(sys.Mapper().Map(rowBase), buf) {
+		return 0, fmt.Errorf("techniques: peek needs a data-tracking chip")
+	}
+	return buf[0], nil
+}

@@ -1,0 +1,145 @@
+package techniques
+
+import (
+	"testing"
+
+	"easydram/internal/alloc"
+	"easydram/internal/core"
+)
+
+func newBitwiseSystem(t *testing.T) (*core.System, *alloc.Allocator) {
+	t.Helper()
+	cfg := core.TimeScalingA57()
+	cfg.DRAM = core.TechniqueDRAM()
+	cfg.DRAM.RowsPerBank = 4096
+	cfg.DRAM.Ideal = true // deterministic data checks
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := alloc.New(sys.Mapper(), 512, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, a
+}
+
+func TestFindBitwiseTriple(t *testing.T) {
+	sys, a := newBitwiseSystem(t)
+	tr, err := FindBitwiseTriple(a)
+	if err != nil {
+		t.Fatalf("FindBitwiseTriple: %v", err)
+	}
+	mA, mB, mC := sys.Mapper().Map(tr.A), sys.Mapper().Map(tr.B), sys.Mapper().Map(tr.Ctl)
+	if mA.Bank != mB.Bank || mA.Bank != mC.Bank {
+		t.Fatalf("triple spans banks: %v %v %v", mA, mB, mC)
+	}
+	if mA.Row|mB.Row != mC.Row {
+		t.Fatalf("control row %d is not the OR of %d and %d", mC.Row, mA.Row, mB.Row)
+	}
+	// Rows are reserved: a second search returns a different triple.
+	tr2, err := FindBitwiseTriple(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.A == tr.A {
+		t.Fatalf("second triple reused reserved rows")
+	}
+}
+
+func TestBulkANDEndToEnd(t *testing.T) {
+	sys, a := newBitwiseSystem(t)
+	tr, err := FindBitwiseTriple(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InitRowPattern(sys, tr.A, 0b1100_1100); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitRowPattern(sys, tr.B, 0b1010_1010); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitRowPattern(sys, tr.Ctl, 0x00); err != nil { // AND
+		t.Fatal(err)
+	}
+	ok, err := BulkAND(sys, tr)
+	if err != nil {
+		t.Fatalf("BulkAND: %v", err)
+	}
+	if !ok {
+		t.Fatalf("operation did not commit")
+	}
+	got, err := ReadRowByte(sys, tr.Ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0b1000_1000 {
+		t.Fatalf("AND result %08b, want 10001000", got)
+	}
+}
+
+func TestBulkOREndToEnd(t *testing.T) {
+	sys, a := newBitwiseSystem(t)
+	tr, err := FindBitwiseTriple(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InitRowPattern(sys, tr.A, 0b1100_0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitRowPattern(sys, tr.B, 0b0000_0011); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitRowPattern(sys, tr.Ctl, 0xFF); err != nil { // OR
+		t.Fatal(err)
+	}
+	ok, err := BulkOR(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("operation did not commit")
+	}
+	got, err := ReadRowByte(sys, tr.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0b1100_0011 {
+		t.Fatalf("OR result %08b, want 11000011", got)
+	}
+}
+
+func TestBitwiseOnRealChipCanFail(t *testing.T) {
+	cfg := core.TimeScalingA57()
+	cfg.DRAM = core.TechniqueDRAM()
+	cfg.DRAM.RowsPerBank = 4096
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := alloc.New(sys.Mapper(), 512, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount, n := 0, 0
+	for i := 0; i < 32; i++ {
+		tr, err := FindBitwiseTriple(a)
+		if err != nil {
+			break
+		}
+		ok, err := sys.BitwiseMAJ(tr.A, tr.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if ok {
+			okCount++
+		}
+	}
+	if n == 0 {
+		t.Fatalf("no triples tested")
+	}
+	if okCount == 0 || okCount == n {
+		t.Fatalf("variation model should gate success: %d/%d", okCount, n)
+	}
+}

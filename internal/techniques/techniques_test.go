@@ -1,0 +1,239 @@
+package techniques
+
+import (
+	"testing"
+
+	"easydram/internal/alloc"
+	"easydram/internal/core"
+	"easydram/internal/workload"
+)
+
+func newTechSystem(t *testing.T, ideal bool) *core.System {
+	t.Helper()
+	cfg := core.TimeScalingA57()
+	cfg.DRAM = core.TechniqueDRAM()
+	cfg.DRAM.RowsPerBank = 4096
+	cfg.DRAM.Ideal = ideal
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func newTechAllocator(t *testing.T, sys *core.System) *alloc.Allocator {
+	t.Helper()
+	a, err := alloc.New(sys.Mapper(), 512, 4096)
+	if err != nil {
+		t.Fatalf("alloc.New: %v", err)
+	}
+	return a
+}
+
+func TestPlanCopySearchesClonableDestinations(t *testing.T) {
+	sys := newTechSystem(t, false)
+	a := newTechAllocator(t, sys)
+	src, err := a.AllocContiguous(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanCopy(a, src, 16*8192, SystemTester(sys, 2), false)
+	if err != nil {
+		t.Fatalf("PlanCopy: %v", err)
+	}
+	if len(plan.Actions) != 16 {
+		t.Fatalf("plan has %d actions, want 16", len(plan.Actions))
+	}
+	// With ~85% per-pair clonability and an 8-candidate search, fallback
+	// should be essentially zero.
+	if fb := FallbackFraction(plan); fb > 0.1 {
+		t.Fatalf("copy fallback fraction %.2f too high", fb)
+	}
+	// Every clone destination must share the source's subarray.
+	for _, act := range plan.Actions {
+		if act.Clone && !a.SameSubarray(act.Src, act.Dst) {
+			t.Fatalf("clone pair %x->%x crosses subarrays", act.Src, act.Dst)
+		}
+	}
+}
+
+func TestPlanCopyAllFallbackWhenNothingClones(t *testing.T) {
+	sys := newTechSystem(t, false)
+	a := newTechAllocator(t, sys)
+	src, err := a.AllocContiguous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	never := func(src, dst uint64) (bool, error) { return false, nil }
+	plan, err := PlanCopy(a, src, 4*8192, never, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := FallbackFraction(plan); fb != 1 {
+		t.Fatalf("fallback fraction = %.2f, want 1", fb)
+	}
+	// Fallback rows still get destinations.
+	for _, act := range plan.Actions {
+		if act.Dst == 0 {
+			t.Fatalf("fallback action missing destination")
+		}
+	}
+}
+
+func TestPlanInitUsesSubarrayDonors(t *testing.T) {
+	sys := newTechSystem(t, false)
+	a := newTechAllocator(t, sys)
+	dst, err := a.AllocContiguous(32) // spans two rows in each of 16 banks
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanInit(a, dst, 32*8192, SystemTester(sys, 2), false)
+	if err != nil {
+		t.Fatalf("PlanInit: %v", err)
+	}
+	if len(plan.Actions) != 32 {
+		t.Fatalf("plan has %d actions", len(plan.Actions))
+	}
+	if !plan.Init {
+		t.Fatalf("init plan must set Init")
+	}
+	if len(plan.InitSources) == 0 {
+		t.Fatalf("init plan has no pattern rows")
+	}
+	// Donors must never be destination rows.
+	dsts := map[uint64]bool{}
+	for _, act := range plan.Actions {
+		dsts[act.Dst] = true
+	}
+	for _, s := range plan.InitSources {
+		if dsts[s] {
+			t.Fatalf("pattern row %x is also a destination", s)
+		}
+	}
+	// Every clone's source must be a registered pattern row in the same
+	// subarray.
+	srcs := map[uint64]bool{}
+	for _, s := range plan.InitSources {
+		srcs[s] = true
+	}
+	for _, act := range plan.Actions {
+		if act.Clone {
+			if !srcs[act.Src] {
+				t.Fatalf("clone source %x is not a pattern row", act.Src)
+			}
+			if !a.SameSubarray(act.Src, act.Dst) {
+				t.Fatalf("init clone crosses subarrays")
+			}
+		}
+	}
+}
+
+func TestPlanInitIdealChipHasNoFallback(t *testing.T) {
+	sys := newTechSystem(t, true)
+	a := newTechAllocator(t, sys)
+	dst, err := a.AllocContiguous(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanInit(a, dst, 16*8192, SystemTester(sys, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := FallbackFraction(plan); fb != 0 {
+		t.Fatalf("ideal chip must have zero fallback, got %.2f", fb)
+	}
+}
+
+func TestProfileWeakRowsMatchesGroundTruth(t *testing.T) {
+	sys := newTechSystem(t, false)
+	const span = 256 * 8192 // 256 row blocks
+	weak, st, err := ProfileWeakRows(sys, 0, span, ReducedTRCD)
+	if err != nil {
+		t.Fatalf("ProfileWeakRows: %v", err)
+	}
+	vm := sys.Chip().Variation()
+	truth := 0
+	for i := 0; i < 256; i++ {
+		a := sys.Mapper().Map(uint64(i) * 8192)
+		if !vm.Strong(a.Bank, a.Row) {
+			truth++
+		}
+	}
+	if len(weak) != truth {
+		t.Fatalf("profiled %d weak rows, ground truth %d", len(weak), truth)
+	}
+	if st.Rows != 256 {
+		t.Fatalf("profiled %d rows", st.Rows)
+	}
+	if st.StrongFraction() < 0.5 {
+		t.Fatalf("strong fraction %.2f implausible", st.StrongFraction())
+	}
+}
+
+func TestMinReliableTRCDAgainstModel(t *testing.T) {
+	sys := newTechSystem(t, false)
+	vm := sys.Chip().Variation()
+	nominal := sys.Chip().Timing().TRCD
+	for i := 0; i < 32; i++ {
+		base := uint64(i) * 8192
+		a := sys.Mapper().Map(base)
+		got, err := MinReliableTRCD(sys, base, nominal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != vm.MinTRCDRow(a.Bank, a.Row) {
+			t.Fatalf("row %d: profiled %v, model %v", i, got, vm.MinTRCDRow(a.Bank, a.Row))
+		}
+	}
+}
+
+func TestTRCDProviderSemantics(t *testing.T) {
+	sys := newTechSystem(t, false)
+	weak, _, err := ProfileWeakRows(sys, 0, 128*8192, ReducedTRCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := BuildWeakRowFilter(weak, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := TRCDProvider(filter, sys.Mapper(), 0, 128*8192, ReducedTRCD)
+	vm := sys.Chip().Variation()
+	reduced, nominal := 0, 0
+	for i := 0; i < 128; i++ {
+		a := sys.Mapper().Map(uint64(i) * 8192)
+		got := provider(a)
+		if !vm.Strong(a.Bank, a.Row) && got != 0 {
+			t.Fatalf("weak row %d offered reduced tRCD — reliability violation", i)
+		}
+		if got == 0 {
+			nominal++
+		} else {
+			reduced++
+		}
+	}
+	if reduced == 0 {
+		t.Fatalf("no rows got the reduced timing")
+	}
+	// Rows outside the profiled range are conservatively nominal.
+	out := sys.Mapper().Map(uint64(4000) * 8192)
+	if provider(out) != 0 {
+		t.Fatalf("unprofiled row must stay nominal")
+	}
+}
+
+func TestBuildWeakRowFilterEmpty(t *testing.T) {
+	f, err := BuildWeakRowFilter(nil, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Contains(12345) {
+		t.Fatalf("empty weak set must contain nothing")
+	}
+}
+
+func TestFallbackFractionEmptyPlan(t *testing.T) {
+	if FallbackFraction(workload.RowClonePlan{}) != 0 {
+		t.Fatalf("empty plan fallback must be 0")
+	}
+}

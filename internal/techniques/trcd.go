@@ -1,0 +1,126 @@
+package techniques
+
+import (
+	"fmt"
+
+	"easydram/internal/bloom"
+	"easydram/internal/clock"
+	"easydram/internal/core"
+	"easydram/internal/dram"
+	"easydram/internal/smc"
+)
+
+// ReducedTRCD is the aggressive tRCD the technique uses for strong rows
+// (§8.1: rows reliable at <=9.0 ns are strong).
+const ReducedTRCD = clock.PS(9000)
+
+// RCDLevels is the characterization grid of Figure 12.
+var RCDLevels = []clock.PS{9000, 9500, 10000, 10500}
+
+// ProfileStats summarises a characterization pass.
+type ProfileStats struct {
+	Rows       int
+	WeakRows   int
+	LinesTried int
+}
+
+// StrongFraction reports the measured fraction of strong rows.
+func (s ProfileStats) StrongFraction() float64 {
+	if s.Rows == 0 {
+		return 0
+	}
+	return float64(s.Rows-s.WeakRows) / float64(s.Rows)
+}
+
+// ProfileWeakRows characterizes every row in the physical address range
+// [start, end) by issuing profiling requests for each cache line at the
+// reduced tRCD (§8.1). A row is weak if any of its lines fails. The
+// returned slice holds the row base addresses of weak rows.
+func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
+	var stats ProfileStats
+	var weak []uint64
+	rowBytes := uint64(sys.Mapper().RowBytes())
+	start &^= rowBytes - 1
+	for row := start; row < end; row += rowBytes {
+		stats.Rows++
+		rowWeak := false
+		for line := uint64(0); line < rowBytes; line += dram.LineBytes {
+			stats.LinesTried++
+			ok, err := sys.ProfileLine(row+line, rcd)
+			if err != nil {
+				return nil, stats, fmt.Errorf("techniques: profiling row %#x: %w", row, err)
+			}
+			if !ok {
+				rowWeak = true
+				break
+			}
+		}
+		if rowWeak {
+			stats.WeakRows++
+			weak = append(weak, row)
+		}
+	}
+	return weak, stats, nil
+}
+
+// MinReliableTRCD characterizes one row against the full level grid and
+// returns the smallest tRCD at which every line reads reliably (the value
+// Figure 12 plots). Nominal tRCD is returned when even the largest grid
+// level fails.
+func MinReliableTRCD(sys *core.System, rowBase uint64, nominal clock.PS) (clock.PS, error) {
+	rowBytes := uint64(sys.Mapper().RowBytes())
+	for _, lv := range RCDLevels {
+		allOK := true
+		for line := uint64(0); line < rowBytes; line += dram.LineBytes {
+			ok, err := sys.ProfileLine(rowBase+line, lv)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			return lv, nil
+		}
+	}
+	return nominal, nil
+}
+
+// BuildWeakRowFilter inserts the weak rows into a Bloom filter sized for
+// the observed weak population at the given false-positive rate (§8.2,
+// RAIDR-style).
+func BuildWeakRowFilter(weakRows []uint64, fpRate float64, seed uint64) (*bloom.Filter, error) {
+	n := len(weakRows)
+	if n == 0 {
+		n = 1
+	}
+	f, err := bloom.NewForCapacity(n, fpRate, seed)
+	if err != nil {
+		return nil, fmt.Errorf("techniques: %w", err)
+	}
+	for _, r := range weakRows {
+		f.Add(r)
+	}
+	return f, nil
+}
+
+// TRCDProvider returns the scheduler hook: strong rows activate with the
+// reduced tRCD; rows in the weak-row filter (plus false positives) use the
+// nominal value. Rows outside the profiled range are conservatively
+// nominal.
+func TRCDProvider(f *bloom.Filter, m smc.Mapper, profiledStart, profiledEnd uint64, reduced clock.PS) smc.TRCDProvider {
+	rowBytes := uint64(m.RowBytes())
+	return func(a dram.Addr) clock.PS {
+		rowBase := m.Unmap(dram.Addr{Bank: a.Bank, Row: a.Row})
+		if rowBase < profiledStart || rowBase >= profiledEnd {
+			return 0 // nominal
+		}
+		_ = rowBytes
+		if f.Contains(rowBase) {
+			return 0 // weak (or false positive): nominal
+		}
+		return reduced
+	}
+}

@@ -1,0 +1,144 @@
+// Package tile models EasyTile (§5.1): the hardware module that packs the
+// programmable core, DRAM Bender, the command/readback buffers, the
+// incoming/outgoing request FIFOs, and the Tile Control Logic.
+//
+// Because the programmable core executes the software memory controller,
+// every controller action costs FPGA cycles. The CostModel quantifies those
+// costs; they are what time scaling must hide from the emulated system.
+package tile
+
+import (
+	"fmt"
+
+	"easydram/internal/bender"
+	"easydram/internal/clock"
+	"easydram/internal/dram"
+	"easydram/internal/mem"
+)
+
+// CostModel is the FPGA-cycle cost of each software-memory-controller
+// operation on the programmable (Rocket-class, 100 MHz) core. The defaults
+// are calibrated so a simple read miss costs ~60-80 FPGA cycles end to end,
+// matching the latency class the paper reports for software scheduling.
+type CostModel struct {
+	Poll            int // check the incoming FIFO
+	ReceiveRequest  int // move one request from hardware buffers to memory
+	CriticalEnter   int // set_scheduling_state(true)
+	CriticalExit    int // set_scheduling_state(false)
+	ScheduleBase    int // scheduling decision, fixed part
+	SchedulePerReq  int // scheduling decision, per buffered request
+	MapAddr         int // physical -> DRAM address translation
+	BuildPerInstr   int // append one DRAM Bender instruction
+	FlushLaunch     int // trigger DRAM Bender execution
+	FlushPerInstr   int // transfer one instruction to the command buffer
+	ReadbackPerLine int // move one line from the readback buffer
+	Respond         int // enqueue a response
+	BloomCheck      int // tRCD Bloom-filter lookup (§8.2)
+	ProfileCompare  int // compare a profiled line against the test pattern
+}
+
+// DefaultCostModel returns the calibrated default costs.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Poll:            4,
+		ReceiveRequest:  10,
+		CriticalEnter:   2,
+		CriticalExit:    2,
+		ScheduleBase:    8,
+		SchedulePerReq:  2,
+		MapAddr:         4,
+		BuildPerInstr:   3,
+		FlushLaunch:     8,
+		FlushPerInstr:   1,
+		ReadbackPerLine: 5,
+		Respond:         8,
+		BloomCheck:      10,
+		ProfileCompare:  12,
+	}
+}
+
+// Stats counts tile-level events.
+type Stats struct {
+	RequestsIn   int64
+	ResponsesOut int64
+	MaxQueueLen  int
+	ProgramsRun  int64
+	InstrsRun    int64
+}
+
+// Tile couples the hardware buffers with DRAM Bender.
+type Tile struct {
+	costs   CostModel
+	engine  *bender.Engine
+	builder *bender.Builder
+
+	incoming []mem.Request
+	stats    Stats
+
+	// dramCursor is the DRAM-bus absolute time of the next Bender program.
+	dramCursor clock.PS
+}
+
+// New builds a tile over the given chip.
+func New(chip *dram.Chip, costs CostModel) *Tile {
+	eng := bender.NewEngine(chip, 0)
+	return &Tile{
+		costs:   costs,
+		engine:  eng,
+		builder: bender.NewBuilder(chip.Timing()),
+	}
+}
+
+// Costs returns the cost model.
+func (t *Tile) Costs() CostModel { return t.costs }
+
+// Chip returns the DRAM model behind Bender.
+func (t *Tile) Chip() *dram.Chip { return t.engine.Chip() }
+
+// Builder returns the shared program builder (reset per program).
+func (t *Tile) Builder() *bender.Builder { return t.builder }
+
+// Stats returns a snapshot of tile counters.
+func (t *Tile) Stats() Stats { return t.stats }
+
+// PushRequest inserts a request into the incoming FIFO (Tile Control Logic
+// does this automatically as requests arrive on the memory bus).
+func (t *Tile) PushRequest(r mem.Request) {
+	t.incoming = append(t.incoming, r)
+	t.stats.RequestsIn++
+	if len(t.incoming) > t.stats.MaxQueueLen {
+		t.stats.MaxQueueLen = len(t.incoming)
+	}
+}
+
+// IncomingEmpty reports whether the request FIFO is empty.
+func (t *Tile) IncomingEmpty() bool { return len(t.incoming) == 0 }
+
+// PopRequest removes and returns the oldest incoming request.
+func (t *Tile) PopRequest() (mem.Request, bool) {
+	if len(t.incoming) == 0 {
+		return mem.Request{}, false
+	}
+	r := t.incoming[0]
+	copy(t.incoming, t.incoming[1:])
+	t.incoming = t.incoming[:len(t.incoming)-1]
+	return r, true
+}
+
+// Exec runs the builder's current program on DRAM Bender, advancing the
+// DRAM-bus cursor, and returns the result plus drained readback lines.
+func (t *Tile) Exec() (bender.Result, []bender.ReadLine, error) {
+	prog := t.builder.Program()
+	res, err := t.engine.Exec(prog, t.dramCursor, t.builder.WriteBuf())
+	if err != nil {
+		return res, nil, fmt.Errorf("tile: %w", err)
+	}
+	t.dramCursor += res.Elapsed
+	// A small inter-program gap models the Bender launch turnaround.
+	t.dramCursor += t.Chip().Timing().Bus.Period()
+	t.stats.ProgramsRun++
+	t.stats.InstrsRun += int64(len(prog))
+	rb := t.engine.DrainReadback()
+	t.builder.Reset()
+	return res, rb, nil
+}

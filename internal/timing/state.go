@@ -1,0 +1,235 @@
+package timing
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+)
+
+// Cmd is a DRAM command kind as seen by the timing checker.
+type Cmd uint8
+
+// DRAM command kinds.
+const (
+	CmdACT Cmd = iota + 1
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+)
+
+var cmdNames = map[Cmd]string{
+	CmdACT: "ACT", CmdPRE: "PRE", CmdRD: "RD", CmdWR: "WR", CmdREF: "REF",
+}
+
+func (c Cmd) String() string {
+	if s, ok := cmdNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Cmd(%d)", uint8(c))
+}
+
+// Violation describes one timing-parameter violation observed when a command
+// was issued earlier than the standard allows.
+type Violation struct {
+	Param     string   // e.g. "tRCD"
+	Cmd       Cmd      // the command that violated the parameter
+	Need      clock.PS // earliest legal issue time
+	Actual    clock.PS // actual issue time
+	Shortfall clock.PS
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violates %s by %s", v.Cmd, v.Param, v.Shortfall)
+}
+
+// BankState tracks the timing-relevant history of a single bank.
+type BankState struct {
+	Open    bool
+	OpenRow int
+	LastACT clock.PS
+	LastPRE clock.PS
+	LastRD  clock.PS
+	LastWR  clock.PS
+	// LastWRData is when the last write burst finished on the bus.
+	LastWRData clock.PS
+	// ActRCD is the tRCD in effect for the currently open row (reduced-tRCD
+	// techniques activate with a shorter tRCD).
+	ActRCD clock.PS
+}
+
+const never = clock.PS(-1 << 62)
+
+// NewBankState returns a bank whose history predates all commands.
+func NewBankState() BankState {
+	return BankState{
+		OpenRow: -1, LastACT: never, LastPRE: never,
+		LastRD: never, LastWR: never, LastWRData: never,
+	}
+}
+
+// Checker tracks per-bank and cross-bank timing state for one rank and
+// reports, for each command, the earliest legal issue time and any violations
+// when the command is issued regardless.
+//
+// Checker never prevents a command from executing: EasyDRAM's whole purpose
+// is to issue command sequences that violate the standard. The chip model
+// consults the violations to decide physical behaviour.
+type Checker struct {
+	p          Params
+	banks      []BankState
+	bankGroups int
+	perGroup   int
+	// actWindow holds issue times of the most recent four ACTs (tFAW).
+	actWindow [4]clock.PS
+	actIdx    int
+	lastBus   clock.PS // last data-bus occupancy end
+	lastREF   clock.PS
+}
+
+// NewChecker returns a Checker for bankGroups*banksPerGroup banks.
+func NewChecker(p Params, bankGroups, banksPerGroup int) *Checker {
+	n := bankGroups * banksPerGroup
+	banks := make([]BankState, n)
+	for i := range banks {
+		banks[i] = NewBankState()
+	}
+	c := &Checker{p: p, banks: banks, bankGroups: bankGroups, perGroup: banksPerGroup, lastBus: never, lastREF: never}
+	for i := range c.actWindow {
+		c.actWindow[i] = never
+	}
+	return c
+}
+
+// Params returns the parameter set the checker enforces.
+func (c *Checker) Params() Params { return c.p }
+
+// NumBanks reports the number of banks tracked.
+func (c *Checker) NumBanks() int { return len(c.banks) }
+
+// Bank returns a pointer to the state of bank b.
+func (c *Checker) Bank(b int) *BankState { return &c.banks[b] }
+
+func (c *Checker) group(bank int) int { return bank / c.perGroup }
+
+func maxPS(a, b clock.PS) clock.PS {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EarliestACT reports the earliest standard-legal time for ACT on bank b.
+func (c *Checker) EarliestACT(b int) clock.PS {
+	bank := &c.banks[b]
+	t := bank.LastPRE + c.p.TRP
+	t = maxPS(t, bank.LastACT+c.p.TRC)
+	t = maxPS(t, c.lastREF+c.p.TRFC)
+	for _, ob := range c.banksInGroup(c.group(b)) {
+		t = maxPS(t, c.banks[ob].LastACT+c.p.TRRDL)
+	}
+	for i := range c.banks {
+		t = maxPS(t, c.banks[i].LastACT+c.p.TRRDS)
+	}
+	// tFAW: at most four ACTs in any tFAW window.
+	oldest := c.actWindow[c.actIdx]
+	t = maxPS(t, oldest+c.p.TFAW)
+	return t
+}
+
+func (c *Checker) banksInGroup(g int) []int {
+	out := make([]int, 0, c.perGroup)
+	for i := g * c.perGroup; i < (g+1)*c.perGroup; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// EarliestPRE reports the earliest standard-legal time for PRE on bank b.
+func (c *Checker) EarliestPRE(b int) clock.PS {
+	bank := &c.banks[b]
+	t := bank.LastACT + c.p.TRAS
+	t = maxPS(t, bank.LastRD+c.p.TRTP)
+	t = maxPS(t, bank.LastWRData+c.p.TWR)
+	return t
+}
+
+// EarliestRD reports the earliest standard-legal time for RD on bank b.
+func (c *Checker) EarliestRD(b int) clock.PS {
+	bank := &c.banks[b]
+	t := bank.LastACT + bank.effRCD(c.p)
+	t = c.colGlobal(b, t)
+	return t
+}
+
+// EarliestWR reports the earliest standard-legal time for WR on bank b.
+func (c *Checker) EarliestWR(b int) clock.PS {
+	return c.EarliestRD(b)
+}
+
+func (bs *BankState) effRCD(p Params) clock.PS {
+	if bs.ActRCD > 0 {
+		return bs.ActRCD
+	}
+	return p.TRCD
+}
+
+func (c *Checker) colGlobal(b int, t clock.PS) clock.PS {
+	g := c.group(b)
+	for i := range c.banks {
+		last := maxPS(c.banks[i].LastRD, c.banks[i].LastWR)
+		if c.group(i) == g {
+			t = maxPS(t, last+c.p.TCCDL)
+		} else {
+			t = maxPS(t, last+c.p.TCCDS)
+		}
+	}
+	return t
+}
+
+// Apply records command cmd on bank b at time t with the tRCD value rcd in
+// effect (0 means nominal; only meaningful for ACT). It returns the timing
+// violations the issue time incurred, if any.
+func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
+	var out []Violation
+	record := func(param string, need clock.PS) {
+		if t < need {
+			out = append(out, Violation{Param: param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
+	}
+	bank := &c.banks[b]
+	switch cmd {
+	case CmdACT:
+		record("tRP", bank.LastPRE+c.p.TRP)
+		record("tRC", bank.LastACT+c.p.TRC)
+		record("tFAW", c.actWindow[c.actIdx]+c.p.TFAW)
+		bank.Open = true
+		bank.LastACT = t
+		bank.ActRCD = rcd
+		c.actWindow[c.actIdx] = t
+		c.actIdx = (c.actIdx + 1) % len(c.actWindow)
+	case CmdPRE:
+		record("tRAS", bank.LastACT+c.p.TRAS)
+		record("tWR", bank.LastWRData+c.p.TWR)
+		record("tRTP", bank.LastRD+c.p.TRTP)
+		bank.Open = false
+		bank.OpenRow = -1
+		bank.LastPRE = t
+	case CmdRD:
+		record("tRCD", bank.LastACT+bank.effRCD(c.p))
+		record("tCCD", c.lastBus) // coarse data-bus conflict
+		bank.LastRD = t
+		c.lastBus = t + c.p.TCL + c.p.TBL
+	case CmdWR:
+		record("tRCD", bank.LastACT+bank.effRCD(c.p))
+		record("tCCD", c.lastBus)
+		bank.LastWR = t
+		bank.LastWRData = t + c.p.TCWL + c.p.TBL
+		c.lastBus = bank.LastWRData
+	case CmdREF:
+		c.lastREF = t
+	default:
+		panic(fmt.Sprintf("timing: unknown command %v", cmd))
+	}
+	return out
+}

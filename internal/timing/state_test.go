@@ -1,0 +1,147 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"easydram/internal/clock"
+)
+
+func newTestChecker() *Checker {
+	return NewChecker(DDR41333(), 4, 4)
+}
+
+func TestCmdString(t *testing.T) {
+	if CmdACT.String() != "ACT" || CmdPRE.String() != "PRE" {
+		t.Fatalf("command names wrong")
+	}
+	if !strings.Contains(Cmd(99).String(), "99") {
+		t.Fatalf("unknown command should render its number")
+	}
+}
+
+func TestLegalSequenceHasNoViolations(t *testing.T) {
+	c := newTestChecker()
+	p := c.Params()
+	var tnow clock.PS
+	if v := c.Apply(CmdACT, 0, tnow, 0); len(v) != 0 {
+		t.Fatalf("first ACT violated: %v", v)
+	}
+	tnow += p.TRCD
+	if v := c.Apply(CmdRD, 0, tnow, 0); len(v) != 0 {
+		t.Fatalf("RD after tRCD violated: %v", v)
+	}
+	tnow = maxPS(c.EarliestPRE(0), tnow)
+	if v := c.Apply(CmdPRE, 0, tnow, 0); len(v) != 0 {
+		t.Fatalf("PRE at earliest legal time violated: %v", v)
+	}
+	tnow += p.TRP
+	if v := c.Apply(CmdACT, 0, tnow, 0); len(v) != 0 {
+		t.Fatalf("re-ACT after tRP violated: %v", v)
+	}
+}
+
+func TestEarlyRDViolatesTRCD(t *testing.T) {
+	c := newTestChecker()
+	c.Apply(CmdACT, 0, 0, 0)
+	v := c.Apply(CmdRD, 0, 5000, 0) // 5 ns < 13.5 ns
+	found := false
+	for _, violation := range v {
+		if violation.Param == "tRCD" {
+			found = true
+			if violation.Shortfall != 8500 {
+				t.Fatalf("tRCD shortfall = %v, want 8.5ns", violation.Shortfall)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected tRCD violation, got %v", v)
+	}
+}
+
+func TestEarlyPREViolatesTRAS(t *testing.T) {
+	c := newTestChecker()
+	c.Apply(CmdACT, 0, 0, 0)
+	v := c.Apply(CmdPRE, 0, 3000, 0)
+	found := false
+	for _, violation := range v {
+		if violation.Param == "tRAS" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected tRAS violation, got %v", v)
+	}
+}
+
+func TestReducedRCDAnnotation(t *testing.T) {
+	c := newTestChecker()
+	c.Apply(CmdACT, 0, 0, 9000)
+	// A RD at 9 ns is legal under the annotated reduced tRCD.
+	if v := c.Apply(CmdRD, 0, 9000, 0); len(v) != 0 {
+		t.Fatalf("reduced-tRCD RD flagged: %v", v)
+	}
+}
+
+func TestTFAWLimitsActivates(t *testing.T) {
+	c := newTestChecker()
+	p := c.Params()
+	// Four rapid ACTs to different banks spaced by tRRD_S.
+	tnow := clock.PS(0)
+	for b := 0; b < 4; b++ {
+		c.Apply(CmdACT, b, tnow, 0)
+		tnow += p.TRRDS
+	}
+	// The fifth ACT must respect tFAW from the first.
+	if got := c.EarliestACT(4); got < p.TFAW {
+		t.Fatalf("5th ACT allowed at %v, want >= tFAW %v", got, p.TFAW)
+	}
+}
+
+func TestEarliestRDHonoursBusConflicts(t *testing.T) {
+	c := newTestChecker()
+	p := c.Params()
+	c.Apply(CmdACT, 0, 0, 0)
+	c.Apply(CmdACT, 4, 1000, 0) // different bank group
+	c.Apply(CmdRD, 0, p.TRCD, 0)
+	// A RD on the other bank group must wait at least tCCD_S after the
+	// first RD.
+	if got := c.EarliestRD(4); got < p.TRCD+p.TCCDS {
+		t.Fatalf("cross-group RD allowed at %v", got)
+	}
+}
+
+func TestRefreshDelaysActivate(t *testing.T) {
+	c := newTestChecker()
+	p := c.Params()
+	c.Apply(CmdREF, 0, 0, 0)
+	if got := c.EarliestACT(2); got < p.TRFC {
+		t.Fatalf("ACT after REF allowed at %v, want >= tRFC %v", got, p.TRFC)
+	}
+}
+
+func TestBankStateTracksOpenRow(t *testing.T) {
+	c := newTestChecker()
+	c.Apply(CmdACT, 1, 0, 0)
+	c.Bank(1).OpenRow = 42
+	if !c.Bank(1).Open {
+		t.Fatalf("bank should be open after ACT")
+	}
+	c.Apply(CmdPRE, 1, c.EarliestPRE(1), 0)
+	if c.Bank(1).Open || c.Bank(1).OpenRow != -1 {
+		t.Fatalf("bank should be closed after PRE")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Param: "tRCD", Cmd: CmdRD, Shortfall: 8500}
+	if !strings.Contains(v.String(), "tRCD") || !strings.Contains(v.String(), "RD") {
+		t.Fatalf("violation string %q", v.String())
+	}
+}
+
+func TestNumBanks(t *testing.T) {
+	if newTestChecker().NumBanks() != 16 {
+		t.Fatalf("expected 16 banks")
+	}
+}

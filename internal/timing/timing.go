@@ -1,0 +1,151 @@
+// Package timing models JEDEC DDR4 timing parameters and per-bank timing
+// state. It is used both by the DRAM chip model (to decide whether a command
+// arrived too early and must misbehave) and by the baseline Ramulator-style
+// simulator (to schedule commands legally).
+package timing
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+)
+
+// Params holds the DDR4 timing parameters relevant to the paper, all in
+// picoseconds. Names follow JESD79-4.
+type Params struct {
+	// Bus is the DRAM I/O bus clock (command clock).
+	Bus clock.Clock
+
+	TRCD clock.PS // ACT to internal RD/WR delay
+	TRP  clock.PS // PRE to ACT delay (same bank)
+	TRAS clock.PS // ACT to PRE delay (same bank)
+	TRC  clock.PS // ACT to ACT delay (same bank)
+	TCL  clock.PS // RD to first data (CAS latency)
+	TCWL clock.PS // WR to first data (CAS write latency)
+	TBL  clock.PS // burst length on the bus (BL8)
+	TWR  clock.PS // write recovery (last data to PRE)
+	TRTP clock.PS // RD to PRE delay
+
+	TCCDS clock.PS // RD/WR to RD/WR, different bank group
+	TCCDL clock.PS // RD/WR to RD/WR, same bank group
+	TRRDS clock.PS // ACT to ACT, different bank group
+	TRRDL clock.PS // ACT to ACT, same bank group
+	TFAW  clock.PS // four-activate window
+
+	TRFC  clock.PS // refresh cycle time
+	TREFI clock.PS // refresh interval
+	TREFW clock.PS // refresh window (retention target)
+}
+
+// DDR41333 returns DDR4-1333-class timings matching the paper's evaluated
+// module (single channel, single rank, 1333 MT/s, nominal tRCD 13.5 ns).
+func DDR41333() Params {
+	return Params{
+		Bus:   clock.DDR4Bus1333,
+		TRCD:  13500,
+		TRP:   13500,
+		TRAS:  36000,
+		TRC:   49500,
+		TCL:   13500,
+		TCWL:  10500,
+		TBL:   4 * 1500, // BL8 = 4 bus clocks of data
+		TWR:   15000,
+		TRTP:  7500,
+		TCCDS: 4 * 1500,
+		TCCDL: 6 * 1500,
+		TRRDS: 6000,
+		TRRDL: 7500,
+		TFAW:  30000,
+		TRFC:  350000,
+		TREFI: 7800 * clock.Nanosecond,
+		TREFW: 64 * clock.Millisecond,
+	}
+}
+
+// DDR42400 returns DDR4-2400-class timings, used by configuration sweeps.
+func DDR42400() Params {
+	return Params{
+		Bus:   clock.NewClock("ddr4-2400-bus", 833),
+		TRCD:  13320,
+		TRP:   13320,
+		TRAS:  32000,
+		TRC:   45320,
+		TCL:   13320,
+		TCWL:  10000,
+		TBL:   4 * 833,
+		TWR:   15000,
+		TRTP:  7500,
+		TCCDS: 4 * 833,
+		TCCDL: 6 * 833,
+		TRRDS: 3300,
+		TRRDL: 4900,
+		TFAW:  21000,
+		TRFC:  350000,
+		TREFI: 7800 * clock.Nanosecond,
+		TREFW: 64 * clock.Millisecond,
+	}
+}
+
+// DDR54800 returns DDR5-4800-class timings. DDR5 halves the refresh window
+// (tREFW 32 ms) and interval (tREFI 3.9 us) relative to DDR4 (§2.2) and
+// doubles the burst length to BL16.
+func DDR54800() Params {
+	return Params{
+		Bus:   clock.NewClock("ddr5-4800-bus", 417),
+		TRCD:  16000,
+		TRP:   16000,
+		TRAS:  32000,
+		TRC:   48000,
+		TCL:   16670,
+		TCWL:  14600,
+		TBL:   8 * 417, // BL16 = 8 bus clocks of data
+		TWR:   30000,
+		TRTP:  7500,
+		TCCDS: 8 * 417,
+		TCCDL: 5000,
+		TRRDS: 3330,
+		TRRDL: 5000,
+		TFAW:  13330,
+		TRFC:  295000,
+		TREFI: 3900 * clock.Nanosecond,
+		TREFW: 32 * clock.Millisecond,
+	}
+}
+
+// Validate reports an error when a parameter set is internally inconsistent.
+func (p Params) Validate() error {
+	if !p.Bus.Valid() {
+		return fmt.Errorf("timing: bus clock not set")
+	}
+	type check struct {
+		name string
+		v    clock.PS
+	}
+	for _, c := range []check{
+		{"tRCD", p.TRCD}, {"tRP", p.TRP}, {"tRAS", p.TRAS}, {"tRC", p.TRC},
+		{"tCL", p.TCL}, {"tCWL", p.TCWL}, {"tBL", p.TBL}, {"tWR", p.TWR},
+		{"tRTP", p.TRTP}, {"tCCD_S", p.TCCDS}, {"tCCD_L", p.TCCDL},
+		{"tRRD_S", p.TRRDS}, {"tRRD_L", p.TRRDL}, {"tFAW", p.TFAW},
+		{"tRFC", p.TRFC}, {"tREFI", p.TREFI}, {"tREFW", p.TREFW},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("timing: %s must be positive, got %d", c.name, c.v)
+		}
+	}
+	if p.TRC < p.TRAS+p.TRP {
+		return fmt.Errorf("timing: tRC (%d) < tRAS+tRP (%d)", p.TRC, p.TRAS+p.TRP)
+	}
+	if p.TRAS < p.TRCD {
+		return fmt.Errorf("timing: tRAS (%d) < tRCD (%d)", p.TRAS, p.TRCD)
+	}
+	return nil
+}
+
+// ReadLatency is the ACT-to-data latency of a row-miss read: tRCD + tCL + burst.
+func (p Params) ReadLatency() clock.PS { return p.TRCD + p.TCL + p.TBL }
+
+// RowHitReadLatency is the data latency when the row is already open.
+func (p Params) RowHitReadLatency() clock.PS { return p.TCL + p.TBL }
+
+// RowMissCycle is the full closed-row access cost: tRP + tRCD + tCL + burst.
+func (p Params) RowMissCycle() clock.PS { return p.TRP + p.ReadLatency() }

@@ -1,0 +1,77 @@
+package timing
+
+import (
+	"testing"
+
+	"easydram/internal/clock"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, p := range []Params{DDR41333(), DDR42400()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	p := DDR41333()
+	p.TRCD = 0
+	if err := p.Validate(); err == nil {
+		t.Fatalf("zero tRCD must fail validation")
+	}
+	p = DDR41333()
+	p.TRC = p.TRAS // < tRAS + tRP
+	if err := p.Validate(); err == nil {
+		t.Fatalf("tRC < tRAS+tRP must fail validation")
+	}
+	p = DDR41333()
+	p.Bus = clock.Clock{}
+	if err := p.Validate(); err == nil {
+		t.Fatalf("missing bus clock must fail validation")
+	}
+}
+
+func TestLatencyHelpers(t *testing.T) {
+	p := DDR41333()
+	if p.ReadLatency() != p.TRCD+p.TCL+p.TBL {
+		t.Fatalf("ReadLatency = %v", p.ReadLatency())
+	}
+	if p.RowHitReadLatency() != p.TCL+p.TBL {
+		t.Fatalf("RowHitReadLatency = %v", p.RowHitReadLatency())
+	}
+	if p.RowMissCycle() != p.TRP+p.ReadLatency() {
+		t.Fatalf("RowMissCycle = %v", p.RowMissCycle())
+	}
+}
+
+func TestNominalValuesMatchPaper(t *testing.T) {
+	p := DDR41333()
+	if p.TRCD != 13500 {
+		t.Fatalf("nominal tRCD = %v ps, paper uses 13.5 ns", p.TRCD)
+	}
+	if p.TREFI != 7800*clock.Nanosecond {
+		t.Fatalf("tREFI = %v, DDR4 uses 7.8 us", p.TREFI)
+	}
+	if p.TREFW != 64*clock.Millisecond {
+		t.Fatalf("tREFW = %v, DDR4 uses 64 ms", p.TREFW)
+	}
+}
+
+func TestDDR5Preset(t *testing.T) {
+	p := DDR54800()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DDR5 preset invalid: %v", err)
+	}
+	// The paper's §2.2 values: 32 ms refresh window, 3.9 us interval.
+	if p.TREFW != 32*clock.Millisecond {
+		t.Fatalf("DDR5 tREFW = %v, want 32 ms", p.TREFW)
+	}
+	if p.TREFI != 3900*clock.Nanosecond {
+		t.Fatalf("DDR5 tREFI = %v, want 3.9 us", p.TREFI)
+	}
+	// DDR5 refreshes twice as often as DDR4.
+	if p.TREFI >= DDR41333().TREFI {
+		t.Fatalf("DDR5 must refresh more often than DDR4")
+	}
+}

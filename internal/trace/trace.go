@@ -1,0 +1,179 @@
+// Package trace records and replays main-memory request traces. The paper's
+// Ramulator 2.0 baseline is trace-driven ("we generate traces of workloads
+// and simulate each workload for 500M instructions", §8.3); this package
+// provides that methodology: capture the memory-request stream of a
+// workload once, then replay it against any system configuration without
+// re-executing the processor-side kernel.
+//
+// Traces use a compact line-oriented text format:
+//
+//	# easydram-trace v1
+//	C <cycles>          processor compute gap
+//	R <addr>            line read
+//	W <addr>            line write
+//	F <addr>            cache-line flush
+//	K <src> <dst>       RowClone
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"easydram/internal/workload"
+)
+
+// header identifies the trace format.
+const header = "# easydram-trace v1"
+
+// Record captures the op stream of kernel k into w, translating compute
+// bursts into cycle gaps. It returns the number of records written.
+func Record(w io.Writer, k workload.Kernel) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return 0, fmt.Errorf("trace: %w", err)
+	}
+	s := k.Stream()
+	defer s.Close()
+	var op workload.Op
+	n := 0
+	for s.Next(&op) {
+		var err error
+		switch op.Kind {
+		case workload.OpCompute:
+			_, err = fmt.Fprintf(bw, "C %d\n", op.N)
+		case workload.OpLoad:
+			if op.Dep {
+				_, err = fmt.Fprintf(bw, "R %d d\n", op.Addr)
+			} else {
+				_, err = fmt.Fprintf(bw, "R %d\n", op.Addr)
+			}
+		case workload.OpStore:
+			_, err = fmt.Fprintf(bw, "W %d\n", op.Addr)
+		case workload.OpFlush:
+			_, err = fmt.Fprintf(bw, "F %d\n", op.Addr)
+		case workload.OpRowClone:
+			_, err = fmt.Fprintf(bw, "K %d %d\n", op.Src, op.Addr)
+		case workload.OpBarrier, workload.OpMark:
+			// Barriers and marks are execution artifacts, not memory
+			// behaviour; traces omit them.
+			continue
+		default:
+			err = fmt.Errorf("trace: unknown op %v", op.Kind)
+		}
+		if err != nil {
+			return n, fmt.Errorf("trace: %w", err)
+		}
+		n++
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("trace: %w", err)
+	}
+	return n, nil
+}
+
+// Parse reads a trace back into an op slice.
+func Parse(r io.Reader) ([]workload.Op, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var ops []workload.Op
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if lineNo == 1 && line != header {
+				return nil, fmt.Errorf("trace: unrecognised header %q", line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		op, err := parseFields(fields)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return ops, nil
+}
+
+func parseFields(fields []string) (workload.Op, error) {
+	if len(fields) < 2 {
+		return workload.Op{}, fmt.Errorf("short record %v", fields)
+	}
+	parse := func(s string) (uint64, error) { return strconv.ParseUint(s, 10, 64) }
+	switch fields[0] {
+	case "C":
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 0 {
+			return workload.Op{}, fmt.Errorf("bad compute count %q", fields[1])
+		}
+		return workload.Op{Kind: workload.OpCompute, N: n}, nil
+	case "R":
+		a, err := parse(fields[1])
+		if err != nil {
+			return workload.Op{}, fmt.Errorf("bad address %q", fields[1])
+		}
+		dep := len(fields) > 2 && fields[2] == "d"
+		return workload.Op{Kind: workload.OpLoad, Addr: a, Dep: dep}, nil
+	case "W":
+		a, err := parse(fields[1])
+		if err != nil {
+			return workload.Op{}, fmt.Errorf("bad address %q", fields[1])
+		}
+		return workload.Op{Kind: workload.OpStore, Addr: a}, nil
+	case "F":
+		a, err := parse(fields[1])
+		if err != nil {
+			return workload.Op{}, fmt.Errorf("bad address %q", fields[1])
+		}
+		return workload.Op{Kind: workload.OpFlush, Addr: a}, nil
+	case "K":
+		if len(fields) < 3 {
+			return workload.Op{}, fmt.Errorf("rowclone needs src and dst")
+		}
+		src, err := parse(fields[1])
+		if err != nil {
+			return workload.Op{}, fmt.Errorf("bad src %q", fields[1])
+		}
+		dst, err := parse(fields[2])
+		if err != nil {
+			return workload.Op{}, fmt.Errorf("bad dst %q", fields[2])
+		}
+		return workload.Op{Kind: workload.OpRowClone, Src: src, Addr: dst}, nil
+	default:
+		return workload.Op{}, fmt.Errorf("unknown record kind %q", fields[0])
+	}
+}
+
+// Kernel wraps a parsed trace as a replayable kernel.
+func Kernel(name string, ops []workload.Op) workload.Kernel {
+	return workload.Kernel{Name: name, Body: func(g *workload.Gen) {
+		for _, op := range ops {
+			switch op.Kind {
+			case workload.OpCompute:
+				g.Compute(op.N)
+			case workload.OpLoad:
+				if op.Dep {
+					g.LoadDep(op.Addr)
+				} else {
+					g.Load(op.Addr)
+				}
+			case workload.OpStore:
+				g.Store(op.Addr)
+			case workload.OpFlush:
+				g.Flush(op.Addr)
+			case workload.OpRowClone:
+				g.RowClone(op.Src, op.Addr)
+			}
+		}
+	}}
+}

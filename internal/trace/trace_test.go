@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"easydram/internal/core"
+	"easydram/internal/workload"
+)
+
+func TestRecordParseRoundTrip(t *testing.T) {
+	k := workload.Kernel{Name: "mix", Body: func(g *workload.Gen) {
+		g.Compute(12)
+		g.Load(64)
+		g.LoadDep(128)
+		g.Store(4096)
+		g.Flush(4096)
+		g.RowClone(0, 8192)
+	}}
+	var buf bytes.Buffer
+	n, err := Record(&buf, k)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if n != 6 {
+		t.Fatalf("recorded %d ops, want 6", n)
+	}
+	ops, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []workload.Op{
+		{Kind: workload.OpCompute, N: 12},
+		{Kind: workload.OpLoad, Addr: 64},
+		{Kind: workload.OpLoad, Addr: 128, Dep: true},
+		{Kind: workload.OpStore, Addr: 4096},
+		{Kind: workload.OpFlush, Addr: 4096},
+		{Kind: workload.OpRowClone, Src: 0, Addr: 8192},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("parsed %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestBarriersOmitted(t *testing.T) {
+	k := workload.Kernel{Name: "b", Body: func(g *workload.Gen) {
+		g.Load(0)
+		g.Mark() // barrier + mark: neither is traced
+		g.Load(64)
+	}}
+	var buf bytes.Buffer
+	if _, err := Record(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("parsed %d ops, want 2 (barrier/mark omitted)", len(ops))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"# wrong-header\nR 0",
+		"R",
+		"R notanumber",
+		"K 1",
+		"X 5",
+		"C -3",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q must fail to parse", in)
+		}
+	}
+}
+
+func TestParseSkipsBlanksAndComments(t *testing.T) {
+	in := header + "\n\n# comment\nR 64\n"
+	ops, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 {
+		t.Fatalf("parsed %d ops", len(ops))
+	}
+}
+
+// TestReplayMatchesDirectExecution is the methodology check: replaying a
+// recorded trace through the same system configuration reproduces the
+// direct run's execution time exactly.
+func TestReplayMatchesDirectExecution(t *testing.T) {
+	k := workload.PBGemver(32)
+	var buf bytes.Buffer
+	if _, err := Record(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k workload.Kernel) core.Result {
+		sys, err := core.NewSystem(core.TimeScalingA57())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(k.Stream())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct := run(k)
+	replayed := run(Kernel("gemver-trace", ops))
+	if direct.ProcCycles != replayed.ProcCycles {
+		t.Fatalf("replay diverged: direct %d cycles, replay %d", direct.ProcCycles, replayed.ProcCycles)
+	}
+}

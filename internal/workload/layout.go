@@ -1,0 +1,67 @@
+package workload
+
+// Data-layout helpers: PolyBench kernels operate on dense double-precision
+// arrays laid out row-major in a flat physical address space.
+
+const wordBytes = 8
+
+// Arena hands out disjoint, row-aligned array allocations.
+type Arena struct {
+	next uint64
+}
+
+// NewArena returns an arena starting at base.
+func NewArena(base uint64) *Arena { return &Arena{next: base} }
+
+const arenaAlign = 8192 // DRAM row size; keeps arrays row-aligned
+
+// Reserve returns the base of an n-byte block (row-aligned).
+func (a *Arena) Reserve(n uint64) uint64 {
+	base := a.next
+	a.next += (n + arenaAlign - 1) &^ uint64(arenaAlign-1)
+	return base
+}
+
+// Mat allocates an n x m matrix of doubles.
+func (a *Arena) Mat(n, m int) Mat {
+	return Mat{Base: a.Reserve(uint64(n) * uint64(m) * wordBytes), N: n, M: m}
+}
+
+// Vec allocates an n-vector of doubles.
+func (a *Arena) Vec(n int) Vec {
+	return Vec{Base: a.Reserve(uint64(n) * wordBytes), N: n}
+}
+
+// Cube allocates an n x m x p tensor of doubles.
+func (a *Arena) Cube(n, m, p int) Cube {
+	return Cube{Base: a.Reserve(uint64(n) * uint64(m) * uint64(p) * wordBytes), N: n, M: m, P: p}
+}
+
+// Mat is a row-major matrix of doubles.
+type Mat struct {
+	Base uint64
+	N, M int
+}
+
+// At returns the address of element (i,j).
+func (m Mat) At(i, j int) uint64 { return m.Base + uint64(i*m.M+j)*wordBytes }
+
+// Vec is a vector of doubles.
+type Vec struct {
+	Base uint64
+	N    int
+}
+
+// At returns the address of element i.
+func (v Vec) At(i int) uint64 { return v.Base + uint64(i)*wordBytes }
+
+// Cube is a row-major rank-3 tensor of doubles.
+type Cube struct {
+	Base    uint64
+	N, M, P int
+}
+
+// At returns the address of element (i,j,k).
+func (c Cube) At(i, j, k int) uint64 {
+	return c.Base + uint64((i*c.M+j)*c.P+k)*wordBytes
+}

@@ -1,0 +1,960 @@
+package workload
+
+// PolyBench kernel op-stream generators. Each generator follows the loop
+// nest of the corresponding PolyBench/C kernel: every array-element read
+// emits a load, every write a store, and the arithmetic between them is
+// charged as compute instructions. Sizes are parameters; the suites at the
+// bottom provide the dimension sets used by the paper's experiments.
+
+// PBGemm is C = alpha*A*B + beta*C.
+func PBGemm(ni, nj, nk int) Kernel {
+	return Kernel{Name: "gemm", Body: func(g *Gen) {
+		ar := NewArena(0)
+		c, a, b := ar.Mat(ni, nj), ar.Mat(ni, nk), ar.Mat(nk, nj)
+		for i := 0; i < ni; i++ {
+			for j := 0; j < nj; j++ {
+				g.Load(c.At(i, j))
+				g.Compute(1)
+				g.Store(c.At(i, j))
+			}
+			for k := 0; k < nk; k++ {
+				g.Load(a.At(i, k))
+				for j := 0; j < nj; j++ {
+					g.Load(b.At(k, j))
+					g.Load(c.At(i, j))
+					g.Compute(2)
+					g.Store(c.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBGemver is the BLAS gemver composite kernel.
+func PBGemver(n int) Kernel {
+	return Kernel{Name: "gemver", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, n)
+		u1, v1, u2, v2 := ar.Vec(n), ar.Vec(n), ar.Vec(n), ar.Vec(n)
+		x, y, z, w := ar.Vec(n), ar.Vec(n), ar.Vec(n), ar.Vec(n)
+		for i := 0; i < n; i++ {
+			g.Load(u1.At(i))
+			g.Load(u2.At(i))
+			for j := 0; j < n; j++ {
+				g.Load(a.At(i, j))
+				g.Load(v1.At(j))
+				g.Load(v2.At(j))
+				g.Compute(4)
+				g.Store(a.At(i, j))
+			}
+		}
+		for i := 0; i < n; i++ {
+			g.Load(x.At(i))
+			for j := 0; j < n; j++ {
+				g.Load(a.At(j, i)) // transposed access
+				g.Load(y.At(j))
+				g.Compute(2)
+			}
+			g.Store(x.At(i))
+		}
+		for i := 0; i < n; i++ {
+			g.Load(x.At(i))
+			g.Load(z.At(i))
+			g.Compute(1)
+			g.Store(x.At(i))
+		}
+		for i := 0; i < n; i++ {
+			g.Compute(1)
+			for j := 0; j < n; j++ {
+				g.Load(a.At(i, j))
+				g.Load(x.At(j))
+				g.Compute(2)
+			}
+			g.Store(w.At(i))
+		}
+	}}
+}
+
+// PBGesummv is y = alpha*A*x + beta*B*x.
+func PBGesummv(n int) Kernel {
+	return Kernel{Name: "gesummv", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, b := ar.Mat(n, n), ar.Mat(n, n)
+		x, y := ar.Vec(n), ar.Vec(n)
+		for i := 0; i < n; i++ {
+			g.Compute(2)
+			for j := 0; j < n; j++ {
+				g.Load(a.At(i, j))
+				g.Load(b.At(i, j))
+				g.Load(x.At(j))
+				g.Compute(4)
+			}
+			g.Compute(3)
+			g.Store(y.At(i))
+		}
+	}}
+}
+
+// PBSyrk is C = alpha*A*A^T + beta*C on the lower triangle.
+func PBSyrk(n, m int) Kernel {
+	return Kernel{Name: "syrk", Body: func(g *Gen) {
+		ar := NewArena(0)
+		c, a := ar.Mat(n, n), ar.Mat(n, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				g.Load(c.At(i, j))
+				g.Compute(1)
+				g.Store(c.At(i, j))
+			}
+			for k := 0; k < m; k++ {
+				g.Load(a.At(i, k))
+				for j := 0; j <= i; j++ {
+					g.Load(a.At(j, k))
+					g.Load(c.At(i, j))
+					g.Compute(2)
+					g.Store(c.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBSyr2k is C = alpha*(A*B^T + B*A^T) + beta*C on the lower triangle.
+func PBSyr2k(n, m int) Kernel {
+	return Kernel{Name: "syr2k", Body: func(g *Gen) {
+		ar := NewArena(0)
+		c, a, b := ar.Mat(n, n), ar.Mat(n, m), ar.Mat(n, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				g.Load(c.At(i, j))
+				g.Compute(1)
+				g.Store(c.At(i, j))
+			}
+			for k := 0; k < m; k++ {
+				g.Load(a.At(i, k))
+				g.Load(b.At(i, k))
+				for j := 0; j <= i; j++ {
+					g.Load(a.At(j, k))
+					g.Load(b.At(j, k))
+					g.Load(c.At(i, j))
+					g.Compute(5)
+					g.Store(c.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBSymm is C = alpha*A*B + beta*C with symmetric A.
+func PBSymm(m, n int) Kernel {
+	return Kernel{Name: "symm", Body: func(g *Gen) {
+		ar := NewArena(0)
+		c, a, b := ar.Mat(m, n), ar.Mat(m, m), ar.Mat(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g.Load(b.At(i, j))
+				for k := 0; k < i; k++ {
+					g.Load(a.At(i, k))
+					g.Load(c.At(k, j))
+					g.Compute(2)
+					g.Store(c.At(k, j))
+					g.Load(b.At(k, j))
+					g.Compute(2)
+				}
+				g.Load(c.At(i, j))
+				g.Load(a.At(i, i))
+				g.Compute(4)
+				g.Store(c.At(i, j))
+			}
+		}
+	}}
+}
+
+// PBTrmm is B = alpha*A^T*B with unit-lower-triangular A.
+func PBTrmm(m, n int) Kernel {
+	return Kernel{Name: "trmm", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, b := ar.Mat(m, m), ar.Mat(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g.Load(b.At(i, j))
+				for k := i + 1; k < m; k++ {
+					g.Load(a.At(k, i))
+					g.Load(b.At(k, j))
+					g.Compute(2)
+				}
+				g.Compute(1)
+				g.Store(b.At(i, j))
+			}
+		}
+	}}
+}
+
+// PB2mm is D = alpha*A*B*C + beta*D.
+func PB2mm(ni, nj, nk, nl int) Kernel {
+	return Kernel{Name: "2mm", Body: func(g *Gen) {
+		ar := NewArena(0)
+		tmp, a, b := ar.Mat(ni, nj), ar.Mat(ni, nk), ar.Mat(nk, nj)
+		c, d := ar.Mat(nj, nl), ar.Mat(ni, nl)
+		for i := 0; i < ni; i++ {
+			for j := 0; j < nj; j++ {
+				g.Compute(1)
+				for k := 0; k < nk; k++ {
+					g.Load(a.At(i, k))
+					g.Load(b.At(k, j))
+					g.Compute(2)
+				}
+				g.Store(tmp.At(i, j))
+			}
+		}
+		for i := 0; i < ni; i++ {
+			for j := 0; j < nl; j++ {
+				g.Load(d.At(i, j))
+				g.Compute(1)
+				for k := 0; k < nj; k++ {
+					g.Load(tmp.At(i, k))
+					g.Load(c.At(k, j))
+					g.Compute(2)
+				}
+				g.Store(d.At(i, j))
+			}
+		}
+	}}
+}
+
+// PB3mm is G = (A*B)*(C*D).
+func PB3mm(ni, nj, nk, nl, nm int) Kernel {
+	return Kernel{Name: "3mm", Body: func(g *Gen) {
+		ar := NewArena(0)
+		e, a, b := ar.Mat(ni, nj), ar.Mat(ni, nk), ar.Mat(nk, nj)
+		f, c, d := ar.Mat(nj, nl), ar.Mat(nj, nm), ar.Mat(nm, nl)
+		gg := ar.Mat(ni, nl)
+		mm := func(dst, x, y Mat, p, q, r int) {
+			for i := 0; i < p; i++ {
+				for j := 0; j < q; j++ {
+					for k := 0; k < r; k++ {
+						g.Load(x.At(i, k))
+						g.Load(y.At(k, j))
+						g.Compute(2)
+					}
+					g.Store(dst.At(i, j))
+				}
+			}
+		}
+		mm(e, a, b, ni, nj, nk)
+		mm(f, c, d, nj, nl, nm)
+		mm(gg, e, f, ni, nl, nj)
+	}}
+}
+
+// PBAtax is y = A^T*(A*x).
+func PBAtax(m, n int) Kernel {
+	return Kernel{Name: "atax", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(m, n)
+		x, y, tmp := ar.Vec(n), ar.Vec(n), ar.Vec(m)
+		for i := 0; i < n; i++ {
+			g.Store(y.At(i))
+		}
+		for i := 0; i < m; i++ {
+			g.Compute(1)
+			for j := 0; j < n; j++ {
+				g.Load(a.At(i, j))
+				g.Load(x.At(j))
+				g.Compute(2)
+			}
+			g.Store(tmp.At(i))
+			g.Load(tmp.At(i))
+			for j := 0; j < n; j++ {
+				g.Load(y.At(j))
+				g.Load(a.At(i, j))
+				g.Compute(2)
+				g.Store(y.At(j))
+			}
+		}
+	}}
+}
+
+// PBBicg is the BiCG sub-kernel: s = A^T*r, q = A*p.
+func PBBicg(m, n int) Kernel {
+	return Kernel{Name: "bicg", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, m)
+		s, q, p, r := ar.Vec(m), ar.Vec(n), ar.Vec(m), ar.Vec(n)
+		for i := 0; i < m; i++ {
+			g.Store(s.At(i))
+		}
+		for i := 0; i < n; i++ {
+			g.Compute(1)
+			g.Load(r.At(i))
+			for j := 0; j < m; j++ {
+				g.Load(s.At(j))
+				g.Load(a.At(i, j))
+				g.Compute(2)
+				g.Store(s.At(j))
+				g.Load(a.At(i, j))
+				g.Load(p.At(j))
+				g.Compute(2)
+			}
+			g.Store(q.At(i))
+		}
+	}}
+}
+
+// PBDoitgen is the multiresolution analysis kernel.
+func PBDoitgen(nr, nq, np int) Kernel {
+	return Kernel{Name: "doitgen", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Cube(nr, nq, np)
+		c4 := ar.Mat(np, np)
+		sum := ar.Vec(np)
+		for r := 0; r < nr; r++ {
+			for q := 0; q < nq; q++ {
+				for p := 0; p < np; p++ {
+					g.Compute(1)
+					for s := 0; s < np; s++ {
+						g.Load(a.At(r, q, s))
+						g.Load(c4.At(s, p))
+						g.Compute(2)
+					}
+					g.Store(sum.At(p))
+				}
+				for p := 0; p < np; p++ {
+					g.Load(sum.At(p))
+					g.Store(a.At(r, q, p))
+				}
+			}
+		}
+	}}
+}
+
+// PBMvt is x1 += A*y1; x2 += A^T*y2.
+func PBMvt(n int) Kernel {
+	return Kernel{Name: "mvt", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, n)
+		x1, x2, y1, y2 := ar.Vec(n), ar.Vec(n), ar.Vec(n), ar.Vec(n)
+		for i := 0; i < n; i++ {
+			g.Load(x1.At(i))
+			for j := 0; j < n; j++ {
+				g.Load(a.At(i, j))
+				g.Load(y1.At(j))
+				g.Compute(2)
+			}
+			g.Store(x1.At(i))
+		}
+		for i := 0; i < n; i++ {
+			g.Load(x2.At(i))
+			for j := 0; j < n; j++ {
+				g.Load(a.At(j, i))
+				g.Load(y2.At(j))
+				g.Compute(2)
+			}
+			g.Store(x2.At(i))
+		}
+	}}
+}
+
+// PBCholesky is the Cholesky decomposition.
+func PBCholesky(n int) Kernel {
+	return Kernel{Name: "cholesky", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				g.Load(a.At(i, j))
+				for k := 0; k < j; k++ {
+					g.Load(a.At(i, k))
+					g.Load(a.At(j, k))
+					g.Compute(2)
+				}
+				g.Load(a.At(j, j))
+				g.Compute(1)
+				g.Store(a.At(i, j))
+			}
+			g.Load(a.At(i, i))
+			for k := 0; k < i; k++ {
+				g.Load(a.At(i, k))
+				g.Compute(2)
+			}
+			g.Compute(8) // sqrt
+			g.Store(a.At(i, i))
+		}
+	}}
+}
+
+// PBDurbin is the Durbin Toeplitz solver (the paper's least memory-
+// intensive workload: MPKI ~ 0.01).
+func PBDurbin(n int) Kernel {
+	return Kernel{Name: "durbin", Body: func(g *Gen) {
+		ar := NewArena(0)
+		r, y, z := ar.Vec(n), ar.Vec(n), ar.Vec(n)
+		g.Load(r.At(0))
+		g.Store(y.At(0))
+		g.Compute(3)
+		for k := 1; k < n; k++ {
+			g.Compute(2)
+			g.Load(r.At(k))
+			for i := 0; i < k; i++ {
+				g.Load(r.At(k - i - 1))
+				g.Load(y.At(i))
+				g.Compute(2)
+			}
+			g.Compute(4)
+			for i := 0; i < k; i++ {
+				g.Load(y.At(i))
+				g.Load(y.At(k - i - 1))
+				g.Compute(2)
+				g.Store(z.At(i))
+			}
+			for i := 0; i < k; i++ {
+				g.Load(z.At(i))
+				g.Store(y.At(i))
+			}
+			g.Store(y.At(k))
+		}
+	}}
+}
+
+// PBGramschmidt is the modified Gram-Schmidt QR decomposition.
+func PBGramschmidt(m, n int) Kernel {
+	return Kernel{Name: "gramschmidt", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, q, r := ar.Mat(m, n), ar.Mat(m, n), ar.Mat(n, n)
+		for k := 0; k < n; k++ {
+			g.Compute(1)
+			for i := 0; i < m; i++ {
+				g.Load(a.At(i, k))
+				g.Compute(2)
+			}
+			g.Compute(8) // sqrt
+			g.Store(r.At(k, k))
+			for i := 0; i < m; i++ {
+				g.Load(a.At(i, k))
+				g.Load(r.At(k, k))
+				g.Compute(1)
+				g.Store(q.At(i, k))
+			}
+			for j := k + 1; j < n; j++ {
+				g.Compute(1)
+				for i := 0; i < m; i++ {
+					g.Load(q.At(i, k))
+					g.Load(a.At(i, j))
+					g.Compute(2)
+				}
+				g.Store(r.At(k, j))
+				for i := 0; i < m; i++ {
+					g.Load(a.At(i, j))
+					g.Load(q.At(i, k))
+					g.Load(r.At(k, j))
+					g.Compute(2)
+					g.Store(a.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBLu is LU decomposition without pivoting.
+func PBLu(n int) Kernel {
+	return Kernel{Name: "lu", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				g.Load(a.At(i, j))
+				for k := 0; k < j; k++ {
+					g.Load(a.At(i, k))
+					g.Load(a.At(k, j))
+					g.Compute(2)
+				}
+				g.Load(a.At(j, j))
+				g.Compute(1)
+				g.Store(a.At(i, j))
+			}
+			for j := i; j < n; j++ {
+				g.Load(a.At(i, j))
+				for k := 0; k < i; k++ {
+					g.Load(a.At(i, k))
+					g.Load(a.At(k, j))
+					g.Compute(2)
+				}
+				g.Store(a.At(i, j))
+			}
+		}
+	}}
+}
+
+// PBTrisolv is forward substitution for a lower-triangular system.
+func PBTrisolv(n int) Kernel {
+	return Kernel{Name: "trisolv", Body: func(g *Gen) {
+		ar := NewArena(0)
+		l := ar.Mat(n, n)
+		x, b := ar.Vec(n), ar.Vec(n)
+		for i := 0; i < n; i++ {
+			g.Load(b.At(i))
+			for j := 0; j < i; j++ {
+				g.Load(l.At(i, j))
+				g.Load(x.At(j))
+				g.Compute(2)
+			}
+			g.Load(l.At(i, i))
+			g.Compute(1)
+			g.Store(x.At(i))
+		}
+	}}
+}
+
+// PBCorrelation computes the correlation matrix of an m x n dataset.
+func PBCorrelation(m, n int) Kernel {
+	return Kernel{Name: "correlation", Body: func(g *Gen) {
+		ar := NewArena(0)
+		data := ar.Mat(n, m)
+		corr := ar.Mat(m, m)
+		mean, stddev := ar.Vec(m), ar.Vec(m)
+		for j := 0; j < m; j++ {
+			g.Compute(1)
+			for i := 0; i < n; i++ {
+				g.Load(data.At(i, j))
+				g.Compute(1)
+			}
+			g.Compute(1)
+			g.Store(mean.At(j))
+		}
+		for j := 0; j < m; j++ {
+			g.Load(mean.At(j))
+			g.Compute(1)
+			for i := 0; i < n; i++ {
+				g.Load(data.At(i, j))
+				g.Compute(3)
+			}
+			g.Compute(10) // sqrt + guard
+			g.Store(stddev.At(j))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				g.Load(data.At(i, j))
+				g.Load(mean.At(j))
+				g.Load(stddev.At(j))
+				g.Compute(3)
+				g.Store(data.At(i, j))
+			}
+		}
+		for i := 0; i < m-1; i++ {
+			g.Store(corr.At(i, i))
+			for j := i + 1; j < m; j++ {
+				g.Compute(1)
+				for k := 0; k < n; k++ {
+					g.Load(data.At(k, i))
+					g.Load(data.At(k, j))
+					g.Compute(2)
+				}
+				g.Store(corr.At(i, j))
+				g.Store(corr.At(j, i))
+			}
+		}
+	}}
+}
+
+// PBCovariance computes the covariance matrix of an m x n dataset.
+func PBCovariance(m, n int) Kernel {
+	return Kernel{Name: "covariance", Body: func(g *Gen) {
+		ar := NewArena(0)
+		data := ar.Mat(n, m)
+		cov := ar.Mat(m, m)
+		mean := ar.Vec(m)
+		for j := 0; j < m; j++ {
+			g.Compute(1)
+			for i := 0; i < n; i++ {
+				g.Load(data.At(i, j))
+				g.Compute(1)
+			}
+			g.Compute(1)
+			g.Store(mean.At(j))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				g.Load(data.At(i, j))
+				g.Load(mean.At(j))
+				g.Compute(1)
+				g.Store(data.At(i, j))
+			}
+		}
+		for i := 0; i < m; i++ {
+			for j := i; j < m; j++ {
+				g.Compute(1)
+				for k := 0; k < n; k++ {
+					g.Load(data.At(k, i))
+					g.Load(data.At(k, j))
+					g.Compute(2)
+				}
+				g.Compute(1)
+				g.Store(cov.At(i, j))
+				g.Store(cov.At(j, i))
+			}
+		}
+	}}
+}
+
+// PBDeriche is the Deriche recursive edge filter over a w x h image.
+func PBDeriche(w, h int) Kernel {
+	return Kernel{Name: "deriche", Body: func(g *Gen) {
+		ar := NewArena(0)
+		imgIn, imgOut := ar.Mat(w, h), ar.Mat(w, h)
+		y1, y2 := ar.Mat(w, h), ar.Mat(w, h)
+		for i := 0; i < w; i++ {
+			g.Compute(3)
+			for j := 0; j < h; j++ {
+				g.Load(imgIn.At(i, j))
+				g.Compute(6)
+				g.Store(y1.At(i, j))
+			}
+		}
+		for i := 0; i < w; i++ {
+			g.Compute(3)
+			for j := h - 1; j >= 0; j-- {
+				g.Load(imgIn.At(i, j))
+				g.Compute(6)
+				g.Store(y2.At(i, j))
+			}
+		}
+		for i := 0; i < w; i++ {
+			for j := 0; j < h; j++ {
+				g.Load(y1.At(i, j))
+				g.Load(y2.At(i, j))
+				g.Compute(2)
+				g.Store(imgOut.At(i, j))
+			}
+		}
+		for j := 0; j < h; j++ {
+			g.Compute(3)
+			for i := 0; i < w; i++ {
+				g.Load(imgOut.At(i, j))
+				g.Compute(6)
+				g.Store(y1.At(i, j))
+			}
+		}
+		for j := 0; j < h; j++ {
+			g.Compute(3)
+			for i := w - 1; i >= 0; i-- {
+				g.Load(imgOut.At(i, j))
+				g.Compute(6)
+				g.Store(y2.At(i, j))
+			}
+		}
+		for i := 0; i < w; i++ {
+			for j := 0; j < h; j++ {
+				g.Load(y1.At(i, j))
+				g.Load(y2.At(i, j))
+				g.Compute(2)
+				g.Store(imgOut.At(i, j))
+			}
+		}
+	}}
+}
+
+// PBFloydWarshall is all-pairs shortest paths.
+func PBFloydWarshall(n int) Kernel {
+	return Kernel{Name: "floyd-warshall", Body: func(g *Gen) {
+		ar := NewArena(0)
+		p := ar.Mat(n, n)
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				g.Load(p.At(i, k))
+				for j := 0; j < n; j++ {
+					g.Load(p.At(i, j))
+					g.Load(p.At(k, j))
+					g.Compute(2)
+					g.Store(p.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBAdi is the alternating-direction-implicit stencil.
+func PBAdi(n, tsteps int) Kernel {
+	return Kernel{Name: "adi", Body: func(g *Gen) {
+		ar := NewArena(0)
+		u, v, p, q := ar.Mat(n, n), ar.Mat(n, n), ar.Mat(n, n), ar.Mat(n, n)
+		for t := 0; t < tsteps; t++ {
+			for i := 1; i < n-1; i++ {
+				g.Store(v.At(0, i))
+				g.Store(p.At(i, 0))
+				g.Store(q.At(i, 0))
+				for j := 1; j < n-1; j++ {
+					g.Load(p.At(i, j-1))
+					g.Load(q.At(i, j-1))
+					g.Load(u.At(j, i-1))
+					g.Load(u.At(j, i))
+					g.Load(u.At(j, i+1))
+					g.Compute(10)
+					g.Store(p.At(i, j))
+					g.Store(q.At(i, j))
+				}
+				for j := n - 2; j >= 1; j-- {
+					g.Load(p.At(i, j))
+					g.Load(v.At(j+1, i))
+					g.Load(q.At(i, j))
+					g.Compute(2)
+					g.Store(v.At(j, i))
+				}
+			}
+			for i := 1; i < n-1; i++ {
+				g.Store(u.At(i, 0))
+				g.Store(p.At(i, 0))
+				g.Store(q.At(i, 0))
+				for j := 1; j < n-1; j++ {
+					g.Load(p.At(i, j-1))
+					g.Load(q.At(i, j-1))
+					g.Load(v.At(i-1, j))
+					g.Load(v.At(i, j))
+					g.Load(v.At(i+1, j))
+					g.Compute(10)
+					g.Store(p.At(i, j))
+					g.Store(q.At(i, j))
+				}
+				for j := n - 2; j >= 1; j-- {
+					g.Load(p.At(i, j))
+					g.Load(u.At(i, j+1))
+					g.Load(q.At(i, j))
+					g.Compute(2)
+					g.Store(u.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBFdtd2d is the 2-D finite-difference time-domain stencil.
+func PBFdtd2d(nx, ny, tsteps int) Kernel {
+	return Kernel{Name: "fdtd-2d", Body: func(g *Gen) {
+		ar := NewArena(0)
+		ex, ey, hz := ar.Mat(nx, ny), ar.Mat(nx, ny), ar.Mat(nx, ny)
+		for t := 0; t < tsteps; t++ {
+			for j := 0; j < ny; j++ {
+				g.Store(ey.At(0, j))
+			}
+			for i := 1; i < nx; i++ {
+				for j := 0; j < ny; j++ {
+					g.Load(ey.At(i, j))
+					g.Load(hz.At(i, j))
+					g.Load(hz.At(i-1, j))
+					g.Compute(2)
+					g.Store(ey.At(i, j))
+				}
+			}
+			for i := 0; i < nx; i++ {
+				for j := 1; j < ny; j++ {
+					g.Load(ex.At(i, j))
+					g.Load(hz.At(i, j))
+					g.Load(hz.At(i, j-1))
+					g.Compute(2)
+					g.Store(ex.At(i, j))
+				}
+			}
+			for i := 0; i < nx-1; i++ {
+				for j := 0; j < ny-1; j++ {
+					g.Load(hz.At(i, j))
+					g.Load(ex.At(i, j+1))
+					g.Load(ex.At(i, j))
+					g.Load(ey.At(i+1, j))
+					g.Load(ey.At(i, j))
+					g.Compute(5)
+					g.Store(hz.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBHeat3d is the 3-D heat-equation stencil.
+func PBHeat3d(n, tsteps int) Kernel {
+	return Kernel{Name: "heat-3d", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, b := ar.Cube(n, n, n), ar.Cube(n, n, n)
+		step := func(dst, src Cube) {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					for k := 1; k < n-1; k++ {
+						g.Load(src.At(i+1, j, k))
+						g.Load(src.At(i, j, k))
+						g.Load(src.At(i-1, j, k))
+						g.Load(src.At(i, j+1, k))
+						g.Load(src.At(i, j-1, k))
+						g.Load(src.At(i, j, k+1))
+						g.Load(src.At(i, j, k-1))
+						g.Compute(10)
+						g.Store(dst.At(i, j, k))
+					}
+				}
+			}
+		}
+		for t := 0; t < tsteps; t++ {
+			step(b, a)
+			step(a, b)
+		}
+	}}
+}
+
+// PBJacobi1d is the 1-D Jacobi stencil.
+func PBJacobi1d(n, tsteps int) Kernel {
+	return Kernel{Name: "jacobi-1d", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, b := ar.Vec(n), ar.Vec(n)
+		for t := 0; t < tsteps; t++ {
+			for i := 1; i < n-1; i++ {
+				g.Load(a.At(i - 1))
+				g.Load(a.At(i))
+				g.Load(a.At(i + 1))
+				g.Compute(3)
+				g.Store(b.At(i))
+			}
+			for i := 1; i < n-1; i++ {
+				g.Load(b.At(i - 1))
+				g.Load(b.At(i))
+				g.Load(b.At(i + 1))
+				g.Compute(3)
+				g.Store(a.At(i))
+			}
+		}
+	}}
+}
+
+// PBJacobi2d is the 2-D Jacobi stencil.
+func PBJacobi2d(n, tsteps int) Kernel {
+	return Kernel{Name: "jacobi-2d", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, b := ar.Mat(n, n), ar.Mat(n, n)
+		step := func(dst, src Mat) {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					g.Load(src.At(i, j))
+					g.Load(src.At(i, j-1))
+					g.Load(src.At(i, j+1))
+					g.Load(src.At(i-1, j))
+					g.Load(src.At(i+1, j))
+					g.Compute(5)
+					g.Store(dst.At(i, j))
+				}
+			}
+		}
+		for t := 0; t < tsteps; t++ {
+			step(b, a)
+			step(a, b)
+		}
+	}}
+}
+
+// PBSeidel2d is the 2-D Gauss-Seidel stencil.
+func PBSeidel2d(n, tsteps int) Kernel {
+	return Kernel{Name: "seidel-2d", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, n)
+		for t := 0; t < tsteps; t++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					g.Load(a.At(i-1, j-1))
+					g.Load(a.At(i-1, j))
+					g.Load(a.At(i-1, j+1))
+					g.Load(a.At(i, j-1))
+					g.Load(a.At(i, j))
+					g.Load(a.At(i, j+1))
+					g.Load(a.At(i+1, j-1))
+					g.Load(a.At(i+1, j))
+					g.Load(a.At(i+1, j+1))
+					g.Compute(9)
+					g.Store(a.At(i, j))
+				}
+			}
+		}
+	}}
+}
+
+// PBLudcmp is LU decomposition followed by forward/backward substitution
+// (not part of the paper's 28-kernel validation set; provided for
+// completeness of the PolyBench linear-algebra solvers).
+func PBLudcmp(n int) Kernel {
+	return Kernel{Name: "ludcmp", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a := ar.Mat(n, n)
+		b, x, y := ar.Vec(n), ar.Vec(n), ar.Vec(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				g.Load(a.At(i, j))
+				for k := 0; k < j; k++ {
+					g.Load(a.At(i, k))
+					g.Load(a.At(k, j))
+					g.Compute(2)
+				}
+				g.Load(a.At(j, j))
+				g.Compute(1)
+				g.Store(a.At(i, j))
+			}
+			for j := i; j < n; j++ {
+				g.Load(a.At(i, j))
+				for k := 0; k < i; k++ {
+					g.Load(a.At(i, k))
+					g.Load(a.At(k, j))
+					g.Compute(2)
+				}
+				g.Store(a.At(i, j))
+			}
+		}
+		for i := 0; i < n; i++ {
+			g.Load(b.At(i))
+			for j := 0; j < i; j++ {
+				g.Load(a.At(i, j))
+				g.Load(y.At(j))
+				g.Compute(2)
+			}
+			g.Store(y.At(i))
+		}
+		for i := n - 1; i >= 0; i-- {
+			g.Load(y.At(i))
+			for j := i + 1; j < n; j++ {
+				g.Load(a.At(i, j))
+				g.Load(x.At(j))
+				g.Compute(2)
+			}
+			g.Load(a.At(i, i))
+			g.Compute(1)
+			g.Store(x.At(i))
+		}
+	}}
+}
+
+// PBNussinov is the Nussinov RNA secondary-structure dynamic program (also
+// outside the paper's validation set; provided for completeness).
+func PBNussinov(n int) Kernel {
+	return Kernel{Name: "nussinov", Body: func(g *Gen) {
+		ar := NewArena(0)
+		table := ar.Mat(n, n)
+		seq := ar.Vec(n)
+		for i := n - 1; i >= 0; i-- {
+			for j := i + 1; j < n; j++ {
+				g.Load(table.At(i, j))
+				if j-1 >= 0 {
+					g.Load(table.At(i, j-1))
+					g.Compute(1)
+				}
+				if i+1 < n {
+					g.Load(table.At(i+1, j))
+					g.Compute(1)
+				}
+				if j-1 >= 0 && i+1 < n {
+					g.Load(table.At(i+1, j-1))
+					g.Load(seq.At(i))
+					g.Load(seq.At(j))
+					g.Compute(3)
+				}
+				for k := i + 1; k < j; k++ {
+					g.Load(table.At(i, k))
+					g.Load(table.At(k+1, j))
+					g.Compute(2)
+				}
+				g.Store(table.At(i, j))
+			}
+		}
+	}}
+}

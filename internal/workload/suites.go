@@ -1,0 +1,77 @@
+package workload
+
+// Suites group the PolyBench kernels into the sets the paper evaluates.
+// A SizeClass scales the kernel dimensions: tests use Tiny (seconds of
+// host time for whole suites), benches use Eval (the class whose working
+// sets reproduce each kernel's cache-residency behaviour relative to the
+// 512 KiB L2 of the modelled system).
+
+// SizeClass selects kernel dimensions.
+type SizeClass int
+
+// Size classes.
+const (
+	// Tiny keeps whole-suite runs under a few host seconds (unit tests).
+	Tiny SizeClass = iota
+	// Small is used by validation sweeps (two systems per kernel).
+	Small
+	// Eval reproduces the paper's cache-residency classes per kernel.
+	Eval
+)
+
+// dims3 selects (a,b,c) by class.
+func (s SizeClass) pick(tiny, small, eval int) int {
+	switch s {
+	case Tiny:
+		return tiny
+	case Small:
+		return small
+	default:
+		return eval
+	}
+}
+
+// Fig13Suite returns the 11 kernels of Figures 13 and 14, in the paper's
+// order.
+func Fig13Suite(s SizeClass) []Kernel {
+	return []Kernel{
+		PBGemver(s.pick(48, 160, 520)),
+		PBMvt(s.pick(48, 160, 520)),
+		PBGesummv(s.pick(48, 160, 420)),
+		PBSyrk(s.pick(24, 72, 220), s.pick(24, 72, 240)),
+		PBSymm(s.pick(24, 72, 200), s.pick(24, 72, 220)),
+		PBCorrelation(s.pick(24, 64, 220), s.pick(28, 80, 260)),
+		PBCovariance(s.pick(24, 64, 220), s.pick(28, 80, 260)),
+		PBTrisolv(s.pick(48, 160, 600)),
+		PBGramschmidt(s.pick(24, 64, 180), s.pick(24, 64, 200)),
+		PBGemm(s.pick(24, 64, 180), s.pick(24, 64, 180), s.pick(24, 64, 190)),
+		PBDurbin(s.pick(64, 256, 1400)),
+	}
+}
+
+// ValidationSuite returns the 28 PolyBench kernels used by the §6 time-
+// scaling validation.
+func ValidationSuite(s SizeClass) []Kernel {
+	n := func(tiny, small, eval int) int { return s.pick(tiny, small, eval) }
+	suite := Fig13Suite(s)
+	suite = append(suite,
+		PB2mm(n(16, 40, 96), n(16, 40, 104), n(16, 40, 112), n(16, 40, 120)),
+		PB3mm(n(14, 36, 88), n(14, 36, 96), n(14, 36, 104), n(14, 36, 112), n(14, 36, 120)),
+		PBAtax(n(32, 96, 360), n(32, 96, 320)),
+		PBBicg(n(32, 96, 360), n(32, 96, 320)),
+		PBCholesky(n(24, 64, 160)),
+		PBDeriche(n(24, 96, 256), n(24, 72, 192)),
+		PBDoitgen(n(8, 20, 40), n(8, 20, 44), n(8, 16, 36)),
+		PBSyr2k(n(20, 56, 160), n(20, 56, 176)),
+		PBTrmm(n(24, 64, 180), n(24, 64, 200)),
+		PBLu(n(24, 64, 160)),
+		PBFloydWarshall(n(20, 48, 120)),
+		PBAdi(n(24, 64, 160), n(2, 4, 8)),
+		PBFdtd2d(n(24, 64, 180), n(24, 64, 200), n(2, 4, 8)),
+		PBHeat3d(n(10, 20, 52), n(2, 3, 6)),
+		PBJacobi1d(n(256, 1024, 16384), n(4, 16, 40)),
+		PBJacobi2d(n(24, 72, 250), n(2, 4, 8)),
+		PBSeidel2d(n(24, 72, 250), n(2, 4, 8)),
+	)
+	return suite
+}

@@ -1,0 +1,61 @@
+package workload
+
+// Synthetic traffic generators: the classic microbenchmark patterns used to
+// stress memory systems (streaming, random, strided, pointer chase with
+// compute). They complement the PolyBench kernels with controllable memory
+// intensity, and back the ablation studies.
+
+// StreamTriad is the STREAM triad: a[i] = b[i] + s*c[i] over n doubles.
+func StreamTriad(n int) Kernel {
+	return Kernel{Name: "stream-triad", Body: func(g *Gen) {
+		ar := NewArena(0)
+		a, b, c := ar.Vec(n), ar.Vec(n), ar.Vec(n)
+		for i := 0; i < n; i++ {
+			g.Load(b.At(i))
+			g.Load(c.At(i))
+			g.Compute(2)
+			g.Store(a.At(i))
+		}
+	}}
+}
+
+// RandomAccess performs n independent loads spread pseudo-randomly over a
+// working set of sizeBytes (GUPS-style). The address sequence is a
+// deterministic LCG, so runs are reproducible.
+func RandomAccess(sizeBytes, n int) Kernel {
+	return Kernel{Name: "random-access", Body: func(g *Gen) {
+		lines := uint64(sizeBytes / 64)
+		if lines == 0 {
+			lines = 1
+		}
+		state := uint64(88172645463325252)
+		for i := 0; i < n; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			g.Load((state % lines) * 64)
+		}
+	}}
+}
+
+// Strided walks a region with a fixed byte stride (bank-conflict and
+// row-buffer studies).
+func Strided(startAddr uint64, strideBytes, n int) Kernel {
+	return Kernel{Name: "strided", Body: func(g *Gen) {
+		for i := 0; i < n; i++ {
+			g.Load(startAddr + uint64(i*strideBytes))
+		}
+	}}
+}
+
+// ComputeBound interleaves compute bursts with occasional misses, giving a
+// configurable miss rate: one load per `gap` compute instructions over a
+// large working set.
+func ComputeBound(gap int, n int) Kernel {
+	return Kernel{Name: "compute-bound", Body: func(g *Gen) {
+		for i := 0; i < n; i++ {
+			g.Compute(int64(gap))
+			g.Load(uint64(i) * 131072)
+		}
+	}}
+}

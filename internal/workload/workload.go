@@ -1,0 +1,287 @@
+// Package workload generates the memory-operation streams the modelled
+// processors execute: the 28 PolyBench kernels used for validation, the
+// lmbench memory-read-latency microbenchmark, and the Copy/Init RowClone
+// microbenchmarks from the paper's case studies.
+//
+// Kernels are written as ordinary nested Go loops that emit Ops through a
+// Gen; a Stream adapter runs the kernel body in a goroutine and hands the
+// consumer batched op slabs, so kernel code stays readable while the
+// consumer pays (amortised) nothing for the channel hop.
+package workload
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OpKind classifies one processor operation.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	// OpCompute represents N back-to-back non-memory instructions.
+	OpCompute OpKind = iota + 1
+	// OpLoad reads the line containing Addr.
+	OpLoad
+	// OpStore writes the line containing Addr (write-allocate).
+	OpStore
+	// OpFlush writes the line containing Addr back to DRAM and invalidates
+	// it (EasyDRAM's memory-mapped CLFLUSH register).
+	OpFlush
+	// OpRowClone asks the memory controller to copy row Src to row Addr.
+	OpRowClone
+	// OpBarrier waits until every outstanding request (including posted
+	// writebacks) has completed.
+	OpBarrier
+	// OpMark records the current processor cycle into the run result
+	// (measurement window boundary). It implies no memory activity.
+	OpMark
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCompute:
+		return "compute"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpFlush:
+		return "flush"
+	case OpRowClone:
+		return "rowclone"
+	case OpBarrier:
+		return "barrier"
+	case OpMark:
+		return "mark"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one processor operation.
+type Op struct {
+	Kind OpKind
+	// N is the instruction count for OpCompute.
+	N int64
+	// Addr is the target byte address (load/store/flush/rowclone dest).
+	Addr uint64
+	// Src is the RowClone source address.
+	Src uint64
+	// Dep marks an operation whose address depends on the most recent
+	// load's value (pointer chase); it cannot issue until that load
+	// completes.
+	Dep bool
+}
+
+// Stream supplies ops in program order.
+type Stream interface {
+	// Next fills op and reports whether an op was produced.
+	Next(op *Op) bool
+	// Close releases resources; the stream must not be used afterwards.
+	Close()
+}
+
+// Kernel is a named op-stream factory, so a kernel can be run multiple
+// times (once per system configuration).
+type Kernel struct {
+	Name string
+	// Body emits the kernel's operations.
+	Body func(g *Gen)
+}
+
+// Stream starts the kernel body and returns its op stream.
+func (k Kernel) Stream() Stream { return newGoStream(k.Body) }
+
+// Gen is the emission context handed to kernel bodies.
+type Gen struct {
+	emit func(Op)
+	// pendingCompute coalesces consecutive Compute emissions.
+	pendingCompute int64
+}
+
+// Compute emits n instructions of non-memory work (coalesced).
+func (g *Gen) Compute(n int64) {
+	if n > 0 {
+		g.pendingCompute += n
+	}
+}
+
+func (g *Gen) flushCompute() {
+	if g.pendingCompute > 0 {
+		g.emit(Op{Kind: OpCompute, N: g.pendingCompute})
+		g.pendingCompute = 0
+	}
+}
+
+// Load emits a load of addr.
+func (g *Gen) Load(addr uint64) {
+	g.flushCompute()
+	g.emit(Op{Kind: OpLoad, Addr: addr})
+}
+
+// LoadDep emits a load whose address depends on the previous load.
+func (g *Gen) LoadDep(addr uint64) {
+	g.flushCompute()
+	g.emit(Op{Kind: OpLoad, Addr: addr, Dep: true})
+}
+
+// Store emits a store to addr.
+func (g *Gen) Store(addr uint64) {
+	g.flushCompute()
+	g.emit(Op{Kind: OpStore, Addr: addr})
+}
+
+// Flush emits a cache-line flush of addr.
+func (g *Gen) Flush(addr uint64) {
+	g.flushCompute()
+	g.emit(Op{Kind: OpFlush, Addr: addr})
+}
+
+// RowClone emits an in-DRAM copy of the row at src to the row at dst.
+func (g *Gen) RowClone(src, dst uint64) {
+	g.flushCompute()
+	g.emit(Op{Kind: OpRowClone, Addr: dst, Src: src})
+}
+
+// Barrier emits a full memory barrier.
+func (g *Gen) Barrier() {
+	g.flushCompute()
+	g.emit(Op{Kind: OpBarrier})
+}
+
+// Mark emits a measurement-window boundary (implies a barrier first, so a
+// window never charges work from outside it).
+func (g *Gen) Mark() {
+	g.Barrier()
+	g.emit(Op{Kind: OpMark})
+}
+
+// slabSize is the op batch size moved per channel operation.
+const slabSize = 4096
+
+// goStream runs a kernel body in a goroutine and streams op slabs.
+type goStream struct {
+	ch   chan []Op
+	stop chan struct{}
+	buf  []Op
+	idx  int
+	done bool
+	wg   sync.WaitGroup
+}
+
+func newGoStream(body func(*Gen)) *goStream {
+	s := &goStream{
+		ch:   make(chan []Op, 2),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(s.ch)
+		slab := make([]Op, 0, slabSize)
+		aborted := false
+		g := &Gen{emit: func(op Op) {
+			if aborted {
+				return
+			}
+			slab = append(slab, op)
+			if len(slab) == slabSize {
+				select {
+				case s.ch <- slab:
+					slab = make([]Op, 0, slabSize)
+				case <-s.stop:
+					aborted = true
+				}
+			}
+		}}
+		body(g)
+		if aborted {
+			return
+		}
+		g.flushCompute()
+		if len(slab) > 0 {
+			select {
+			case s.ch <- slab:
+			case <-s.stop:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *goStream) Next(op *Op) bool {
+	if s.done {
+		return false
+	}
+	if s.idx >= len(s.buf) {
+		slab, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return false
+		}
+		s.buf, s.idx = slab, 0
+	}
+	*op = s.buf[s.idx]
+	s.idx++
+	return true
+}
+
+func (s *goStream) Close() {
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+		// Drain so the producer unblocks and exits.
+		for range s.ch {
+		}
+		s.wg.Wait()
+	}
+	s.done = true
+}
+
+// Extent scans the kernel's op stream and reports one past the highest
+// byte address it touches (used to size characterization ranges).
+func Extent(k Kernel) uint64 {
+	s := k.Stream()
+	defer s.Close()
+	var op Op
+	var max uint64
+	for s.Next(&op) {
+		switch op.Kind {
+		case OpLoad, OpStore, OpFlush:
+			if end := op.Addr + 64; end > max {
+				max = end
+			}
+		case OpRowClone:
+			if end := op.Addr + 8192; end > max {
+				max = end
+			}
+		}
+	}
+	return max
+}
+
+// SliceStream adapts a fixed []Op (tests and microbenchmarks).
+type SliceStream struct {
+	ops []Op
+	idx int
+}
+
+// NewSliceStream returns a Stream over ops.
+func NewSliceStream(ops []Op) *SliceStream { return &SliceStream{ops: ops} }
+
+// Next implements Stream.
+func (s *SliceStream) Next(op *Op) bool {
+	if s.idx >= len(s.ops) {
+		return false
+	}
+	*op = s.ops[s.idx]
+	s.idx++
+	return true
+}
+
+// Close implements Stream.
+func (s *SliceStream) Close() {}
+
+var _ Stream = (*goStream)(nil)
+var _ Stream = (*SliceStream)(nil)
