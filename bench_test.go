@@ -43,7 +43,7 @@ func BenchmarkFigure2(b *testing.B) {
 		b.Log("\n" + res.Table())
 		// Paper: the software MC inflates request time by an order of
 		// magnitude; time scaling restores the real system's behaviour.
-		b.ReportMetric(res.LatencyNs[2]/res.LatencyNs[0], "smc/real-latency-ratio")
+		b.ReportMetric(res.LatencyRatio(experiments.PlatformSMC, experiments.PlatformReal), "smc/real-latency-ratio")
 	}
 }
 

@@ -1,14 +1,19 @@
 // Command benchall regenerates every table and figure of the paper and
 // writes an EXPERIMENTS-style report to stdout (or a file), recording the
-// paper's numbers next to the measured ones.
+// paper's numbers next to the measured ones. It also emits a
+// machine-readable BENCH_<date>.json snapshot — headline metric values plus
+// per-section wall-clock timings — so the repository accumulates a
+// performance trajectory that future optimisation work is judged against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"easydram/internal/experiments"
@@ -17,9 +22,11 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "report output file (default stdout)")
 	quick := flag.Bool("quick", false, "use reduced-scale parameters")
 	seed := flag.Uint64("seed", 1, "DRAM variation seed")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", `snapshot file (default BENCH_<date>.json; "none" disables)`)
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -42,94 +49,232 @@ func main() {
 		opt.KernelSize = workload.Small
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
 
-	if err := report(w, opt); err != nil {
+	snap := newSnapshot(opt, *quick)
+	if err := report(w, opt, snap); err != nil {
 		log.Fatalf("benchall: %v", err)
+	}
+
+	if *jsonOut != "none" {
+		path := *jsonOut
+		if path == "" {
+			// Keyed off the snapshot's own date stamp so a run crossing
+			// midnight cannot produce a filename/content mismatch.
+			path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+		}
+		if err := snap.write(path); err != nil {
+			log.Fatalf("benchall: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchall: wrote %s\n", path)
 	}
 }
 
-func report(w io.Writer, opt experiments.Options) error {
+// snapshot is the machine-readable performance record one benchall run
+// leaves behind (the perf trajectory's data points).
+type snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Quick      bool    `json:"quick"`
+	Seed       uint64  `json:"seed"`
+	WallSecs   float64 `json:"wall_seconds"`
+	// Sections records per-experiment wall-clock seconds in run order.
+	Sections []sectionTiming `json:"sections"`
+	// Metrics holds the headline numeric results keyed experiment/metric.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type sectionTiming struct {
+	Name     string  `json:"name"`
+	WallSecs float64 `json:"wall_seconds"`
+}
+
+func newSnapshot(opt experiments.Options, quick bool) *snapshot {
+	return &snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    opt.Workers,
+		Quick:      quick,
+		Seed:       opt.Seed,
+		Metrics:    map[string]float64{},
+	}
+}
+
+func (s *snapshot) write(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 	start := time.Now()
 	section := func(title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+	// timed runs one experiment section and records its wall clock in the
+	// snapshot (the per-section perf trajectory).
+	timed := func(name string, f func() error) error {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		snap.Sections = append(snap.Sections, sectionTiming{name, time.Since(t0).Seconds()})
+		return nil
+	}
 
-	section("Table 1 — platform comparison")
-	t1, err := experiments.Table1(opt)
-	if err != nil {
+	if err := timed("table1", func() error {
+		section("Table 1 — platform comparison")
+		t1, err := experiments.Table1(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t1.Render())
+		snap.Metrics["table1/mcycles_per_sec"] = t1.MeasuredCyclesPerSec / 1e6
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, t1.Render())
 
-	section("Figure 2 — request time breakdown")
-	f2, err := experiments.Figure2(opt)
-	if err != nil {
+	if err := timed("figure2", func() error {
+		section("Figure 2 — request time breakdown")
+		f2, err := experiments.Figure2(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, f2.Table())
+		snap.Metrics["figure2/smc_vs_real_latency_ratio"] = f2.LatencyRatio(experiments.PlatformSMC, experiments.PlatformReal)
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, f2.Table())
 
-	section("§6 — time-scaling validation (paper: <0.1% avg, <1% max)")
-	val, err := experiments.Validation(opt)
-	if err != nil {
+	if err := timed("validation", func() error {
+		section("§6 — time-scaling validation (paper: <0.1% avg, <1% max)")
+		val, err := experiments.Validation(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, val.Table())
+		snap.Metrics["validation/avg_err_pct"] = val.AvgPct
+		snap.Metrics["validation/max_err_pct"] = val.MaxPct
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, val.Table())
 
-	section("Figure 8 — lmbench latency profile")
-	f8, err := experiments.Figure8(opt)
-	if err != nil {
+	if err := timed("figure8", func() error {
+		section("Figure 8 — lmbench latency profile")
+		f8, err := experiments.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, f8.Table())
+		snap.Metrics["figure8/ts_mem_cycles"] = f8.PlateauCycles(experiments.NameTS)
+		snap.Metrics["figure8/nots_mem_cycles"] = f8.PlateauCycles(experiments.NameNoTS)
+		snap.Metrics["figure8/a57_mem_cycles"] = f8.PlateauCycles(experiments.NameCortex)
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, f8.Table())
 
-	section("Figure 10 — RowClone No Flush (paper: copy 306.7x/15.0x/27.2x, init 36.7x/1.8x/17.3x)")
-	f10, err := experiments.RowClone(opt, false)
-	if err != nil {
+	if err := timed("figure10", func() error {
+		section("Figure 10 — RowClone No Flush (paper: copy 306.7x/15.0x/27.2x, init 36.7x/1.8x/17.3x)")
+		f10, err := experiments.RowClone(opt, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, f10.Table())
+		snap.Metrics["figure10/copy_ts_avg_x"] = stats.Mean(f10.Copy[experiments.NameTS])
+		snap.Metrics["figure10/copy_nots_avg_x"] = stats.Mean(f10.Copy[experiments.NameNoTS])
+		snap.Metrics["figure10/init_ts_avg_x"] = stats.Mean(f10.Init[experiments.NameTS])
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, f10.Table())
 
-	section("Figure 11 — RowClone CLFLUSH (paper: copy 3.1x/4.04x avg)")
-	f11, err := experiments.RowClone(opt, true)
-	if err != nil {
+	if err := timed("figure11", func() error {
+		section("Figure 11 — RowClone CLFLUSH (paper: copy 3.1x/4.04x avg)")
+		f11, err := experiments.RowClone(opt, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, f11.Table())
+		snap.Metrics["figure11/copy_ts_avg_x"] = stats.Mean(f11.Copy[experiments.NameTS])
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, f11.Table())
 
-	section("Figure 12 — minimum reliable tRCD heatmap (paper: 84.5% strong)")
-	f12, err := experiments.Figure12(opt)
-	if err != nil {
+	if err := timed("figure12", func() error {
+		section("Figure 12 — minimum reliable tRCD heatmap (paper: 84.5% strong)")
+		f12, err := experiments.Figure12(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, f12.Heatmap())
+		snap.Metrics["figure12/strong_pct"] = 100 * f12.StrongFraction
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, f12.Heatmap())
 
-	section("Figures 13 & 14 — tRCD reduction (paper: +2.75% avg EasyDRAM, +2.58% Ramulator) and simulation speed (paper: 5.9x avg)")
-	f13, err := experiments.Figure13(opt)
-	if err != nil {
+	if err := timed("figure13", func() error {
+		section("Figures 13 & 14 — tRCD reduction (paper: +2.75% avg EasyDRAM, +2.58% Ramulator) and simulation speed (paper: 5.9x avg)")
+		f13, err := experiments.Figure13(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, f13.Table())
+		fmt.Fprintln(w, f13.SpeedTable())
+		fmt.Fprintf(w, "EasyDRAM avg improvement: %.2f%% (max %.2f%%)\n",
+			f13.AvgSpeedupPct(experiments.NameTS), f13.MaxSpeedupPct(experiments.NameTS))
+		fmt.Fprintf(w, "Ramulator avg improvement: %.2f%% (max %.2f%%)\n",
+			f13.AvgSpeedupPct(experiments.NameRamulator), f13.MaxSpeedupPct(experiments.NameRamulator))
+		fmt.Fprintf(w, "EasyDRAM sim speed geomean %.2f MHz\n", stats.Geomean(f13.SimSpeedMHz[experiments.NameTS]))
+		snap.Metrics["figure13/easydram_avg_pct"] = f13.AvgSpeedupPct(experiments.NameTS)
+		snap.Metrics["figure13/easydram_max_pct"] = f13.MaxSpeedupPct(experiments.NameTS)
+		snap.Metrics["figure13/ramulator_avg_pct"] = f13.AvgSpeedupPct(experiments.NameRamulator)
+		snap.Metrics["figure14/easydram_geomean_mhz"] = stats.Geomean(f13.SimSpeedMHz[experiments.NameTS])
+		snap.Metrics["figure14/ramulator_geomean_mhz"] = stats.Geomean(f13.SimSpeedMHz[experiments.NameRamulator])
+		if m := snap.Metrics["figure14/ramulator_geomean_mhz"]; m > 0 {
+			snap.Metrics["figure14/speed_ratio"] = snap.Metrics["figure14/easydram_geomean_mhz"] / m
+		}
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, f13.Table())
-	fmt.Fprintln(w, f13.SpeedTable())
-	fmt.Fprintf(w, "EasyDRAM avg improvement: %.2f%% (max %.2f%%)\n",
-		f13.AvgSpeedupPct(experiments.NameTS), f13.MaxSpeedupPct(experiments.NameTS))
-	fmt.Fprintf(w, "Ramulator avg improvement: %.2f%% (max %.2f%%)\n",
-		f13.AvgSpeedupPct(experiments.NameRamulator), f13.MaxSpeedupPct(experiments.NameRamulator))
-	fmt.Fprintf(w, "EasyDRAM sim speed geomean %.2f MHz\n", stats.Geomean(f13.SimSpeedMHz[experiments.NameTS]))
 
-	section("Extension — RowClone DRAM energy (RowClone paper: ~74x for FPM copy)")
-	en, err := experiments.Energy(opt)
-	if err != nil {
+	if err := timed("energy", func() error {
+		section("Extension — RowClone DRAM energy (RowClone paper: ~74x for FPM copy)")
+		en, err := experiments.Energy(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, en.Table())
+		snap.Metrics["energy/advantage_x"] = en.Ratio[len(en.Ratio)-1]
+		return nil
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, en.Table())
 
-	section("Extension — design-axis ablations")
-	abl, err := experiments.Ablations(opt)
-	if err != nil {
+	if err := timed("ablations", func() error {
+		section("Extension — design-axis ablations")
+		abl, err := experiments.Ablations(opt)
+		if err != nil {
+			return err
+		}
+		for _, a := range abl {
+			fmt.Fprintln(w, a.Table())
+		}
+		return nil
+	}); err != nil {
 		return err
 	}
-	for _, a := range abl {
-		fmt.Fprintln(w, a.Table())
-	}
 
+	snap.WallSecs = time.Since(start).Seconds()
 	fmt.Fprintf(w, "\ntotal runtime: %v\n", time.Since(start).Round(time.Second))
 	return nil
 }

@@ -1,0 +1,3 @@
+module easydram
+
+go 1.24

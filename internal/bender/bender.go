@@ -111,9 +111,11 @@ func (e *Engine) Chip() *dram.Chip { return e.chip }
 func (e *Engine) Readback() []ReadLine { return e.readback }
 
 // DrainReadback empties the readback buffer and returns its prior contents.
+// The returned slice aliases the engine's reusable buffer: it is valid only
+// until the next Exec, so callers must copy entries they keep.
 func (e *Engine) DrainReadback() []ReadLine {
 	rb := e.readback
-	e.readback = nil
+	e.readback = e.readback[:0]
 	return rb
 }
 

@@ -17,6 +17,19 @@
 // (PiDRAM-style, the paper's "EasyDRAM - No Time Scaling"), in which the
 // SMC's real latency is visible to the processor; and the hardware-MC
 // reference mode used to validate time scaling (§6).
+//
+// # Event-queue architecture
+//
+// The engine's inner loop is event-driven: each iteration either advances
+// the processor or performs one SMC step, and both need the earliest
+// pending event. Ready responses live in an indexed min-heap keyed by
+// release point (releaseQueue), giving O(1) min-peek, O(log n) delivery,
+// and O(1) lookup of the response a blocked processor waits on. Unserved
+// requests additionally sit in an issue-order FIFO of arrival keys
+// (arrivalRing); arrivals are monotone, so the earliest live arrival — the
+// refresh accounting horizon — is read off the head in amortised O(1). See
+// events.go. Both engines (scaled and unscaled) share the structures; only
+// the key domain differs (processor cycles vs wall picoseconds).
 package core
 
 import (
@@ -148,6 +161,10 @@ type System struct {
 	ctl  *smc.BaseController
 	env  *smc.Env
 	chip *dram.Chip
+
+	// hostReqID numbers host-driven characterization requests (see host.go).
+	// Per-system so concurrently running systems stay independent.
+	hostReqID uint64
 }
 
 // NewSystem assembles a system from cfg.
@@ -179,12 +196,13 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &System{
-		cfg:  cfg,
-		hier: hier,
-		tile: t,
-		ctl:  ctl,
-		env:  smc.NewEnv(t),
-		chip: chip,
+		cfg:       cfg,
+		hier:      hier,
+		tile:      t,
+		ctl:       ctl,
+		env:       smc.NewEnv(t),
+		chip:      chip,
+		hostReqID: 1 << 48, // distinct from CPU-issued request IDs
 	}, nil
 }
 
@@ -212,11 +230,12 @@ func (s *System) Run(strm workload.Stream) (Result, error) {
 		return Result{}, fmt.Errorf("core: %w", err)
 	}
 	e := &engine{
-		cfg:      s.cfg,
-		sys:      s,
-		core:     core,
-		inflight: make(map[uint64]pending),
-		ready:    make(map[uint64]mem.Response),
+		cfg:           s.cfg,
+		sys:           s,
+		core:          core,
+		inflight:      make(map[uint64]pending),
+		ready:         newReleaseQueue(),
+		trackArrivals: s.ctl.RefreshEnabled(),
 	}
 	if s.cfg.Scaling {
 		err = e.runScaled()
@@ -241,9 +260,16 @@ type engine struct {
 	smcFreeAt clock.PS
 
 	inflight map[uint64]pending
-	ready    map[uint64]mem.Response
-	// readyWall is the wall release time of ready responses (non-scaled).
-	readyWall map[uint64]clock.PS
+	// arrivals mirrors inflight in issue order (monotone arrival keys:
+	// processor-cycle tags when scaling, wall picoseconds otherwise); the
+	// head yields the earliest live arrival in amortised O(1). It feeds the
+	// refresh accounting horizon only, so it is maintained (trackArrivals)
+	// only when refresh is enabled.
+	arrivals      arrivalRing
+	trackArrivals bool
+	// ready holds produced responses keyed by their release point:
+	// processor cycles when scaling, wall picoseconds otherwise.
+	ready releaseQueue
 	// staged holds issued requests not yet visible to the controller
 	// (non-scaled mode): the SMC only observes requests that have arrived
 	// by its next decision point, mirroring the scaled engine's gating.
@@ -293,6 +319,19 @@ func (e *engine) result() Result {
 	r.Chip = e.sys.chip.Stats()
 	r.Tile = e.sys.tile.Stats()
 	return r
+}
+
+// earliestArrival reports the smallest arrival key among unserved requests
+// (amortised O(1): completed heads are skipped off the issue-order ring).
+func (e *engine) earliestArrival() (int64, bool) {
+	for e.arrivals.head < len(e.arrivals.buf) {
+		ent := e.arrivals.buf[e.arrivals.head]
+		if _, live := e.inflight[ent.id]; live {
+			return ent.key, true
+		}
+		e.arrivals.skipHead()
+	}
+	return 0, false
 }
 
 func (e *engine) checkCap(proc clock.Cycles) error {

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"easydram/internal/clock"
 	"easydram/internal/workload"
 )
 
@@ -37,6 +38,55 @@ func TestRunsAreDeterministic(t *testing.T) {
 			}
 			if a.CPU != b.CPU || a.Ctrl != b.Ctrl || a.Chip != b.Chip {
 				t.Fatalf("statistics diverged:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestGoldenCycleCounts pins cycle-exact parity with the seed engine: the
+// golden numbers below were captured from the original map-scan engine
+// (pre event-queue/swap-remove refactor) and must never drift. They cover
+// the scaled engine, the unscaled engine, and the §6 validation pair, on a
+// compute-heavy kernel and a miss-heavy pointer chase, including the
+// controller decision counters (served/hits/misses/refreshes) that would
+// expose any change in scheduling order.
+func TestGoldenCycleCounts(t *testing.T) {
+	type golden struct {
+		proc, global         clock.Cycles
+		served, hits, misses int64
+		refreshes            int64
+	}
+	gemver := workload.PBGemver(48)
+	latmem := workload.LatMemRd(256<<10, 2000)
+	cases := []struct {
+		name string
+		cfg  Config
+		k    workload.Kernel
+		want golden
+	}{
+		{"scaled/gemver", TimeScalingA57(), gemver, golden{28951, 164520, 336, 321, 15, 2}},
+		{"unscaled/gemver", NoTimeScaling(), gemver, golden{67384, 134768, 336, 203, 133, 167}},
+		{"ts1ghz/gemver", TimeScaling1GHz(), gemver, golden{28623, 162946, 336, 320, 16, 3}},
+		{"ref1ghz/gemver", Reference1GHz(), gemver, golden{28623, 2863, 336, 320, 16, 3}},
+		{"scaled/latmem", TimeScalingA57(), latmem, golden{519265, 2888735, 4096, 986, 3110, 43}},
+		{"unscaled/latmem", NoTimeScaling(), latmem, golden{187087, 374174, 4096, 880, 3216, 407}},
+		{"ts1ghz/latmem", TimeScaling1GHz(), latmem, golden{376316, 2173909, 4096, 986, 3110, 43}},
+		{"ref1ghz/latmem", Reference1GHz(), latmem, golden{376315, 37632, 4096, 986, 3110, 43}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys, err := NewSystem(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run(c.k.Stream())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := golden{res.ProcCycles, res.GlobalCycles,
+				res.Ctrl.Served, res.Ctrl.RowHits, res.Ctrl.RowMisses, res.Ctrl.Refreshes}
+			if got != c.want {
+				t.Fatalf("cycle counts drifted from the seed engine:\n got %+v\nwant %+v", got, c.want)
 			}
 		})
 	}

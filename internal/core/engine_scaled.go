@@ -20,9 +20,9 @@ func (e *engine) runScaled() error {
 		e.deliverMaturedScaled()
 
 		if e.blockedOn != 0 {
-			if r, ok := e.ready[e.blockedOn]; ok {
-				ts.JumpProcTo(r.Release)
-				e.consumeScaled(r)
+			if release, ok := e.ready.Release(e.blockedOn); ok {
+				ts.JumpProcTo(clock.Cycles(release))
+				e.consumeScaled(e.blockedOn)
 				e.blockedOn = 0
 				continue
 			}
@@ -33,17 +33,17 @@ func (e *engine) runScaled() error {
 		}
 
 		if e.fencing {
-			if len(e.inflight) == 0 && len(e.ready) == 0 {
+			if len(e.inflight) == 0 && e.ready.Len() == 0 {
 				ts.JumpProcTo(e.maxRelease)
 				e.maybeExitCritical()
 				e.fencing = false
 				e.core.FenceDone()
 				continue
 			}
-			if len(e.ready) > 0 {
-				r := e.earliestReady()
-				ts.JumpProcTo(r.Release)
-				e.consumeScaled(r)
+			if e.ready.Len() > 0 {
+				it := e.ready.Min()
+				ts.JumpProcTo(clock.Cycles(it.release))
+				e.consumeScaled(it.id)
 				continue
 			}
 			if err := e.smcStepScaled(); err != nil {
@@ -100,39 +100,23 @@ func (e *engine) runScaled() error {
 }
 
 // deliverMaturedScaled hands the core every ready response whose release
-// point has been reached.
+// point has been reached (in release order, O(log n) each).
 func (e *engine) deliverMaturedScaled() {
-	if len(e.ready) == 0 {
-		return
-	}
-	proc := e.ts.Proc()
-	for id, r := range e.ready {
-		if r.Release <= proc {
-			delete(e.ready, id)
-			e.core.Deliver(id)
-			if e.blockedOn == id {
-				e.blockedOn = 0
-			}
+	proc := int64(e.ts.Proc())
+	for e.ready.Len() > 0 && e.ready.Min().release <= proc {
+		it := e.ready.PopMin()
+		e.core.Deliver(it.id)
+		if e.blockedOn == it.id {
+			e.blockedOn = 0
 		}
 	}
 }
 
 // consumeScaled delivers one ready response the processor waited for.
-func (e *engine) consumeScaled(r mem.Response) {
-	delete(e.ready, r.ReqID)
-	e.core.Deliver(r.ReqID)
+func (e *engine) consumeScaled(id uint64) {
+	e.ready.Remove(id)
+	e.core.Deliver(id)
 	e.maybeExitCritical()
-}
-
-func (e *engine) earliestReady() mem.Response {
-	var best mem.Response
-	first := true
-	for _, r := range e.ready {
-		if first || r.Release < best.Release {
-			best, first = r, false
-		}
-	}
-	return best
 }
 
 // issueScaled places a new request into the EasyTile FIFO, tagging it with
@@ -141,6 +125,9 @@ func (e *engine) issueScaled(req mem.Request) {
 	req.Tag = e.ts.Proc()
 	e.sys.tile.PushRequest(req)
 	e.inflight[req.ID] = pending{posted: req.Posted, tag: req.Tag}
+	if e.trackArrivals {
+		e.arrivals.Push(req.ID, int64(req.Tag))
+	}
 	if !e.ts.Critical() {
 		e.ts.EnterCritical()
 	}
@@ -152,19 +139,6 @@ func (e *engine) maybeExitCritical() {
 	}
 }
 
-// earliestInflightTag reports the smallest arrival tag among unserved
-// requests (the refresh accounting horizon). ok is false when none exist.
-func (e *engine) earliestInflightTag() (clock.Cycles, bool) {
-	var min clock.Cycles
-	found := false
-	for _, p := range e.inflight {
-		if !found || p.tag < min {
-			min, found = p.tag, true
-		}
-	}
-	return min, found
-}
-
 // settleRefreshesScaled deterministically accounts every REF due before the
 // next request service starts: a refresh fires iff it is due by
 // max(service point, next arrival). Refreshes falling in idle periods chain
@@ -174,11 +148,11 @@ func (e *engine) settleRefreshesScaled() error {
 		return nil
 	}
 	for {
-		arrival, ok := e.earliestInflightTag()
+		arrival, ok := e.earliestArrival()
 		if !ok {
 			return nil
 		}
-		horizon := e.cfg.CPU.Clock.ToTime(arrival)
+		horizon := e.cfg.CPU.Clock.ToTime(clock.Cycles(arrival))
 		if mc := e.cfg.CPU.Clock.ToTime(e.ts.MC()); mc > horizon {
 			horizon = mc
 		}
@@ -219,8 +193,8 @@ func (e *engine) smcStepScaled() error {
 		// Nothing left to serve: every in-flight request has a ready
 		// response. Let the processor domain catch up to the earliest
 		// release so the responses mature.
-		if len(e.ready) > 0 {
-			e.ts.JumpProcTo(e.earliestReady().Release)
+		if e.ready.Len() > 0 {
+			e.ts.JumpProcTo(clock.Cycles(e.ready.Min().release))
 			return nil
 		}
 		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", len(e.inflight), e.blockedOn)
@@ -262,8 +236,7 @@ func (e *engine) smcStepScaled() error {
 		if p.posted {
 			continue
 		}
-		r.Release = release
-		e.ready[r.ReqID] = r
+		e.ready.Push(r.ReqID, int64(release))
 	}
 	e.maybeExitCritical()
 	return nil

@@ -16,33 +16,31 @@ import (
 //   - hardware MC (HardwareMC=true): the §6 validation reference, where
 //     each request costs only the modeled controller latency plus DRAM time.
 func (e *engine) runUnscaled() error {
-	e.readyWall = make(map[uint64]clock.PS)
 	procPeriod := e.cfg.ProcPhys.Period()
 	var maxWall clock.PS
 
 	proc := func() clock.Cycles { return clock.Cycles(e.wallNow / procPeriod) }
 
 	for {
-		// Deliver responses whose wall release time has passed.
-		for id, w := range e.readyWall {
-			if w <= e.wallNow {
-				delete(e.readyWall, id)
-				e.core.Deliver(id)
-				if e.blockedOn == id {
-					e.blockedOn = 0
-				}
+		// Deliver responses whose wall release time has passed (in release
+		// order; the ready queue keys are wall picoseconds here).
+		for e.ready.Len() > 0 && e.ready.Min().release <= int64(e.wallNow) {
+			it := e.ready.PopMin()
+			e.core.Deliver(it.id)
+			if e.blockedOn == it.id {
+				e.blockedOn = 0
 			}
 		}
 
 		if e.blockedOn != 0 {
-			if w, ok := e.readyWall[e.blockedOn]; ok {
+			if w, ok := e.ready.Release(e.blockedOn); ok {
 				// The processor consumes the response at its next clock
 				// edge (the scaled engine's release tags are integral
 				// cycles for the same reason).
-				if w > e.wallNow {
-					e.wallNow = clock.PS(e.cfg.ProcPhys.CyclesCeil(w)) * procPeriod
+				if clock.PS(w) > e.wallNow {
+					e.wallNow = clock.PS(e.cfg.ProcPhys.CyclesCeil(clock.PS(w))) * procPeriod
 				}
-				delete(e.readyWall, e.blockedOn)
+				e.ready.Remove(e.blockedOn)
 				e.core.Deliver(e.blockedOn)
 				e.blockedOn = 0
 				continue
@@ -58,7 +56,7 @@ func (e *engine) runUnscaled() error {
 		}
 
 		if e.fencing {
-			if len(e.inflight) == 0 && len(e.readyWall) == 0 {
+			if len(e.inflight) == 0 && e.ready.Len() == 0 {
 				if maxWall > e.wallNow {
 					e.wallNow = maxWall
 				}
@@ -77,13 +75,7 @@ func (e *engine) runUnscaled() error {
 				continue
 			}
 			// Only ready responses remain: advance to the earliest.
-			var earliest clock.PS = 1 << 62
-			for _, w := range e.readyWall {
-				if w < earliest {
-					earliest = w
-				}
-			}
-			if earliest > e.wallNow {
+			if earliest := clock.PS(e.ready.Min().release); earliest > e.wallNow {
 				e.wallNow = earliest
 			}
 			continue
@@ -108,6 +100,9 @@ func (e *engine) runUnscaled() error {
 			}
 			e.staged = append(e.staged, req)
 			e.inflight[req.ID] = pending{posted: req.Posted, arrival: e.wallNow}
+			if e.trackArrivals {
+				e.arrivals.Push(req.ID, int64(e.wallNow))
+			}
 		}
 		if out.WaitID != 0 {
 			if debugTrace {
@@ -149,17 +144,11 @@ func (e *engine) settleRefreshesUnscaled() error {
 		return nil
 	}
 	for {
-		var arrival clock.PS
-		found := false
-		for _, p := range e.inflight {
-			if !found || p.arrival < arrival {
-				arrival, found = p.arrival, true
-			}
-		}
+		arrival, found := e.earliestArrival()
 		if !found {
 			return nil
 		}
-		horizon := arrival
+		horizon := clock.PS(arrival)
 		if e.smcFreeAt > horizon {
 			horizon = e.smcFreeAt
 		}
@@ -197,16 +186,11 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	env := e.sys.env
 	// Make exactly the requests that have arrived by the controller's next
 	// decision point visible. If the controller is idle, the next decision
-	// happens when the earliest staged request arrives.
+	// happens when the earliest staged request arrives. Staged requests sit
+	// in issue order and arrivals are monotone, so the earliest is first.
 	decision := e.smcFreeAt
 	if len(e.staged) > 0 && e.sys.tile.IncomingEmpty() && e.sys.ctl.Pending() == 0 {
-		earliest := e.inflight[e.staged[0].ID].arrival
-		for _, req := range e.staged[1:] {
-			if a := e.inflight[req.ID].arrival; a < earliest {
-				earliest = a
-			}
-		}
-		if decision < earliest {
+		if earliest := e.inflight[e.staged[0].ID].arrival; decision < earliest {
 			decision = earliest
 		}
 	}
@@ -230,7 +214,7 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 		return 0, err
 	}
 	if !worked {
-		if len(e.readyWall) > 0 {
+		if e.ready.Len() > 0 {
 			// Everything outstanding is already responded; nothing to do.
 			return e.smcFreeAt, nil
 		}
@@ -283,7 +267,7 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 		if p.posted {
 			continue
 		}
-		e.readyWall[r.ReqID] = release
+		e.ready.Push(r.ReqID, int64(release))
 	}
 	return completion, nil
 }

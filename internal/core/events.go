@@ -1,0 +1,183 @@
+package core
+
+// Event structures for the emulation hot path.
+//
+// Every SMC step the engine needs two queries answered about outstanding
+// work: "which ready responses have matured?" (and, symmetrically, "what is
+// the earliest release point?") and "what is the earliest arrival among
+// unserved requests?" (the refresh accounting horizon). The original
+// implementation answered both by scanning Go maps, making each step O(n)
+// in the number of in-flight requests and dominating the engine's CPU
+// profile with map iteration. Two purpose-built structures replace those
+// scans:
+//
+//   - releaseQueue: an indexed min-heap of response release points keyed by
+//     (release, insertion sequence). Min-peek is O(1), pop and remove are
+//     O(log n), and the position index gives O(1) lookup of the response a
+//     blocked processor is waiting on. The sequence number makes tie order
+//     deterministic (the engine's results are insensitive to delivery order
+//     within one release point, but determinism must not rest on that).
+//
+//   - arrivalRing: a FIFO of (request id, arrival key) in issue order.
+//     Because the engines issue requests at monotonically nondecreasing
+//     timestamps, the earliest live arrival is always at the head once
+//     entries whose request already completed are skipped; each entry is
+//     pushed and skipped at most once, so the amortised cost is O(1).
+//
+// Both structures reuse their backing storage across a run.
+
+// releaseItem is one pending response release point.
+type releaseItem struct {
+	id      uint64
+	release int64 // emulated processor cycles (scaled) or wall ps (unscaled)
+	seq     uint64
+}
+
+// releaseQueue is an indexed min-heap over (release, seq) with O(1) lookup
+// by request id.
+type releaseQueue struct {
+	items []releaseItem
+	pos   map[uint64]int // request id -> index in items
+	seq   uint64
+}
+
+func newReleaseQueue() releaseQueue {
+	return releaseQueue{pos: make(map[uint64]int, 16)}
+}
+
+// Len reports the number of queued responses.
+func (q *releaseQueue) Len() int { return len(q.items) }
+
+// Min returns the earliest-release item. The queue must be non-empty.
+func (q *releaseQueue) Min() releaseItem { return q.items[0] }
+
+// Push inserts a release point for id.
+func (q *releaseQueue) Push(id uint64, release int64) {
+	q.items = append(q.items, releaseItem{id: id, release: release, seq: q.seq})
+	q.seq++
+	i := len(q.items) - 1
+	q.pos[id] = i
+	q.siftUp(i)
+}
+
+// PopMin removes and returns the earliest-release item.
+func (q *releaseQueue) PopMin() releaseItem {
+	it := q.items[0]
+	q.removeAt(0)
+	return it
+}
+
+// Release reports the release point recorded for id.
+func (q *releaseQueue) Release(id uint64) (int64, bool) {
+	i, ok := q.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return q.items[i].release, true
+}
+
+// Remove deletes id's entry if present.
+func (q *releaseQueue) Remove(id uint64) bool {
+	i, ok := q.pos[id]
+	if !ok {
+		return false
+	}
+	q.removeAt(i)
+	return true
+}
+
+func (q *releaseQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.release != b.release {
+		return a.release < b.release
+	}
+	return a.seq < b.seq
+}
+
+func (q *releaseQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i].id] = i
+	q.pos[q.items[j].id] = j
+}
+
+func (q *releaseQueue) removeAt(i int) {
+	last := len(q.items) - 1
+	delete(q.pos, q.items[i].id)
+	if i != last {
+		q.items[i] = q.items[last]
+		q.pos[q.items[i].id] = i
+	}
+	q.items = q.items[:last]
+	if i < last {
+		// The moved element may need to travel either direction.
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+}
+
+func (q *releaseQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *releaseQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
+}
+
+// arrivalEntry records one request's arrival key (processor-cycle tag under
+// scaling, wall picoseconds otherwise) in issue order.
+type arrivalEntry struct {
+	id  uint64
+	key int64
+}
+
+// arrivalRing is a slice-backed FIFO of arrival entries. Keys are pushed in
+// monotonically nondecreasing order, so the head (after skipping entries
+// whose request has completed) is always the minimum live key.
+type arrivalRing struct {
+	buf  []arrivalEntry
+	head int
+}
+
+// Push appends an arrival. Keys must be nondecreasing across pushes. When
+// the skipped prefix dominates the buffer, live entries are compacted to
+// the front so the backing array stays bounded by the in-flight population.
+func (r *arrivalRing) Push(id uint64, key int64) {
+	if r.head > 64 && r.head*2 >= len(r.buf) {
+		n := copy(r.buf, r.buf[r.head:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+	r.buf = append(r.buf, arrivalEntry{id: id, key: key})
+}
+
+// skipHead advances past the current head entry (its request completed) and
+// recycles the backing storage once drained.
+func (r *arrivalRing) skipHead() {
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+}

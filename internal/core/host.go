@@ -12,13 +12,14 @@ import (
 // enqueues requests directly into EasyTile and executes controller
 // iterations synchronously, outside the emulated timeline (§8.1).
 
-var hostReqID uint64 = 1 << 48 // distinct from CPU-issued request IDs
-
 // hostServe pushes req and runs controller iterations until its response
-// appears, returning the response's OK flag.
+// appears, returning the response's OK flag. Host request IDs are a
+// per-system counter (starting at 1<<48, distinct from CPU-issued IDs) so
+// that systems running concurrently under the parallel experiments harness
+// stay independent and deterministic.
 func (s *System) hostServe(req mem.Request) (bool, error) {
-	hostReqID++
-	req.ID = hostReqID
+	s.hostReqID++
+	req.ID = s.hostReqID
 	s.tile.PushRequest(req)
 	for i := 0; i < 1024; i++ {
 		s.env.Reset(0)

@@ -151,18 +151,22 @@ func AblationDDR5(opt Options) (*AblationResult, error) {
 	return r, nil
 }
 
-// Ablations runs every sweep.
+// Ablations runs every sweep; the independent sweeps share the worker pool.
 func Ablations(opt Options) ([]*AblationResult, error) {
 	runs := []func(Options) (*AblationResult, error){
 		AblationScheduler, AblationPagePolicy, AblationPrefetcher, AblationDDR5,
 	}
-	var out []*AblationResult
-	for _, f := range runs {
-		r, err := f(opt)
+	out := make([]*AblationResult, len(runs))
+	err := forEach(opt.Workers, len(runs), func(i int) error {
+		r, err := runs[i](opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

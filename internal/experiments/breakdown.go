@@ -27,6 +27,34 @@ type BreakdownResult struct {
 	MainMemoryNs []float64
 }
 
+// Platform names in Figure 2's breakdown (consumers look latencies up by
+// name, so reordering or extending the platform list cannot silently
+// change a derived metric).
+const (
+	PlatformReal  = "Real system (1.43 GHz, HW MC)"
+	PlatformRTLMC = "FPGA + RTL memory controller"
+	PlatformSMC   = "FPGA + software memory controller"
+	PlatformTS    = "FPGA + SMC + time scaling"
+)
+
+// LatencyRatio reports platform a's per-miss latency over platform b's
+// (0 when either platform is missing or b's latency is zero).
+func (r *BreakdownResult) LatencyRatio(a, b string) float64 {
+	var la, lb float64
+	for i, p := range r.Platforms {
+		if p == a {
+			la = r.LatencyNs[i]
+		}
+		if p == b {
+			lb = r.LatencyNs[i]
+		}
+	}
+	if lb == 0 {
+		return 0
+	}
+	return la / lb
+}
+
 // Figure2 measures the execution-time breakdown of main-memory requests on
 // the four platforms of the paper's motivation figure.
 func Figure2(opt Options) (*BreakdownResult, error) {
@@ -37,10 +65,10 @@ func Figure2(opt Options) (*BreakdownResult, error) {
 	rtl50 := core.NoTimeScaling() // FPGA + RTL memory controller at 50 MHz
 	rtl50.HardwareMC = true
 	platforms := []platform{
-		{"Real system (1.43 GHz, HW MC)", cortexA57Reference()},
-		{"FPGA + RTL memory controller", rtl50},
-		{"FPGA + software memory controller", core.NoTimeScaling()},
-		{"FPGA + SMC + time scaling", core.TimeScalingA57()},
+		{PlatformReal, cortexA57Reference()},
+		{PlatformRTLMC, rtl50},
+		{PlatformSMC, core.NoTimeScaling()},
+		{PlatformTS, core.TimeScalingA57()},
 	}
 	res := &BreakdownResult{}
 	const misses = 512

@@ -3,6 +3,18 @@
 // executes the workloads, and returns both raw numbers and a rendered
 // text table, so the cmd/ tools and the benchmark harness share one
 // implementation.
+//
+// # Concurrency model
+//
+// Each experiment cell — one workload on one configuration — builds an
+// independent core.System, so the sweeping runners (Validation, Figure8,
+// Figure13, RowClone, Ablations) fan their cells across a bounded worker
+// pool (Options.Workers goroutines; 0 selects GOMAXPROCS; see forEach in
+// parallel.go). Cells write results into index-addressed slots, so the
+// assembled tables are byte-identical to a serial run no matter how the
+// pool schedules. Single-run experiments (Table1, Figure2's four platforms,
+// Figure12's one profiled system) stay serial: they have nothing to fan
+// out, or share one system across all their measurements.
 package experiments
 
 import (
@@ -34,6 +46,10 @@ type Options struct {
 	Seed uint64
 	// MaxProcCycles aborts runaway runs.
 	MaxProcCycles clock.Cycles
+	// Workers bounds the experiment worker pool: the number of independent
+	// system runs in flight at once. 0 selects GOMAXPROCS; 1 forces serial
+	// execution. Results are deterministic at any setting.
+	Workers int
 }
 
 // Default returns the paper-scale options.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -309,4 +310,110 @@ func TestAblations(t *testing.T) {
 			t.Fatalf("table missing DDR5 row")
 		}
 	})
+}
+
+// TestParallelHarnessDeterministic pins the concurrency model's contract:
+// the worker pool must produce byte-identical rendered tables at any worker
+// count, because every cell runs on its own system and writes only its own
+// index-addressed slot.
+func TestParallelHarnessDeterministic(t *testing.T) {
+	opt := Quick()
+	opt.KernelSize = workload.Tiny
+	opt.LatAccesses = 500
+	opt.Sizes = []int{32 << 10, 256 << 10}
+
+	serial, parallel := opt, opt
+	serial.Workers = 1
+	parallel.Workers = 8
+
+	t.Run("validation", func(t *testing.T) {
+		a, err := Validation(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Validation(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Table() != b.Table() {
+			t.Fatalf("validation tables diverge between serial and parallel runs:\n%s\n---\n%s", a.Table(), b.Table())
+		}
+	})
+	t.Run("figure8", func(t *testing.T) {
+		a, err := Figure8(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure8(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Table() != b.Table() {
+			t.Fatalf("figure8 tables diverge between serial and parallel runs")
+		}
+	})
+	t.Run("rowclone", func(t *testing.T) {
+		a, err := RowClone(serial, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RowClone(parallel, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Table() != b.Table() {
+			t.Fatalf("rowclone tables diverge between serial and parallel runs")
+		}
+	})
+	t.Run("figure13", func(t *testing.T) {
+		a, err := Figure13(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure13(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Table() != b.Table() || a.SpeedTable() != b.SpeedTable() {
+			t.Fatalf("figure13 tables diverge between serial and parallel runs")
+		}
+	})
+}
+
+// TestForEachErrorContract pins the pool's error behaviour: failures
+// propagate, the lowest-index error among the cells that ran wins, and a
+// serial pool covers every index up to the failure.
+func TestForEachErrorContract(t *testing.T) {
+	if err := forEach(4, 0, func(int) error { return nil }); err != nil {
+		t.Fatalf("empty forEach: %v", err)
+	}
+	var covered [64]bool
+	if err := forEach(4, 64, func(i int) error { covered[i] = true; return nil }); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+	// Parallel: some error must surface when cells fail.
+	err := forEach(4, 64, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("error not propagated")
+	}
+	// Serial: deterministically the first failing index.
+	err = forEach(1, 64, func(i int) error {
+		if i >= 5 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 5 failed" {
+		t.Fatalf("serial pool: want cell 5's error, got %v", err)
+	}
 }

@@ -29,7 +29,8 @@ func cortexA57Reference() core.Config {
 	return cfg
 }
 
-// Figure8 sweeps the lmbench pointer chase over the three systems.
+// Figure8 sweeps the lmbench pointer chase over the three systems, fanning
+// the (configuration, size) cells across the worker pool.
 func Figure8(opt Options) (*LatencyProfileResult, error) {
 	res := &LatencyProfileResult{
 		SizesKiB: opt.LatSizesKiB,
@@ -40,18 +41,24 @@ func Figure8(opt Options) (*LatencyProfileResult, error) {
 		{NameTS, core.TimeScalingA57()},
 		{NameCortex, cortexA57Reference()},
 	}
+	sizes := len(opt.LatSizesKiB)
 	for _, c := range configs {
-		for _, kib := range opt.LatSizesKiB {
-			cfg := c.cfg
-			cfg.DRAM.Seed = opt.Seed
-			k := workload.LatMemRd(kib<<10, opt.LatAccesses)
-			r, err := runKernel(cfg, k, opt.MaxProcCycles)
-			if err != nil {
-				return nil, err
-			}
-			cycles := float64(r.Window()) / float64(opt.LatAccesses)
-			res.Curves[c.name] = append(res.Curves[c.name], cycles)
+		res.Curves[c.name] = make([]float64, sizes)
+	}
+	err := forEach(opt.Workers, len(configs)*sizes, func(i int) error {
+		c, kib := configs[i/sizes], opt.LatSizesKiB[i%sizes]
+		cfg := c.cfg
+		cfg.DRAM.Seed = opt.Seed
+		k := workload.LatMemRd(kib<<10, opt.LatAccesses)
+		r, err := runKernel(cfg, k, opt.MaxProcCycles)
+		if err != nil {
+			return err
 		}
+		res.Curves[c.name][i%sizes] = float64(r.Window()) / float64(opt.LatAccesses)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -92,12 +99,20 @@ type ValidationResult struct {
 
 // Validation compares the time-scaled 100 MHz -> 1 GHz system against the
 // directly simulated 1 GHz reference across the 28 PolyBench kernels plus
-// the lmbench latency benchmark (§6).
+// the lmbench latency benchmark (§6). Each kernel's scaled/reference pair
+// runs as one worker-pool cell.
 func Validation(opt Options) (*ValidationResult, error) {
 	kernels := workload.ValidationSuite(opt.KernelSize)
 	kernels = append(kernels, workload.LatMemRd(1<<20, opt.LatAccesses))
-	res := &ValidationResult{}
-	for _, k := range kernels {
+	n := len(kernels)
+	res := &ValidationResult{
+		Names:     make([]string, n),
+		TSCycles:  make([]clock.Cycles, n),
+		RefCycles: make([]clock.Cycles, n),
+		ErrorPct:  make([]float64, n),
+	}
+	err := forEach(opt.Workers, n, func(i int) error {
+		k := kernels[i]
 		tsCfg := core.TimeScaling1GHz()
 		tsCfg.DRAM.Seed = opt.Seed
 		refCfg := core.Reference1GHz()
@@ -105,23 +120,27 @@ func Validation(opt Options) (*ValidationResult, error) {
 
 		ts, err := runKernel(tsCfg, k, opt.MaxProcCycles)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := runKernel(refCfg, k, opt.MaxProcCycles)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ref.ProcCycles == 0 {
-			return nil, fmt.Errorf("experiments: validation: %s ran for zero cycles", k.Name)
+			return fmt.Errorf("experiments: validation: %s ran for zero cycles", k.Name)
 		}
 		errPct := 100 * float64(ts.ProcCycles-ref.ProcCycles) / float64(ref.ProcCycles)
 		if errPct < 0 {
 			errPct = -errPct
 		}
-		res.Names = append(res.Names, k.Name)
-		res.TSCycles = append(res.TSCycles, ts.ProcCycles)
-		res.RefCycles = append(res.RefCycles, ref.ProcCycles)
-		res.ErrorPct = append(res.ErrorPct, errPct)
+		res.Names[i] = k.Name
+		res.TSCycles[i] = ts.ProcCycles
+		res.RefCycles[i] = ref.ProcCycles
+		res.ErrorPct[i] = errPct
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.AvgPct = stats.Mean(res.ErrorPct)
 	res.MaxPct = stats.Max(res.ErrorPct)

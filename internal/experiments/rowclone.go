@@ -41,31 +41,45 @@ func rowcloneConfigs() []rcConfig {
 }
 
 // RowClone runs the §7 case study in the given setting (flush=false is
-// Figure 10 "No Flush", flush=true is Figure 11 "CLFLUSH").
+// Figure 10 "No Flush", flush=true is Figure 11 "CLFLUSH"). Each
+// (configuration, size) cell — its plan, baseline run, and RowClone run for
+// both Copy and Init — executes independently on the worker pool.
 func RowClone(opt Options, flush bool) (*RowCloneResult, error) {
+	configs := rowcloneConfigs()
+	sizes := len(opt.Sizes)
 	res := &RowCloneResult{
-		Flush: flush,
-		Sizes: opt.Sizes,
-		Copy:  make(map[string][]float64),
-		Init:  make(map[string][]float64),
+		Flush:        flush,
+		Sizes:        opt.Sizes,
+		Copy:         make(map[string][]float64),
+		Init:         make(map[string][]float64),
+		CopyFallback: make([]float64, sizes),
+		InitFallback: make([]float64, sizes),
 	}
-	for _, c := range rowcloneConfigs() {
-		for _, size := range opt.Sizes {
-			copySp, copyFB, err := rowcloneOne(opt, c, size, flush, false)
-			if err != nil {
-				return nil, err
-			}
-			initSp, initFB, err := rowcloneOne(opt, c, size, flush, true)
-			if err != nil {
-				return nil, err
-			}
-			res.Copy[c.name] = append(res.Copy[c.name], copySp)
-			res.Init[c.name] = append(res.Init[c.name], initSp)
-			if c.name == NameTS {
-				res.CopyFallback = append(res.CopyFallback, copyFB)
-				res.InitFallback = append(res.InitFallback, initFB)
-			}
+	for _, c := range configs {
+		res.Copy[c.name] = make([]float64, sizes)
+		res.Init[c.name] = make([]float64, sizes)
+	}
+	err := forEach(opt.Workers, len(configs)*sizes, func(i int) error {
+		c, si := configs[i/sizes], i%sizes
+		size := opt.Sizes[si]
+		copySp, copyFB, err := rowcloneOne(opt, c, size, flush, false)
+		if err != nil {
+			return err
 		}
+		initSp, initFB, err := rowcloneOne(opt, c, size, flush, true)
+		if err != nil {
+			return err
+		}
+		res.Copy[c.name][si] = copySp
+		res.Init[c.name][si] = initSp
+		if c.name == NameTS {
+			res.CopyFallback[si] = copyFB
+			res.InitFallback[si] = initFB
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -114,14 +114,25 @@ type TRCDResult struct {
 // weak-row Bloom filter (§8.2), then compare execution time with and
 // without the reduced-tRCD scheduler hook on both EasyDRAM (time scaling)
 // and the Ramulator baseline. Figure 14's simulation speeds come from the
-// same runs.
+// same runs. Every workload (its profiling pass plus its four measured
+// runs) is one independent worker-pool cell.
 func Figure13(opt Options) (*TRCDResult, error) {
+	kernels := workload.Fig13Suite(opt.KernelSize)
+	n := len(kernels)
 	res := &TRCDResult{
-		Speedup:     map[string][]float64{NameTS: nil, NameRamulator: nil},
-		SimSpeedMHz: map[string][]float64{NameTS: nil, NameRamulator: nil},
+		Names: make([]string, n),
+		Speedup: map[string][]float64{
+			NameTS: make([]float64, n), NameRamulator: make([]float64, n),
+		},
+		SimSpeedMHz: map[string][]float64{
+			NameTS: make([]float64, n), NameRamulator: make([]float64, n),
+		},
+		MPKI:         make([]float64, n),
+		WeakFraction: make([]float64, n),
 	}
-	for _, k := range workload.Fig13Suite(opt.KernelSize) {
-		res.Names = append(res.Names, k.Name)
+	err := forEach(opt.Workers, n, func(i int) error {
+		k := kernels[i]
+		res.Names[i] = k.Name
 		extent := workload.Extent(k)
 
 		// Host-driven characterization on a scratch system with the data
@@ -131,18 +142,18 @@ func Figure13(opt Options) (*TRCDResult, error) {
 		profCfg.DRAM.Seed = opt.Seed
 		profSys, err := core.NewSystem(profCfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure13: %w", err)
+			return fmt.Errorf("experiments: figure13: %w", err)
 		}
 		weak, pstats, err := techniques.ProfileWeakRows(profSys, 0, extent, techniques.ReducedTRCD)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		filter, err := techniques.BuildWeakRowFilter(weak, opt.FPRate, opt.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		provider := techniques.TRCDProvider(filter, profSys.Mapper(), 0, extent, techniques.ReducedTRCD)
-		res.WeakFraction = append(res.WeakFraction, 1-pstats.StrongFraction())
+		res.WeakFraction[i] = 1 - pstats.StrongFraction()
 
 		for _, c := range []rcConfig{
 			{NameTS, core.TimeScalingA57()},
@@ -155,26 +166,29 @@ func Figure13(opt Options) (*TRCDResult, error) {
 
 			baseRes, err := runKernel(base, k, opt.MaxProcCycles)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fastRes, err := runKernel(fast, k, opt.MaxProcCycles)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if fastRes.ProcCycles == 0 {
-				return nil, fmt.Errorf("experiments: figure13: %s ran for zero cycles", k.Name)
+				return fmt.Errorf("experiments: figure13: %s ran for zero cycles", k.Name)
 			}
-			res.Speedup[c.name] = append(res.Speedup[c.name],
-				float64(baseRes.ProcCycles)/float64(fastRes.ProcCycles))
+			res.Speedup[c.name][i] = float64(baseRes.ProcCycles) / float64(fastRes.ProcCycles)
 			speed := baseRes.SimSpeedMHz
 			if c.name == NameRamulator {
 				speed = ramulator.SimSpeedMHz(baseRes)
 			}
-			res.SimSpeedMHz[c.name] = append(res.SimSpeedMHz[c.name], speed)
+			res.SimSpeedMHz[c.name][i] = speed
 			if c.name == NameTS {
-				res.MPKI = append(res.MPKI, baseRes.MPKI())
+				res.MPKI[i] = baseRes.MPKI()
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

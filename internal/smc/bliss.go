@@ -28,40 +28,41 @@ func NewBLISS() *BLISS { return &BLISS{MaxStreak: 4, streakBank: -1} }
 func (s *BLISS) Name() string { return "bliss" }
 
 // Pick implements Scheduler.
-func (s *BLISS) Pick(table []mem.Request, openRow func(bank int) int, m Mapper) int {
+func (s *BLISS) Pick(table []Entry, openRows []int) int {
 	max := s.MaxStreak
 	if max <= 0 {
 		max = 4
 	}
-	pick := -1
-	for i, r := range table {
-		switch r.Kind {
+	pick, oldest := -1, 0
+	for i := range table {
+		e := &table[i]
+		if e.Seq < table[oldest].Seq {
+			oldest = i
+		}
+		switch e.Req.Kind {
 		case mem.Read, mem.Write, mem.Writeback:
 		default:
 			continue
 		}
-		a := m.Map(r.Addr)
-		if openRow(a.Bank) != a.Row {
+		if openRows[e.Addr.Bank] != e.Addr.Row {
 			continue
 		}
-		if a.Bank == s.streakBank && s.streak >= max {
+		if e.Addr.Bank == s.streakBank && s.streak >= max {
 			continue // blacklisted: streak cap reached
 		}
-		pick = i
-		break
+		if pick < 0 || e.Seq < table[pick].Seq {
+			pick = i // oldest eligible row hit
+		}
 	}
 	if pick < 0 {
 		// Oldest first; reset the streak for the newly opened bank.
-		pick = 0
-		a := m.Map(table[pick].Addr)
-		s.streakBank, s.streak = a.Bank, 0
-		return pick
+		s.streakBank, s.streak = table[oldest].Addr.Bank, 0
+		return oldest
 	}
-	a := m.Map(table[pick].Addr)
-	if a.Bank == s.streakBank {
+	if table[pick].Addr.Bank == s.streakBank {
 		s.streak++
 	} else {
-		s.streakBank, s.streak = a.Bank, 1
+		s.streakBank, s.streak = table[pick].Addr.Bank, 1
 	}
 	return pick
 }

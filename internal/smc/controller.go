@@ -55,11 +55,19 @@ type Config struct {
 // BaseController is the standard EasyDRAM software memory controller: a
 // request table, a pluggable scheduler, open-row tracking, and service
 // routines for reads, writes, RowClone, and profiling requests.
+//
+// The request table is an unordered slice of Entry: each request's DRAM
+// coordinates are decoded once at ingest and served entries are removed by
+// swap-remove, so both the scheduling decision and the removal are free of
+// per-decision address translation and O(n) copying. Arrival order lives in
+// Entry.Seq (a monotone counter), which schedulers use for age-based
+// tie-breaking.
 type BaseController struct {
 	cfg      Config
 	p        timing.Params
 	openRows []int
-	table    []mem.Request
+	table    []Entry
+	nextSeq  uint64
 	// profilePattern is the known data pattern used by profiling requests.
 	profilePattern [dram.LineBytes]byte
 
@@ -147,14 +155,22 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 	env.Charge(costs.Poll)
 
 	// Transfer new requests from the hardware buffers to the software
-	// request table (Figure 6 step 5).
+	// request table (Figure 6 step 5), decoding DRAM coordinates once here
+	// rather than on every scheduling decision. The modeled MapAddr cost is
+	// still charged at service time; this is host-side work only.
 	for {
 		req, ok := env.Tile().PopRequest()
 		if !ok {
 			break
 		}
 		env.Charge(costs.ReceiveRequest)
-		c.table = append(c.table, req)
+		ent := Entry{Req: req, Addr: c.cfg.Mapper.Map(req.Addr), Seq: c.nextSeq}
+		c.nextSeq++
+		switch req.Kind {
+		case mem.RowClone, mem.Bitwise:
+			ent.Src = c.cfg.Mapper.Map(req.Src)
+		}
+		c.table = append(c.table, ent)
 	}
 	if len(c.table) == 0 {
 		return false, nil
@@ -163,26 +179,29 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 		env.SetCritical(true)
 	}
 
-	// Scheduling decision.
+	// Scheduling decision. Swap-remove keeps the pop O(1); age order is
+	// preserved in Entry.Seq, not in slice positions.
 	env.Charge(costs.ScheduleBase + costs.SchedulePerReq*len(c.table))
-	idx := c.cfg.Scheduler.Pick(c.table, func(b int) int { return c.openRows[b] }, c.cfg.Mapper)
-	req := c.table[idx]
-	c.table = append(c.table[:idx], c.table[idx+1:]...)
+	idx := c.cfg.Scheduler.Pick(c.table, c.openRows)
+	ent := c.table[idx]
+	last := len(c.table) - 1
+	c.table[idx] = c.table[last]
+	c.table = c.table[:last]
 
 	var err error
-	switch req.Kind {
+	switch ent.Req.Kind {
 	case mem.Read:
-		err = c.serveAccess(env, req, false)
+		err = c.serveAccess(env, ent, false)
 	case mem.Write, mem.Writeback:
-		err = c.serveAccess(env, req, true)
+		err = c.serveAccess(env, ent, true)
 	case mem.RowClone:
-		err = c.serveRowClone(env, req)
+		err = c.serveRowClone(env, ent)
 	case mem.Profile:
-		err = c.serveProfile(env, req)
+		err = c.serveProfile(env, ent)
 	case mem.Bitwise:
-		err = c.serveBitwise(env, req)
+		err = c.serveBitwise(env, ent)
 	default:
-		err = fmt.Errorf("smc: unknown request kind %v", req.Kind)
+		err = fmt.Errorf("smc: unknown request kind %v", ent.Req.Kind)
 	}
 	if err != nil {
 		return false, err
@@ -195,10 +214,10 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 }
 
 // serveAccess serves a cache-line read or write with an open-row policy.
-func (c *BaseController) serveAccess(env *Env, req mem.Request, isWrite bool) error {
+func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 	costs := env.Tile().Costs()
 	env.Charge(costs.MapAddr)
-	a := c.cfg.Mapper.Map(req.Addr)
+	a := ent.Addr
 	b := env.Tile().Builder()
 
 	rowHit := c.openRows[a.Bank] == a.Row
@@ -257,20 +276,19 @@ func (c *BaseController) serveAccess(env *Env, req mem.Request, isWrite bool) er
 		}
 		c.openRows[a.Bank] = -1
 	}
-	env.Respond(req, true)
+	env.Respond(ent.Req, true)
 	return nil
 }
 
 // serveRowClone serves an in-DRAM row copy (§7).
-func (c *BaseController) serveRowClone(env *Env, req mem.Request) error {
+func (c *BaseController) serveRowClone(env *Env, ent Entry) error {
 	costs := env.Tile().Costs()
 	env.Charge(2 * costs.MapAddr)
-	src := c.cfg.Mapper.Map(req.Src)
-	dst := c.cfg.Mapper.Map(req.Addr)
+	src, dst := ent.Src, ent.Addr
 	c.stats.RowClones++
 	if src.Bank != dst.Bank {
 		// FPM RowClone cannot cross banks; the caller must fall back.
-		env.Respond(req, false)
+		env.Respond(ent.Req, false)
 		return nil
 	}
 	b := env.Tile().Builder()
@@ -285,21 +303,20 @@ func (c *BaseController) serveRowClone(env *Env, req mem.Request) error {
 	}
 	c.openRows[src.Bank] = -1
 	env.AddService(res.Elapsed, res.Elapsed)
-	env.Respond(req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	env.Respond(ent.Req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
 	return nil
 }
 
 // serveBitwise serves an in-DRAM bulk bitwise majority: a many-row
-// activation of the rows at req.Src and req.Addr (which drags in their
-// address-OR row). Success means the chip committed the majority result.
-func (c *BaseController) serveBitwise(env *Env, req mem.Request) error {
+// activation of the rows at Src and Addr (which drags in their address-OR
+// row). Success means the chip committed the majority result.
+func (c *BaseController) serveBitwise(env *Env, ent Entry) error {
 	costs := env.Tile().Costs()
 	env.Charge(2 * costs.MapAddr)
-	r1 := c.cfg.Mapper.Map(req.Src)
-	r2 := c.cfg.Mapper.Map(req.Addr)
+	r1, r2 := ent.Src, ent.Addr
 	c.stats.BitwiseOps++
 	if r1.Bank != r2.Bank {
-		env.Respond(req, false)
+		env.Respond(ent.Req, false)
 		return nil
 	}
 	b := env.Tile().Builder()
@@ -314,17 +331,17 @@ func (c *BaseController) serveBitwise(env *Env, req mem.Request) error {
 	}
 	c.openRows[r1.Bank] = -1
 	env.AddService(res.Elapsed, res.Elapsed)
-	env.Respond(req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	env.Respond(ent.Req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
 	return nil
 }
 
 // serveProfile serves a §8.1 profiling request: initialize the target line
 // with a known pattern, read it back with the requested tRCD, and report
 // whether the data survived.
-func (c *BaseController) serveProfile(env *Env, req mem.Request) error {
+func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 	costs := env.Tile().Costs()
 	env.Charge(costs.MapAddr)
-	a := c.cfg.Mapper.Map(req.Addr)
+	a := ent.Addr
 	c.stats.Profiles++
 	b := env.Tile().Builder()
 	if c.openRows[a.Bank] >= 0 {
@@ -339,8 +356,8 @@ func (c *BaseController) serveProfile(env *Env, req mem.Request) error {
 	b.PRE(a.Bank)
 	b.Wait(c.p.TRP - c.p.Bus.Period())
 	// Step 2: access it with the requested (reduced) tRCD.
-	b.ACTWithRCD(a.Bank, a.Row, req.RCD)
-	b.Wait(req.RCD - c.p.Bus.Period())
+	b.ACTWithRCD(a.Bank, a.Row, ent.Req.RCD)
+	b.Wait(ent.Req.RCD - c.p.Bus.Period())
 	b.RD(a.Bank, a.Col)
 	b.Wait(c.p.TCL + c.p.TBL + c.p.TRTP)
 	b.PRE(a.Bank)
@@ -361,7 +378,7 @@ func (c *BaseController) serveProfile(env *Env, req mem.Request) error {
 		last := rb[len(rb)-1]
 		ok = last.Reliable && bytes.Equal(last.Data[:], c.profilePattern[:])
 	}
-	env.Respond(req, ok)
+	env.Respond(ent.Req, ok)
 	return nil
 }
 

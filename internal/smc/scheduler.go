@@ -1,17 +1,42 @@
 package smc
 
 import (
+	"easydram/internal/dram"
 	"easydram/internal/mem"
 )
+
+// Entry is one request as buffered in the controller's software request
+// table, together with metadata the controller computes once at ingest so
+// that scheduling decisions stay O(table) with no per-entry address
+// translation:
+//
+//   - Addr is the decoded DRAM coordinate of Req.Addr (and Src of Req.Src,
+//     for the two-address techniques). Decoding happens once per request
+//     instead of once per request per scheduling decision; the modeled
+//     MapAddr cost is still charged at service time, so emulated timing is
+//     unchanged.
+//   - Seq is a monotone arrival sequence number. The table is unordered —
+//     the controller removes served entries by swap-remove — so schedulers
+//     must order by Seq, never by index.
+type Entry struct {
+	Req mem.Request
+	// Addr is Req.Addr decoded to DRAM coordinates.
+	Addr dram.Addr
+	// Src is Req.Src decoded (RowClone and Bitwise requests only).
+	Src dram.Addr
+	// Seq is the arrival order: lower is older.
+	Seq uint64
+}
 
 // Scheduler selects the next buffered request to serve (EasyAPI provides
 // FCFS and FR-FCFS implementations; users can plug their own).
 type Scheduler interface {
 	Name() string
-	// Pick returns the index of the request to serve next. openRow reports
-	// the currently open row of a bank (-1 when precharged). Pick is only
-	// called with a non-empty table.
-	Pick(table []mem.Request, openRow func(bank int) int, m Mapper) int
+	// Pick returns the index of the entry to serve next. openRows[b] is the
+	// currently open row of bank b (-1 when precharged). Pick is only
+	// called with a non-empty table. Entries are not age-ordered; use
+	// Entry.Seq to break ties by arrival.
+	Pick(table []Entry, openRows []int) int
 }
 
 // FCFS serves requests strictly in arrival order.
@@ -21,39 +46,55 @@ type FCFS struct{}
 func (FCFS) Name() string { return "fcfs" }
 
 // Pick implements Scheduler.
-func (FCFS) Pick(table []mem.Request, openRow func(int) int, m Mapper) int { return 0 }
+func (FCFS) Pick(table []Entry, openRows []int) int {
+	oldest := 0
+	for i := 1; i < len(table); i++ {
+		if table[i].Seq < table[oldest].Seq {
+			oldest = i
+		}
+	}
+	return oldest
+}
 
 // FRFCFS implements First-Ready, First-Come-First-Served with read priority:
-// row-hit reads, then row-hit writes, then the oldest read, then the oldest
-// request.
+// the oldest row-hit read, then the oldest row-hit write, then the oldest
+// read, then the oldest request of any kind (the explicit arrival-order
+// fallback that also covers tables holding only technique requests).
 type FRFCFS struct{}
 
 // Name implements Scheduler.
 func (FRFCFS) Name() string { return "fr-fcfs" }
 
 // Pick implements Scheduler.
-func (FRFCFS) Pick(table []mem.Request, openRow func(int) int, m Mapper) int {
-	hitWrite, read, first := -1, -1, 0
-	for i, r := range table {
-		switch r.Kind {
+func (FRFCFS) Pick(table []Entry, openRows []int) int {
+	hitRead, hitWrite, read, oldest := -1, -1, -1, -1
+	for i := range table {
+		e := &table[i]
+		if oldest < 0 || e.Seq < table[oldest].Seq {
+			oldest = i
+		}
+		switch e.Req.Kind {
 		case mem.Read, mem.Write, mem.Writeback:
 		default:
 			// Techniques (RowClone, Profile) are never row hits; they are
 			// served in arrival order.
 			continue
 		}
-		a := m.Map(r.Addr)
-		if openRow(a.Bank) == a.Row {
-			if r.Kind == mem.Read {
-				return i // oldest row-hit read wins immediately
-			}
-			if hitWrite < 0 {
+		if openRows[e.Addr.Bank] == e.Addr.Row {
+			if e.Req.Kind == mem.Read {
+				if hitRead < 0 || e.Seq < table[hitRead].Seq {
+					hitRead = i
+				}
+			} else if hitWrite < 0 || e.Seq < table[hitWrite].Seq {
 				hitWrite = i
 			}
 		}
-		if read < 0 && r.Kind == mem.Read {
+		if e.Req.Kind == mem.Read && (read < 0 || e.Seq < table[read].Seq) {
 			read = i
 		}
+	}
+	if hitRead >= 0 {
+		return hitRead
 	}
 	if hitWrite >= 0 {
 		return hitWrite
@@ -61,7 +102,7 @@ func (FRFCFS) Pick(table []mem.Request, openRow func(int) int, m Mapper) int {
 	if read >= 0 {
 		return read
 	}
-	return first
+	return oldest
 }
 
 var (

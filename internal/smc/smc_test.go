@@ -78,43 +78,108 @@ func TestMapperValidation(t *testing.T) {
 	}
 }
 
+// entries builds a scheduler table from requests, decoding coordinates and
+// assigning arrival Seq in slice order (the controller's ingest path does
+// the same).
+func entries(m Mapper, reqs ...mem.Request) []Entry {
+	out := make([]Entry, len(reqs))
+	for i, r := range reqs {
+		out[i] = Entry{Req: r, Addr: m.Map(r.Addr), Seq: uint64(i)}
+		switch r.Kind {
+		case mem.RowClone, mem.Bitwise:
+			out[i].Src = m.Map(r.Src)
+		}
+	}
+	return out
+}
+
+// openRowsWith returns a 16-bank open-row vector with one bank's row set.
+func openRowsWith(bank, row int) []int {
+	rows := make([]int, 16)
+	for i := range rows {
+		rows[i] = -1
+	}
+	rows[bank] = row
+	return rows
+}
+
 func TestFRFCFSPicksRowHitRead(t *testing.T) {
 	m, _ := NewRowBankCol(16, 128)
-	openRow := func(bank int) int {
-		if bank == 0 {
-			return 5
-		}
-		return -1
-	}
+	openRows := openRowsWith(0, 5)
 	rowHitAddr := m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 3})
-	table := []mem.Request{
-		{ID: 1, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 9})},
-		{ID: 2, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})},
-		{ID: 3, Kind: mem.Read, Addr: rowHitAddr},
-	}
-	if got := (FRFCFS{}).Pick(table, openRow, m); got != 2 {
+	table := entries(m,
+		mem.Request{ID: 1, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 9})},
+		mem.Request{ID: 2, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})},
+		mem.Request{ID: 3, Kind: mem.Read, Addr: rowHitAddr},
+	)
+	if got := (FRFCFS{}).Pick(table, openRows); got != 2 {
 		t.Fatalf("FR-FCFS picked index %d, want 2 (row-hit read)", got)
 	}
 	// Without a row-hit read, a row-hit write wins over an older read miss.
 	table = table[:2]
-	if got := (FRFCFS{}).Pick(table, openRow, m); got != 0 {
+	if got := (FRFCFS{}).Pick(table, openRows); got != 0 {
 		t.Fatalf("FR-FCFS picked index %d, want 0 (row-hit write)", got)
 	}
 	// With neither, the oldest read wins over an older writeback.
-	table = []mem.Request{
-		{ID: 1, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 3, Row: 1})},
-		{ID: 2, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})},
-	}
-	if got := (FRFCFS{}).Pick(table, openRow, m); got != 1 {
+	table = entries(m,
+		mem.Request{ID: 1, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 3, Row: 1})},
+		mem.Request{ID: 2, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})},
+	)
+	if got := (FRFCFS{}).Pick(table, openRows); got != 1 {
 		t.Fatalf("FR-FCFS picked index %d, want 1 (read priority)", got)
+	}
+}
+
+func TestFRFCFSUsesSeqNotIndexOrder(t *testing.T) {
+	// The table is unordered (swap-remove): every priority class must be
+	// resolved by Seq, not by slice position. Build tables whose oldest
+	// entry sits at the *end*.
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, 5)
+	hit := func(id uint64, col int) mem.Request {
+		return mem.Request{ID: id, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: col})}
+	}
+	table := entries(m, hit(1, 0), hit(2, 1), hit(3, 2))
+	// Scramble: seq order is 2 (oldest), 0, 1.
+	table[0].Seq, table[1].Seq, table[2].Seq = 1, 2, 0
+	if got := (FRFCFS{}).Pick(table, openRows); got != 2 {
+		t.Fatalf("FR-FCFS picked index %d, want 2 (lowest Seq among row-hit reads)", got)
+	}
+}
+
+func TestFRFCFSOldestFallbackCoversTechniques(t *testing.T) {
+	// A table holding only technique requests plus non-read misses must fall
+	// back to the oldest request by arrival, wherever it sits in the slice.
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, 5) // no entry hits this row
+	table := entries(m,
+		mem.Request{ID: 1, Kind: mem.RowClone, Addr: m.Unmap(dram.Addr{Bank: 1, Row: 3}), Src: m.Unmap(dram.Addr{Bank: 1, Row: 2})},
+		mem.Request{ID: 2, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})},
+		mem.Request{ID: 3, Kind: mem.Profile, Addr: m.Unmap(dram.Addr{Bank: 4, Row: 9})},
+	)
+	// Swap-remove scrambled the slice: the oldest arrival is the profile.
+	table[0].Seq, table[1].Seq, table[2].Seq = 7, 5, 1
+	if got := (FRFCFS{}).Pick(table, openRows); got != 2 {
+		t.Fatalf("FR-FCFS picked index %d, want 2 (oldest by Seq)", got)
+	}
+	// A lone writeback miss (non-read, no hit) is still served.
+	table = entries(m, mem.Request{ID: 9, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})})
+	if got := (FRFCFS{}).Pick(table, openRows); got != 0 {
+		t.Fatalf("FR-FCFS picked index %d, want 0", got)
 	}
 }
 
 func TestFCFSPicksOldest(t *testing.T) {
 	m, _ := NewRowBankCol(16, 128)
-	table := []mem.Request{{ID: 9}, {ID: 1}}
-	if got := (FCFS{}).Pick(table, func(int) int { return -1 }, m); got != 0 {
+	table := entries(m, mem.Request{ID: 9}, mem.Request{ID: 1})
+	none := openRowsWith(0, -1)
+	if got := (FCFS{}).Pick(table, none); got != 0 {
 		t.Fatalf("FCFS picked %d, want 0", got)
+	}
+	// Seq, not slice order, decides.
+	table[0].Seq, table[1].Seq = 3, 2
+	if got := (FCFS{}).Pick(table, none); got != 1 {
+		t.Fatalf("FCFS picked %d, want 1 (lower Seq)", got)
 	}
 	if FCFS.Name(FCFS{}) != "fcfs" || FRFCFS.Name(FRFCFS{}) != "fr-fcfs" {
 		t.Fatalf("scheduler names wrong")

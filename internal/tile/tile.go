@@ -72,7 +72,10 @@ type Tile struct {
 	engine  *bender.Engine
 	builder *bender.Builder
 
+	// incoming is a slice-backed FIFO: Pop advances head instead of
+	// shifting, and the backing array is recycled once drained.
 	incoming []mem.Request
+	head     int
 	stats    Stats
 
 	// dramCursor is the DRAM-bus absolute time of the next Bender program.
@@ -106,22 +109,25 @@ func (t *Tile) Stats() Stats { return t.stats }
 func (t *Tile) PushRequest(r mem.Request) {
 	t.incoming = append(t.incoming, r)
 	t.stats.RequestsIn++
-	if len(t.incoming) > t.stats.MaxQueueLen {
-		t.stats.MaxQueueLen = len(t.incoming)
+	if n := len(t.incoming) - t.head; n > t.stats.MaxQueueLen {
+		t.stats.MaxQueueLen = n
 	}
 }
 
 // IncomingEmpty reports whether the request FIFO is empty.
-func (t *Tile) IncomingEmpty() bool { return len(t.incoming) == 0 }
+func (t *Tile) IncomingEmpty() bool { return t.head >= len(t.incoming) }
 
 // PopRequest removes and returns the oldest incoming request.
 func (t *Tile) PopRequest() (mem.Request, bool) {
-	if len(t.incoming) == 0 {
+	if t.head >= len(t.incoming) {
 		return mem.Request{}, false
 	}
-	r := t.incoming[0]
-	copy(t.incoming, t.incoming[1:])
-	t.incoming = t.incoming[:len(t.incoming)-1]
+	r := t.incoming[t.head]
+	t.head++
+	if t.head == len(t.incoming) {
+		t.incoming = t.incoming[:0]
+		t.head = 0
+	}
 	return r, true
 }
 

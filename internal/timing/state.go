@@ -85,6 +85,10 @@ type Checker struct {
 	actIdx    int
 	lastBus   clock.PS // last data-bus occupancy end
 	lastREF   clock.PS
+	// viol is the reusable violation buffer Apply returns (the hot path
+	// calls Apply per command; allocating a fresh slice each time dominated
+	// the engine's allocation profile).
+	viol []Violation
 }
 
 // NewChecker returns a Checker for bankGroups*banksPerGroup banks.
@@ -189,12 +193,13 @@ func (c *Checker) colGlobal(b int, t clock.PS) clock.PS {
 
 // Apply records command cmd on bank b at time t with the tRCD value rcd in
 // effect (0 means nominal; only meaningful for ACT). It returns the timing
-// violations the issue time incurred, if any.
+// violations the issue time incurred, if any. The returned slice aliases a
+// buffer reused by the next Apply call; callers must copy entries they keep.
 func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
-	var out []Violation
+	c.viol = c.viol[:0]
 	record := func(param string, need clock.PS) {
 		if t < need {
-			out = append(out, Violation{Param: param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.viol = append(c.viol, Violation{Param: param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
 		}
 	}
 	bank := &c.banks[b]
@@ -231,5 +236,5 @@ func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
 	default:
 		panic(fmt.Sprintf("timing: unknown command %v", cmd))
 	}
-	return out
+	return c.viol
 }

@@ -160,9 +160,12 @@ func (g *Gen) Mark() {
 // slabSize is the op batch size moved per channel operation.
 const slabSize = 4096
 
-// goStream runs a kernel body in a goroutine and streams op slabs.
+// goStream runs a kernel body in a goroutine and streams op slabs. Spent
+// slabs are recycled back to the producer through the free channel, so a
+// steady-state stream allocates no new slabs after the pipeline fills.
 type goStream struct {
 	ch   chan []Op
+	free chan []Op
 	stop chan struct{}
 	buf  []Op
 	idx  int
@@ -173,13 +176,22 @@ type goStream struct {
 func newGoStream(body func(*Gen)) *goStream {
 	s := &goStream{
 		ch:   make(chan []Op, 2),
+		free: make(chan []Op, 2),
 		stop: make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer close(s.ch)
-		slab := make([]Op, 0, slabSize)
+		nextSlab := func() []Op {
+			select {
+			case slab := <-s.free:
+				return slab
+			default:
+				return make([]Op, 0, slabSize)
+			}
+		}
+		slab := nextSlab()
 		aborted := false
 		g := &Gen{emit: func(op Op) {
 			if aborted {
@@ -189,7 +201,7 @@ func newGoStream(body func(*Gen)) *goStream {
 			if len(slab) == slabSize {
 				select {
 				case s.ch <- slab:
-					slab = make([]Op, 0, slabSize)
+					slab = nextSlab()
 				case <-s.stop:
 					aborted = true
 				}
@@ -215,6 +227,14 @@ func (s *goStream) Next(op *Op) bool {
 		return false
 	}
 	if s.idx >= len(s.buf) {
+		// Recycle the spent slab before blocking on the next one; the
+		// consumer never touches it again.
+		if cap(s.buf) == slabSize {
+			select {
+			case s.free <- s.buf[:0]:
+			default:
+			}
+		}
 		slab, ok := <-s.ch
 		if !ok {
 			s.done = true
