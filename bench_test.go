@@ -9,10 +9,12 @@ package easydram
 
 import (
 	"testing"
+	"time"
 
 	"easydram/internal/core"
 	"easydram/internal/experiments"
 	"easydram/internal/stats"
+	"easydram/internal/techniques"
 	"easydram/internal/workload"
 )
 
@@ -277,6 +279,51 @@ func BenchmarkAblationBloomFP(b *testing.B) {
 // public-facing API surface).
 func clockPS(v int64) PS { return PS(v) }
 
+// BenchmarkWeakRowCharacterization measures the §8.1 weak-row profiling
+// pass both ways: the whole-row fast path (one host round-trip and one
+// Bender program per row) against the legacy per-line path (one round-trip
+// per cache line). It reports the host round-trip reduction — the dominant
+// cost of Figure 13's characterization stage — plus the fast path's row
+// throughput, and fails if the weak-row sets ever diverge.
+func BenchmarkWeakRowCharacterization(b *testing.B) {
+	cfg := core.TimeScalingA57()
+	cfg.DRAM = core.TechniqueDRAM()
+	const rows = 512
+	var span uint64
+	for i := 0; i < b.N; i++ {
+		rowSys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		span = uint64(rows) * uint64(rowSys.Mapper().RowBytes())
+		t0 := time.Now()
+		weakRow, _, err := techniques.ProfileWeakRows(rowSys, 0, span, techniques.ReducedTRCD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rowSecs := time.Since(t0).Seconds()
+
+		lineSys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weakLine, _, err := techniques.ProfileWeakRowsPerLine(lineSys, 0, span, techniques.ReducedTRCD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(weakRow) != len(weakLine) {
+			b.Fatalf("paths diverge: %d vs %d weak rows", len(weakRow), len(weakLine))
+		}
+		for j := range weakRow {
+			if weakRow[j] != weakLine[j] {
+				b.Fatalf("weak sets diverge at %d", j)
+			}
+		}
+		b.ReportMetric(float64(lineSys.HostRequests())/float64(rowSys.HostRequests()), "roundtrip-reduction-x")
+		b.ReportMetric(float64(rows)/rowSecs, "rows/s")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Microbenchmarks of the simulator substrate itself.
 
@@ -286,17 +333,12 @@ func BenchmarkSubstrateCacheAccess(b *testing.B) {
 		b.Fatal(err)
 	}
 	// One long streaming kernel; report simulated ops per host second via
-	// the standard ns/op metric.
-	n := b.N
-	res, err := sys.Run(NewKernel("stream", func(g *Gen) {
-		for i := 0; i < n; i++ {
-			g.Load(uint64(i%(1<<20)) * 64)
-		}
-	}))
-	if err != nil {
+	// the standard ns/op metric. The kernel is shared with cmd/benchall's
+	// snapshot metrics (workload.SubstrateStream) so the CI bench-trend
+	// gate measures exactly this code.
+	if _, err := sys.Run(workload.SubstrateStream(b.N)); err != nil {
 		b.Fatal(err)
 	}
-	_ = res
 }
 
 func BenchmarkSubstrateMissPath(b *testing.B) {
@@ -304,17 +346,9 @@ func BenchmarkSubstrateMissPath(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	n := b.N
-	res, err := sys.Run(NewKernel("misses", func(g *Gen) {
-		const span = uint64(1) << 31 // stay inside the module's address space
-		for i := 0; i < n; i++ {
-			g.LoadDep(uint64(i) * 131072 % span)
-		}
-	}))
-	if err != nil {
+	if _, err := sys.Run(workload.SubstrateMisses(b.N)); err != nil {
 		b.Fatal(err)
 	}
-	_ = res
 }
 
 // BenchmarkEnergyExtension measures RowClone's DRAM-energy advantage for

@@ -14,10 +14,14 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
+	"easydram"
+	"easydram/internal/core"
 	"easydram/internal/experiments"
 	"easydram/internal/stats"
+	"easydram/internal/techniques"
 	"easydram/internal/workload"
 )
 
@@ -60,8 +64,19 @@ func main() {
 		path := *jsonOut
 		if path == "" {
 			// Keyed off the snapshot's own date stamp so a run crossing
-			// midnight cannot produce a filename/content mismatch.
+			// midnight cannot produce a filename/content mismatch. The
+			// snapshots are the repo's perf trajectory, so a same-day file
+			// is never clobbered: later runs uniquify with a letter suffix.
 			path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+			for suffix := 'b'; ; suffix++ {
+				if _, err := os.Stat(path); os.IsNotExist(err) {
+					break
+				}
+				if suffix > 'z' {
+					log.Fatalf("benchall: all same-day snapshot names through BENCH_%sz.json exist; pass -json to name one explicitly", snap.Date)
+				}
+				path = fmt.Sprintf("BENCH_%s%c.json", snap.Date, suffix)
+			}
 		}
 		if err := snap.write(path); err != nil {
 			log.Fatalf("benchall: %v", err)
@@ -125,156 +140,196 @@ func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 		return nil
 	}
 
-	if err := timed("table1", func() error {
-		section("Table 1 — platform comparison")
-		t1, err := experiments.Table1(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, t1.Render())
-		snap.Metrics["table1/mcycles_per_sec"] = t1.MeasuredCyclesPerSec / 1e6
-		return nil
-	}); err != nil {
-		return err
+	sections := []struct {
+		name string
+		run  func() error
+	}{
+		{"table1", func() error {
+			section("Table 1 — platform comparison")
+			t1, err := experiments.Table1(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, t1.Render())
+			snap.Metrics["table1/mcycles_per_sec"] = t1.MeasuredCyclesPerSec / 1e6
+			return nil
+		}},
+		{"figure2", func() error {
+			section("Figure 2 — request time breakdown")
+			f2, err := experiments.Figure2(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, f2.Table())
+			snap.Metrics["figure2/smc_vs_real_latency_ratio"] = f2.LatencyRatio(experiments.PlatformSMC, experiments.PlatformReal)
+			return nil
+		}},
+		{"validation", func() error {
+			section("§6 — time-scaling validation (paper: <0.1% avg, <1% max)")
+			val, err := experiments.Validation(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, val.Table())
+			snap.Metrics["validation/avg_err_pct"] = val.AvgPct
+			snap.Metrics["validation/max_err_pct"] = val.MaxPct
+			return nil
+		}},
+		{"figure8", func() error {
+			section("Figure 8 — lmbench latency profile")
+			f8, err := experiments.Figure8(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, f8.Table())
+			snap.Metrics["figure8/ts_mem_cycles"] = f8.PlateauCycles(experiments.NameTS)
+			snap.Metrics["figure8/nots_mem_cycles"] = f8.PlateauCycles(experiments.NameNoTS)
+			snap.Metrics["figure8/a57_mem_cycles"] = f8.PlateauCycles(experiments.NameCortex)
+			return nil
+		}},
+		{"figure10", func() error {
+			section("Figure 10 — RowClone No Flush (paper: copy 306.7x/15.0x/27.2x, init 36.7x/1.8x/17.3x)")
+			f10, err := experiments.RowClone(opt, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, f10.Table())
+			snap.Metrics["figure10/copy_ts_avg_x"] = stats.Mean(f10.Copy[experiments.NameTS])
+			snap.Metrics["figure10/copy_nots_avg_x"] = stats.Mean(f10.Copy[experiments.NameNoTS])
+			snap.Metrics["figure10/init_ts_avg_x"] = stats.Mean(f10.Init[experiments.NameTS])
+			return nil
+		}},
+		{"figure11", func() error {
+			section("Figure 11 — RowClone CLFLUSH (paper: copy 3.1x/4.04x avg)")
+			f11, err := experiments.RowClone(opt, true)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, f11.Table())
+			snap.Metrics["figure11/copy_ts_avg_x"] = stats.Mean(f11.Copy[experiments.NameTS])
+			return nil
+		}},
+		{"figure12", func() error {
+			section("Figure 12 — minimum reliable tRCD heatmap (paper: 84.5% strong)")
+			f12, err := experiments.Figure12(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, f12.Heatmap())
+			snap.Metrics["figure12/strong_pct"] = 100 * f12.StrongFraction
+			return nil
+		}},
+		{"figure13", func() error {
+			section("Figures 13 & 14 — tRCD reduction (paper: +2.75% avg EasyDRAM, +2.58% Ramulator) and simulation speed (paper: 5.9x avg)")
+			f13, err := experiments.Figure13(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, f13.Table())
+			fmt.Fprintln(w, f13.SpeedTable())
+			fmt.Fprintf(w, "EasyDRAM avg improvement: %.2f%% (max %.2f%%)\n",
+				f13.AvgSpeedupPct(experiments.NameTS), f13.MaxSpeedupPct(experiments.NameTS))
+			fmt.Fprintf(w, "Ramulator avg improvement: %.2f%% (max %.2f%%)\n",
+				f13.AvgSpeedupPct(experiments.NameRamulator), f13.MaxSpeedupPct(experiments.NameRamulator))
+			fmt.Fprintf(w, "EasyDRAM sim speed geomean %.2f MHz\n", stats.Geomean(f13.SimSpeedMHz[experiments.NameTS]))
+			snap.Metrics["figure13/easydram_avg_pct"] = f13.AvgSpeedupPct(experiments.NameTS)
+			snap.Metrics["figure13/easydram_max_pct"] = f13.MaxSpeedupPct(experiments.NameTS)
+			snap.Metrics["figure13/ramulator_avg_pct"] = f13.AvgSpeedupPct(experiments.NameRamulator)
+			snap.Metrics["figure14/easydram_geomean_mhz"] = stats.Geomean(f13.SimSpeedMHz[experiments.NameTS])
+			snap.Metrics["figure14/ramulator_geomean_mhz"] = stats.Geomean(f13.SimSpeedMHz[experiments.NameRamulator])
+			if m := snap.Metrics["figure14/ramulator_geomean_mhz"]; m > 0 {
+				snap.Metrics["figure14/speed_ratio"] = snap.Metrics["figure14/easydram_geomean_mhz"] / m
+			}
+			return nil
+		}},
+		{"energy", func() error {
+			section("Extension — RowClone DRAM energy (RowClone paper: ~74x for FPM copy)")
+			en, err := experiments.Energy(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, en.Table())
+			snap.Metrics["energy/advantage_x"] = en.Ratio[len(en.Ratio)-1]
+			return nil
+		}},
+		{"ablations", func() error {
+			section("Extension — design-axis ablations")
+			abl, err := experiments.Ablations(opt)
+			if err != nil {
+				return err
+			}
+			for _, a := range abl {
+				fmt.Fprintln(w, a.Table())
+			}
+			return nil
+		}},
+		{"substrate", func() error { return substrateMetrics(snap) }},
 	}
-
-	if err := timed("figure2", func() error {
-		section("Figure 2 — request time breakdown")
-		f2, err := experiments.Figure2(opt)
-		if err != nil {
+	for _, s := range sections {
+		if err := timed(s.name, s.run); err != nil {
 			return err
 		}
-		fmt.Fprintln(w, f2.Table())
-		snap.Metrics["figure2/smc_vs_real_latency_ratio"] = f2.LatencyRatio(experiments.PlatformSMC, experiments.PlatformReal)
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("validation", func() error {
-		section("§6 — time-scaling validation (paper: <0.1% avg, <1% max)")
-		val, err := experiments.Validation(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, val.Table())
-		snap.Metrics["validation/avg_err_pct"] = val.AvgPct
-		snap.Metrics["validation/max_err_pct"] = val.MaxPct
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("figure8", func() error {
-		section("Figure 8 — lmbench latency profile")
-		f8, err := experiments.Figure8(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, f8.Table())
-		snap.Metrics["figure8/ts_mem_cycles"] = f8.PlateauCycles(experiments.NameTS)
-		snap.Metrics["figure8/nots_mem_cycles"] = f8.PlateauCycles(experiments.NameNoTS)
-		snap.Metrics["figure8/a57_mem_cycles"] = f8.PlateauCycles(experiments.NameCortex)
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("figure10", func() error {
-		section("Figure 10 — RowClone No Flush (paper: copy 306.7x/15.0x/27.2x, init 36.7x/1.8x/17.3x)")
-		f10, err := experiments.RowClone(opt, false)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, f10.Table())
-		snap.Metrics["figure10/copy_ts_avg_x"] = stats.Mean(f10.Copy[experiments.NameTS])
-		snap.Metrics["figure10/copy_nots_avg_x"] = stats.Mean(f10.Copy[experiments.NameNoTS])
-		snap.Metrics["figure10/init_ts_avg_x"] = stats.Mean(f10.Init[experiments.NameTS])
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("figure11", func() error {
-		section("Figure 11 — RowClone CLFLUSH (paper: copy 3.1x/4.04x avg)")
-		f11, err := experiments.RowClone(opt, true)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, f11.Table())
-		snap.Metrics["figure11/copy_ts_avg_x"] = stats.Mean(f11.Copy[experiments.NameTS])
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("figure12", func() error {
-		section("Figure 12 — minimum reliable tRCD heatmap (paper: 84.5% strong)")
-		f12, err := experiments.Figure12(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, f12.Heatmap())
-		snap.Metrics["figure12/strong_pct"] = 100 * f12.StrongFraction
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("figure13", func() error {
-		section("Figures 13 & 14 — tRCD reduction (paper: +2.75% avg EasyDRAM, +2.58% Ramulator) and simulation speed (paper: 5.9x avg)")
-		f13, err := experiments.Figure13(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, f13.Table())
-		fmt.Fprintln(w, f13.SpeedTable())
-		fmt.Fprintf(w, "EasyDRAM avg improvement: %.2f%% (max %.2f%%)\n",
-			f13.AvgSpeedupPct(experiments.NameTS), f13.MaxSpeedupPct(experiments.NameTS))
-		fmt.Fprintf(w, "Ramulator avg improvement: %.2f%% (max %.2f%%)\n",
-			f13.AvgSpeedupPct(experiments.NameRamulator), f13.MaxSpeedupPct(experiments.NameRamulator))
-		fmt.Fprintf(w, "EasyDRAM sim speed geomean %.2f MHz\n", stats.Geomean(f13.SimSpeedMHz[experiments.NameTS]))
-		snap.Metrics["figure13/easydram_avg_pct"] = f13.AvgSpeedupPct(experiments.NameTS)
-		snap.Metrics["figure13/easydram_max_pct"] = f13.MaxSpeedupPct(experiments.NameTS)
-		snap.Metrics["figure13/ramulator_avg_pct"] = f13.AvgSpeedupPct(experiments.NameRamulator)
-		snap.Metrics["figure14/easydram_geomean_mhz"] = stats.Geomean(f13.SimSpeedMHz[experiments.NameTS])
-		snap.Metrics["figure14/ramulator_geomean_mhz"] = stats.Geomean(f13.SimSpeedMHz[experiments.NameRamulator])
-		if m := snap.Metrics["figure14/ramulator_geomean_mhz"]; m > 0 {
-			snap.Metrics["figure14/speed_ratio"] = snap.Metrics["figure14/easydram_geomean_mhz"] / m
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("energy", func() error {
-		section("Extension — RowClone DRAM energy (RowClone paper: ~74x for FPM copy)")
-		en, err := experiments.Energy(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, en.Table())
-		snap.Metrics["energy/advantage_x"] = en.Ratio[len(en.Ratio)-1]
-		return nil
-	}); err != nil {
-		return err
-	}
-
-	if err := timed("ablations", func() error {
-		section("Extension — design-axis ablations")
-		abl, err := experiments.Ablations(opt)
-		if err != nil {
-			return err
-		}
-		for _, a := range abl {
-			fmt.Fprintln(w, a.Table())
-		}
-		return nil
-	}); err != nil {
-		return err
 	}
 
 	snap.WallSecs = time.Since(start).Seconds()
-	fmt.Fprintf(w, "\ntotal runtime: %v\n", time.Since(start).Round(time.Second))
+	// Wall-clock goes to the snapshot and stderr, never the report: the
+	// report's bytes are identical across runs and -workers settings, which
+	// is the cheap determinism probe for the parallel harness.
+	fmt.Fprintf(os.Stderr, "benchall: total runtime %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// substrateMetrics records simulator-substrate microbenchmarks in the
+// snapshot: per-operation cost of the cache-hit and miss-path service
+// loops, and the §8.1 whole-row characterization fast path's throughput
+// and per-row host round-trips. These are the machine-level numbers the
+// CI bench-trend step (cmd/benchtrend) guards against regression. They go
+// to the JSON snapshot and stderr only — never the report, whose
+// experiment output stays byte-identical across runs and worker counts
+// (the determinism probe relies on that).
+func substrateMetrics(snap *snapshot) error {
+	// The kernels are shared with BenchmarkSubstrateCacheAccess/MissPath in
+	// bench_test.go (workload.Substrate*), so these snapshot metrics measure
+	// exactly the benchmarked code.
+	var benchErr error
+	substrate := func(kernel func(n int) workload.Kernel) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			sys, err := easydram.NewSystem()
+			if err != nil {
+				benchErr = err
+				b.Skip()
+			}
+			if _, err := sys.Run(kernel(b.N)); err != nil {
+				benchErr = err
+			}
+		})
+	}
+	cacheRes := substrate(workload.SubstrateStream)
+	missRes := substrate(workload.SubstrateMisses)
+	if benchErr != nil {
+		return benchErr
+	}
+
+	cfg := core.TimeScalingA57()
+	cfg.DRAM = core.TechniqueDRAM()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	const rows = 256
+	span := uint64(rows) * uint64(sys.Mapper().RowBytes())
+	t0 := time.Now()
+	if _, _, err := techniques.ProfileWeakRows(sys, 0, span, techniques.ReducedTRCD); err != nil {
+		return err
+	}
+	rowsPerSec := rows / time.Since(t0).Seconds()
+	tripsPerRow := float64(sys.HostRequests()) / rows
+
+	snap.Metrics["substrate/cache_ns_op"] = float64(cacheRes.NsPerOp())
+	snap.Metrics["substrate/miss_ns_op"] = float64(missRes.NsPerOp())
+	snap.Metrics["characterization/rows_per_sec"] = rowsPerSec
+	snap.Metrics["characterization/roundtrips_per_row"] = tripsPerRow
+	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op, miss %d ns/op, characterization %.0f rows/s (%.1f round-trips/row)\n",
+		cacheRes.NsPerOp(), missRes.NsPerOp(), rowsPerSec, tripsPerRow)
 	return nil
 }

@@ -1,0 +1,191 @@
+// Command benchtrend compares a freshly generated benchall snapshot (see
+// cmd/benchall) against the repository's committed BENCH_*.json baseline
+// and exits non-zero on a performance regression — the bench-trend CI gate
+// the repository's perf trajectory is judged against.
+//
+// Only substrate metrics are gated: the per-operation cost of the
+// cache-hit and miss-path service loops and the weak-row characterization
+// throughput. Raw ns/op and rows/sec are machine-dependent, so they fail
+// the build only when the baseline was produced on the same machine shape
+// (same Go version and GOMAXPROCS) — on a mismatched host they are
+// reported as warnings instead, since a hardware difference would
+// otherwise masquerade as a code regression (or hide one). The host round
+// trips per profiled row are a pure property of the algorithm and gate
+// unconditionally. Semantic experiment results (figure speedups,
+// validation error) are reported informationally — those belong to the
+// experiments' own tests.
+//
+// A baseline that predates the substrate metrics simply has nothing to
+// compare; benchtrend reports that and passes, so the gate arms itself as
+// soon as a snapshot with substrate numbers is committed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// gatedMetric describes how one substrate metric is judged.
+type gatedMetric struct {
+	// lowerIsBetter: true for costs (ns/op), false for throughput.
+	lowerIsBetter bool
+	// machineDependent metrics fail the gate only when baseline and new
+	// snapshot report the same machine shape; otherwise they warn.
+	machineDependent bool
+}
+
+// trendMetrics is the set of gated substrate metrics.
+var trendMetrics = map[string]gatedMetric{
+	"substrate/cache_ns_op":               {lowerIsBetter: true, machineDependent: true},
+	"substrate/miss_ns_op":                {lowerIsBetter: true, machineDependent: true},
+	"characterization/rows_per_sec":       {lowerIsBetter: false, machineDependent: true},
+	"characterization/roundtrips_per_row": {lowerIsBetter: true},
+}
+
+type snapshot struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// sameMachineShape reports whether two snapshots were produced on
+// comparable hosts, making their raw-time metrics directly gateable.
+func sameMachineShape(a, b *snapshot) bool {
+	return a.GoVersion == b.GoVersion && a.GOMAXPROCS == b.GOMAXPROCS
+}
+
+func loadSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// latestBaseline returns the lexicographically newest BENCH_*.json in dir
+// (the files are date-named, so lexical order is chronological order).
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline found in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func main() {
+	newPath := flag.String("new", "", "freshly generated snapshot to judge (required)")
+	basePath := flag.String("baseline", "", "baseline snapshot (default: newest BENCH_*.json in -dir)")
+	dir := flag.String("dir", ".", "directory searched for the committed baseline")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression before failing")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: -new is required")
+		os.Exit(2)
+	}
+	if *basePath == "" {
+		p, err := latestBaseline(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(2)
+		}
+		*basePath = p
+	}
+	base, err := loadSnapshot(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := loadSnapshot(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: new snapshot: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("baseline %s (%s) vs %s (%s), tolerance %.0f%%\n",
+		*basePath, base.Date, *newPath, fresh.Date, 100**tolerance)
+
+	gated := make([]string, 0, len(trendMetrics))
+	for m := range trendMetrics {
+		gated = append(gated, m)
+	}
+	sort.Strings(gated)
+
+	comparable := sameMachineShape(base, fresh)
+	if !comparable {
+		fmt.Printf("machine shape differs (go %s/%d procs vs %s/%d): machine-dependent metrics warn only\n",
+			base.GoVersion, base.GOMAXPROCS, fresh.GoVersion, fresh.GOMAXPROCS)
+	}
+	var regressions []string
+	compared := 0
+	for _, m := range gated {
+		bv, inBase := base.Metrics[m]
+		nv, inNew := fresh.Metrics[m]
+		if !inBase || !inNew || bv == 0 {
+			continue
+		}
+		compared++
+		gm := trendMetrics[m]
+		change := nv/bv - 1 // positive = value went up
+		regressed := change > *tolerance
+		if !gm.lowerIsBetter {
+			regressed = change < -*tolerance
+		}
+		status := "ok"
+		if regressed {
+			if gm.machineDependent && !comparable {
+				status = "warn (machine mismatch, not gated)"
+			} else {
+				status = "REGRESSION"
+				regressions = append(regressions, m)
+			}
+		}
+		fmt.Printf("  %-40s %14.1f -> %14.1f  (%+6.1f%%)  %s\n", m, bv, nv, 100*change, status)
+	}
+	if compared == 0 {
+		fmt.Println("baseline has no substrate metrics yet; nothing to gate (pass)")
+		return
+	}
+
+	// Informational drift report for the shared semantic metrics.
+	var shared []string
+	for m := range base.Metrics {
+		if _, gatedMetric := trendMetrics[m]; gatedMetric {
+			continue
+		}
+		if _, ok := fresh.Metrics[m]; ok {
+			shared = append(shared, m)
+		}
+	}
+	sort.Strings(shared)
+	if len(shared) > 0 {
+		fmt.Println("semantic metrics (informational):")
+		for _, m := range shared {
+			bv, nv := base.Metrics[m], fresh.Metrics[m]
+			pct := 0.0
+			if bv != 0 {
+				pct = 100 * (nv/bv - 1)
+			}
+			fmt.Printf("  %-40s %14.4f -> %14.4f  (%+6.1f%%)\n", m, bv, nv, pct)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: %d substrate regression(s) beyond %.0f%%: %v\n",
+			len(regressions), 100**tolerance, regressions)
+		os.Exit(1)
+	}
+	fmt.Println("bench trend ok")
+}

@@ -1,13 +1,15 @@
 // Command dramprofiler characterizes the modelled DRAM module the way §8.1
-// characterizes real chips: it issues profiling requests through the
-// software memory controller and reports per-row minimum reliable tRCD
-// (Figure 12) and RowClone clonability statistics.
+// characterizes real chips: it issues whole-row profiling requests through
+// the software memory controller (one host round-trip per row per tRCD
+// level) and reports per-row minimum reliable tRCD (Figure 12), the
+// characterization throughput, and RowClone clonability statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"easydram"
 	"easydram/internal/experiments"
@@ -17,17 +19,24 @@ func main() {
 	rows := flag.Int("rows", 512, "rows per bank to profile")
 	seed := flag.Uint64("seed", 1, "DRAM variation seed")
 	clonePairs := flag.Int("clonepairs", 256, "intra-subarray row pairs to test for RowClone")
+	workers := flag.Int("workers", 0, "profiling worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opt := experiments.Default()
 	opt.HeatRows = *rows
 	opt.Seed = *seed
+	opt.Workers = *workers
 
+	t0 := time.Now()
 	heat, err := experiments.Figure12(opt)
 	if err != nil {
 		log.Fatalf("dramprofiler: %v", err)
 	}
+	elapsed := time.Since(t0)
 	fmt.Print(heat.Heatmap())
+	profiled := heat.Banks * heat.Rows
+	fmt.Printf("profiled %d rows in %v via whole-row requests (%.0f rows/s)\n",
+		profiled, elapsed.Round(time.Millisecond), float64(profiled)/elapsed.Seconds())
 
 	// Clonability survey: adjacent intra-subarray pairs across banks.
 	sys, err := easydram.NewSystem(easydram.TimeScaled(), easydram.WithDataTracking(), easydram.WithSeed(*seed))

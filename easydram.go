@@ -176,9 +176,19 @@ func (s *System) Run(k Kernel) (Result, error) {
 
 // ProfileLine tests whether the cache line at physical address pa reads
 // reliably at the given tRCD, using a host-driven §8.1 profiling request.
-// Requires WithDataTracking.
+// Requires WithDataTracking. It is the per-line compatibility path; bulk
+// characterization should use ProfileRow.
 func (s *System) ProfileLine(pa uint64, rcd PS) (bool, error) {
 	return s.sys.ProfileLine(pa, rcd)
+}
+
+// ProfileRow tests every cache line of the DRAM row containing pa at the
+// given tRCD with a single whole-row profiling request — one host
+// round-trip and one DRAM Bender program per row instead of one per line.
+// It returns the number of leading lines that read reliably and whether
+// the entire row passed. Requires WithDataTracking.
+func (s *System) ProfileRow(pa uint64, rcd PS) (okLines int, ok bool, err error) {
+	return s.sys.ProfileRow(pa, rcd)
 }
 
 // TestRowClone tests whether the row at src can be RowClone-copied onto the

@@ -95,15 +95,27 @@ func (b *Builder) WR(bank, col int, data []byte) *Builder {
 	if data == nil {
 		return b.Emit(Instr{Op: OpWR, A: bank, B: col, C: -1})
 	}
-	idx := len(b.wr)
-	cp := make([]byte, dram.LineBytes)
-	copy(cp, data)
-	b.wr = append(b.wr, cp)
-	return b.Emit(Instr{Op: OpWR, A: bank, B: col, C: idx})
+	return b.WRStaged(bank, col, b.StageWrite(data))
 }
 
 // REF appends a refresh command.
 func (b *Builder) REF() *Builder { return b.Emit(Instr{Op: OpREF}) }
+
+// StageWrite copies data into the write buffer once and returns its index,
+// so many WR instructions can share one staged line (bulk patterns).
+func (b *Builder) StageWrite(data []byte) int {
+	idx := len(b.wr)
+	cp := make([]byte, dram.LineBytes)
+	copy(cp, data)
+	b.wr = append(b.wr, cp)
+	return idx
+}
+
+// WRStaged appends a column write sourcing a previously staged buffer entry
+// (see StageWrite).
+func (b *Builder) WRStaged(bank, col, idx int) *Builder {
+	return b.Emit(Instr{Op: OpWR, A: bank, B: col, C: idx})
+}
 
 // ReadSequence appends a standard-compliant closed-row read:
 // ACT, wait tRCD, RD, wait max(tRTP, read completion), PRE, wait tRP.
@@ -181,6 +193,61 @@ func (b *Builder) BitwiseMAJ(bank, r1, r2 int) *Builder {
 	b.waitCycles(b.waitAfterCmd(b.p.TRAS + rowCloneSettle))
 	b.PRE(bank)
 	b.waitCycles(b.waitAfterCmd(b.p.TRP))
+	return b
+}
+
+// ProfileLine appends the §8.1 single-line profiling sequence: initialize
+// the line with pattern at nominal timing, close the row, then test it with
+// ProfileCheck. The bank must start precharged; the sequence leaves it
+// precharged.
+func (b *Builder) ProfileLine(a dram.Addr, pattern []byte, rcd clock.PS) *Builder {
+	b.ACT(a.Bank, a.Row)
+	b.Wait(b.p.TRCD - b.p.Bus.Period())
+	b.WR(a.Bank, a.Col, pattern)
+	b.Wait(b.p.TCWL + b.p.TBL + b.p.TWR)
+	b.PRE(a.Bank)
+	b.Wait(b.p.TRP - b.p.Bus.Period())
+	return b.ProfileCheck(a, rcd)
+}
+
+// ProfileCheck appends the reduced-tRCD test half of a profiling sequence:
+// activate with rcd, read the column exactly rcd after the ACT, and close
+// the row again. Every profiled line — whether tested one at a time or as
+// part of a whole-row program — goes through this sequence, so the
+// effective tRCD the chip model observes is identical on both paths.
+func (b *Builder) ProfileCheck(a dram.Addr, rcd clock.PS) *Builder {
+	b.ACTWithRCD(a.Bank, a.Row, rcd)
+	b.Wait(rcd - b.p.Bus.Period())
+	b.RD(a.Bank, a.Col)
+	b.Wait(b.p.TCL + b.p.TBL + b.p.TRTP)
+	b.PRE(a.Bank)
+	b.Wait(b.p.TRP - b.p.Bus.Period())
+	return b
+}
+
+// ProfileRow appends the row-granularity profiling program (§8.1 fast
+// path): one activation initializes all cols columns with pattern (writes
+// spaced by tCCD_L, write recovery after the last), then each column is
+// tested with its own ProfileCheck so per-line reliability is decided under
+// exactly the single-line sequence's ACT->RD spacing. One program replaces
+// cols request round-trips through the controller. The readback buffer
+// receives exactly cols lines, in column order.
+func (b *Builder) ProfileRow(bank, row, cols int, pattern []byte, rcd clock.PS) *Builder {
+	b.ACT(bank, row)
+	b.Wait(b.p.TRCD - b.p.Bus.Period())
+	idx := b.StageWrite(pattern)
+	for col := 0; col < cols; col++ {
+		b.WRStaged(bank, col, idx)
+		if col != cols-1 {
+			b.Wait(b.p.TCCDL - b.p.Bus.Period())
+		}
+	}
+	b.Wait(b.p.TCWL + b.p.TBL + b.p.TWR)
+	b.PRE(bank)
+	b.Wait(b.p.TRP - b.p.Bus.Period())
+	for col := 0; col < cols; col++ {
+		b.ProfileCheck(dram.Addr{Bank: bank, Row: row, Col: col}, rcd)
+	}
 	return b
 }
 

@@ -167,6 +167,11 @@ type System struct {
 	hostReqID uint64
 }
 
+// hostReqIDBase is the first host-driven request ID. It sits far above any
+// CPU-issued ID (those start at 1 and stay dense), so the two ID spaces
+// never collide.
+const hostReqIDBase = 1 << 48
+
 // NewSystem assembles a system from cfg.
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
@@ -202,7 +207,7 @@ func NewSystem(cfg Config) (*System, error) {
 		ctl:       ctl,
 		env:       smc.NewEnv(t),
 		chip:      chip,
-		hostReqID: 1 << 48, // distinct from CPU-issued request IDs
+		hostReqID: hostReqIDBase,
 	}, nil
 }
 
@@ -233,7 +238,7 @@ func (s *System) Run(strm workload.Stream) (Result, error) {
 		cfg:           s.cfg,
 		sys:           s,
 		core:          core,
-		inflight:      make(map[uint64]pending),
+		inflight:      newSlotRing(),
 		ready:         newReleaseQueue(),
 		trackArrivals: s.ctl.RefreshEnabled(),
 	}
@@ -259,7 +264,9 @@ type engine struct {
 	wallNow   clock.PS
 	smcFreeAt clock.PS
 
-	inflight map[uint64]pending
+	// inflight tracks outstanding requests in a dense slot ring indexed by
+	// request ID (IDs are sequential, so indexing replaces hashing).
+	inflight slotRing
 	// arrivals mirrors inflight in issue order (monotone arrival keys:
 	// processor-cycle tags when scaling, wall picoseconds otherwise); the
 	// head yields the earliest live arrival in amortised O(1). It feeds the
@@ -326,7 +333,7 @@ func (e *engine) result() Result {
 func (e *engine) earliestArrival() (int64, bool) {
 	for e.arrivals.head < len(e.arrivals.buf) {
 		ent := e.arrivals.buf[e.arrivals.head]
-		if _, live := e.inflight[ent.id]; live {
+		if e.inflight.Contains(ent.id) {
 			return ent.key, true
 		}
 		e.arrivals.skipHead()

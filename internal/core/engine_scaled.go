@@ -33,7 +33,7 @@ func (e *engine) runScaled() error {
 		}
 
 		if e.fencing {
-			if len(e.inflight) == 0 && e.ready.Len() == 0 {
+			if e.inflight.Len() == 0 && e.ready.Len() == 0 {
 				ts.JumpProcTo(e.maxRelease)
 				e.maybeExitCritical()
 				e.fencing = false
@@ -90,7 +90,7 @@ func (e *engine) runScaled() error {
 	}
 
 	// Drain posted writebacks so wall-time accounting covers them.
-	for len(e.inflight) > 0 {
+	for e.inflight.Len() > 0 {
 		if err := e.smcStepScaled(); err != nil {
 			return err
 		}
@@ -124,7 +124,7 @@ func (e *engine) consumeScaled(id uint64) {
 func (e *engine) issueScaled(req mem.Request) {
 	req.Tag = e.ts.Proc()
 	e.sys.tile.PushRequest(req)
-	e.inflight[req.ID] = pending{posted: req.Posted, tag: req.Tag}
+	e.inflight.Put(req.ID, pending{posted: req.Posted, tag: req.Tag})
 	if e.trackArrivals {
 		e.arrivals.Push(req.ID, int64(req.Tag))
 	}
@@ -134,7 +134,7 @@ func (e *engine) issueScaled(req mem.Request) {
 }
 
 func (e *engine) maybeExitCritical() {
-	if len(e.inflight) == 0 && e.ts != nil && e.ts.Critical() {
+	if e.inflight.Len() == 0 && e.ts != nil && e.ts.Critical() {
 		e.ts.ExitCritical()
 	}
 }
@@ -197,7 +197,7 @@ func (e *engine) smcStepScaled() error {
 			e.ts.JumpProcTo(clock.Cycles(e.ready.Min().release))
 			return nil
 		}
-		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", len(e.inflight), e.blockedOn)
+		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
 	}
 
 	charged := env.ChargedFPGA()
@@ -214,7 +214,7 @@ func (e *engine) smcStepScaled() error {
 	// reference engine's wall-clock service math.
 	arrival := clock.Cycles(0)
 	if len(responses) > 0 {
-		if p, ok := e.inflight[responses[0].ReqID]; ok {
+		if p, ok := e.inflight.Get(responses[0].ReqID); ok {
 			arrival = p.tag
 		}
 	}
@@ -225,11 +225,10 @@ func (e *engine) smcStepScaled() error {
 		}
 	}
 	for _, r := range responses {
-		p, ok := e.inflight[r.ReqID]
+		p, ok := e.inflight.Take(r.ReqID)
 		if !ok {
 			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
-		delete(e.inflight, r.ReqID)
 		if release > e.maxRelease {
 			e.maxRelease = release
 		}

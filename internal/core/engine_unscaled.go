@@ -56,7 +56,7 @@ func (e *engine) runUnscaled() error {
 		}
 
 		if e.fencing {
-			if len(e.inflight) == 0 && e.ready.Len() == 0 {
+			if e.inflight.Len() == 0 && e.ready.Len() == 0 {
 				if maxWall > e.wallNow {
 					e.wallNow = maxWall
 				}
@@ -64,7 +64,7 @@ func (e *engine) runUnscaled() error {
 				e.core.FenceDone()
 				continue
 			}
-			if len(e.inflight) > 0 {
+			if e.inflight.Len() > 0 {
 				w, err := e.smcStepUnscaled()
 				if err != nil {
 					return err
@@ -99,7 +99,7 @@ func (e *engine) runUnscaled() error {
 				tracef("U issue id=%d kind=%v wall=%d proc=%d", req.ID, req.Kind, e.wallNow, proc())
 			}
 			e.staged = append(e.staged, req)
-			e.inflight[req.ID] = pending{posted: req.Posted, arrival: e.wallNow}
+			e.inflight.Put(req.ID, pending{posted: req.Posted, arrival: e.wallNow})
 			if e.trackArrivals {
 				e.arrivals.Push(req.ID, int64(e.wallNow))
 			}
@@ -119,7 +119,7 @@ func (e *engine) runUnscaled() error {
 
 	e.procCycles = proc()
 	// Drain remaining posted writebacks for wall-time accounting.
-	for len(e.inflight) > 0 {
+	for e.inflight.Len() > 0 {
 		w, err := e.smcStepUnscaled()
 		if err != nil {
 			return err
@@ -190,13 +190,13 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	// in issue order and arrivals are monotone, so the earliest is first.
 	decision := e.smcFreeAt
 	if len(e.staged) > 0 && e.sys.tile.IncomingEmpty() && e.sys.ctl.Pending() == 0 {
-		if earliest := e.inflight[e.staged[0].ID].arrival; decision < earliest {
-			decision = earliest
+		if p, ok := e.inflight.Get(e.staged[0].ID); ok && decision < p.arrival {
+			decision = p.arrival
 		}
 	}
 	kept := e.staged[:0]
 	for _, req := range e.staged {
-		if e.inflight[req.ID].arrival <= decision {
+		if p, _ := e.inflight.Get(req.ID); p.arrival <= decision {
 			e.sys.tile.PushRequest(req)
 		} else {
 			kept = append(kept, req)
@@ -218,7 +218,7 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 			// Everything outstanding is already responded; nothing to do.
 			return e.smcFreeAt, nil
 		}
-		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", len(e.inflight), e.blockedOn)
+		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
 	}
 
 	responses := env.Responses()
@@ -228,7 +228,7 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	// response identifies the request being served).
 	start := e.smcFreeAt
 	if len(responses) > 0 {
-		if p, ok := e.inflight[responses[0].ReqID]; ok && p.arrival > start {
+		if p, ok := e.inflight.Get(responses[0].ReqID); ok && p.arrival > start {
 			start = p.arrival
 		}
 	}
@@ -259,11 +259,10 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	}
 
 	for _, r := range responses {
-		p, ok := e.inflight[r.ReqID]
+		p, ok := e.inflight.Take(r.ReqID)
 		if !ok {
 			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
-		delete(e.inflight, r.ReqID)
 		if p.posted {
 			continue
 		}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"easydram/internal/clock"
+)
+
+func TestSlotRingBasics(t *testing.T) {
+	r := newSlotRing()
+	if r.Len() != 0 {
+		t.Fatalf("new ring not empty")
+	}
+	for id := uint64(1); id <= 100; id++ {
+		r.Put(id, pending{tag: clock.Cycles(id)})
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d after 100 puts", r.Len())
+	}
+	for id := uint64(1); id <= 100; id++ {
+		p, ok := r.Get(id)
+		if !ok || p.tag != clock.Cycles(id) {
+			t.Fatalf("Get(%d) = %+v, %v", id, p, ok)
+		}
+	}
+	if _, ok := r.Get(101); ok {
+		t.Fatalf("Get of unknown id succeeded")
+	}
+	p, ok := r.Take(50)
+	if !ok || p.tag != 50 {
+		t.Fatalf("Take(50) = %+v, %v", p, ok)
+	}
+	if r.Contains(50) || r.Len() != 99 {
+		t.Fatalf("Take did not remove (len %d)", r.Len())
+	}
+	if _, ok := r.Take(50); ok {
+		t.Fatalf("double Take succeeded")
+	}
+	// Overwrite keeps the count.
+	r.Put(51, pending{posted: true})
+	if r.Len() != 99 {
+		t.Fatalf("overwrite changed Len to %d", r.Len())
+	}
+	if p, _ := r.Get(51); !p.posted {
+		t.Fatalf("overwrite lost state")
+	}
+}
+
+// TestSlotRingLongLivedEntry pins the growth path: a request that stays live
+// while thousands of successors come and go must survive ID wraparound in
+// the ring (the ring doubles until every live entry has a distinct slot).
+func TestSlotRingLongLivedEntry(t *testing.T) {
+	r := newSlotRing()
+	const ancient = uint64(7)
+	r.Put(ancient, pending{tag: 777})
+	for id := uint64(8); id < 8+4096; id++ {
+		r.Put(id, pending{tag: clock.Cycles(id)})
+		if id%3 != 0 {
+			r.Take(id)
+		}
+	}
+	p, ok := r.Get(ancient)
+	if !ok || p.tag != 777 {
+		t.Fatalf("long-lived entry lost across growth: %+v, %v", p, ok)
+	}
+	// Every still-live successor must be intact too.
+	for id := uint64(8); id < 8+4096; id++ {
+		if id%3 == 0 {
+			if p, ok := r.Get(id); !ok || p.tag != clock.Cycles(id) {
+				t.Fatalf("live id %d lost: %+v, %v", id, p, ok)
+			}
+		} else if r.Contains(id) {
+			t.Fatalf("removed id %d still present", id)
+		}
+	}
+}
+
+// TestSlotRingSteadyStateAllocs pins the slot ring at zero allocations per
+// operation in steady state: once sized, put/get/take cycles over a sliding
+// live window must not allocate at all.
+func TestSlotRingSteadyStateAllocs(t *testing.T) {
+	r := newSlotRing()
+	next := uint64(1)
+	// Warm: establish the steady-state live window.
+	for i := 0; i < 32; i++ {
+		r.Put(next, pending{tag: clock.Cycles(next)})
+		next++
+	}
+	oldest := uint64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			r.Put(next, pending{tag: clock.Cycles(next)})
+			next++
+			if _, ok := r.Take(oldest); !ok {
+				t.Fatal("steady-state Take failed")
+			}
+			oldest++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("slot ring allocates in steady state: %.1f allocs/run", allocs)
+	}
+}

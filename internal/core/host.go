@@ -13,11 +13,11 @@ import (
 // iterations synchronously, outside the emulated timeline (§8.1).
 
 // hostServe pushes req and runs controller iterations until its response
-// appears, returning the response's OK flag. Host request IDs are a
-// per-system counter (starting at 1<<48, distinct from CPU-issued IDs) so
-// that systems running concurrently under the parallel experiments harness
-// stay independent and deterministic.
-func (s *System) hostServe(req mem.Request) (bool, error) {
+// appears, returning the response. Host request IDs are a per-system
+// counter (starting at hostReqIDBase, distinct from CPU-issued IDs) so that
+// systems running concurrently under the parallel experiments harness stay
+// independent and deterministic.
+func (s *System) hostServe(req mem.Request) (mem.Response, error) {
 	s.hostReqID++
 	req.ID = s.hostReqID
 	s.tile.PushRequest(req)
@@ -25,24 +25,44 @@ func (s *System) hostServe(req mem.Request) (bool, error) {
 		s.env.Reset(0)
 		worked, err := s.ctl.ServeOne(s.env)
 		if err != nil {
-			return false, err
+			return mem.Response{}, err
 		}
 		for _, r := range s.env.Responses() {
 			if r.ReqID == req.ID {
-				return r.OK, nil
+				return r, nil
 			}
 		}
 		if !worked {
 			break
 		}
 	}
-	return false, fmt.Errorf("core: host request %v not served", req.Kind)
+	return mem.Response{}, fmt.Errorf("core: host request %v not served", req.Kind)
 }
 
+// HostRequests reports how many host-driven characterization requests this
+// system has issued so far — the number of host-to-controller round-trips,
+// the quantity the whole-row profiling path exists to reduce.
+func (s *System) HostRequests() uint64 { return s.hostReqID - hostReqIDBase }
+
 // ProfileLine tests whether the cache line at physical address pa reads
-// reliably with the given tRCD (a §8.1 profiling request).
+// reliably with the given tRCD (a §8.1 profiling request). It is the
+// per-line compatibility path; bulk characterization should use ProfileRow,
+// which covers a whole row per round-trip.
 func (s *System) ProfileLine(pa uint64, rcd clock.PS) (bool, error) {
-	return s.hostServe(mem.Request{Kind: mem.Profile, Addr: pa, RCD: rcd})
+	r, err := s.hostServe(mem.Request{Kind: mem.Profile, Addr: pa, RCD: rcd})
+	return r.OK, err
+}
+
+// ProfileRow tests every cache line of the DRAM row containing pa (the
+// address is row-aligned internally) at the given tRCD using a single
+// whole-row profiling request — one host round-trip and one Bender program
+// for the full row instead of one per line. It returns the number of
+// leading lines that read reliably and whether the entire row passed.
+// Per-line outcomes are identical to repeated ProfileLine calls.
+func (s *System) ProfileRow(pa uint64, rcd clock.PS) (okLines int, ok bool, err error) {
+	pa &^= uint64(s.Mapper().RowBytes() - 1)
+	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: pa, RCD: rcd})
+	return r.Lines, r.OK, err
 }
 
 // BitwiseMAJ performs an in-DRAM bulk bitwise majority across the rows at
@@ -50,7 +70,8 @@ func (s *System) ProfileLine(pa uint64, rcd clock.PS) (bool, error) {
 // many-row activation (ComputeDRAM-class extension). It reports whether the
 // chip committed the result.
 func (s *System) BitwiseMAJ(r1, r2 uint64) (bool, error) {
-	return s.hostServe(mem.Request{Kind: mem.Bitwise, Addr: r2, Src: r1})
+	r, err := s.hostServe(mem.Request{Kind: mem.Bitwise, Addr: r2, Src: r1})
+	return r.OK, err
 }
 
 // TestRowClone performs trial RowClone copies from the row at src to the
@@ -62,11 +83,11 @@ func (s *System) TestRowClone(src, dst uint64, trials int) (bool, error) {
 		trials = 1
 	}
 	for i := 0; i < trials; i++ {
-		ok, err := s.hostServe(mem.Request{Kind: mem.RowClone, Addr: dst, Src: src})
+		r, err := s.hostServe(mem.Request{Kind: mem.RowClone, Addr: dst, Src: src})
 		if err != nil {
 			return false, err
 		}
-		if !ok {
+		if !r.OK {
 			return false, nil
 		}
 	}

@@ -12,9 +12,12 @@
 // pool (Options.Workers goroutines; 0 selects GOMAXPROCS; see forEach in
 // parallel.go). Cells write results into index-addressed slots, so the
 // assembled tables are byte-identical to a serial run no matter how the
-// pool schedules. Single-run experiments (Table1, Figure2's four platforms,
-// Figure12's one profiled system) stay serial: they have nothing to fan
-// out, or share one system across all their measurements.
+// pool schedules. Figure12's weak-row characterization shards its
+// (bank, row) grid the same way, one independent profiling system per
+// shard: per-row outcomes are a pure function of the seeded variation
+// model, so the heatmap is identical at any worker count. Single-run
+// experiments (Table1, Figure2's four platforms) stay serial: they have
+// nothing to fan out.
 package experiments
 
 import (

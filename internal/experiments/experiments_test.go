@@ -378,6 +378,19 @@ func TestParallelHarnessDeterministic(t *testing.T) {
 			t.Fatalf("figure13 tables diverge between serial and parallel runs")
 		}
 	})
+	t.Run("figure12", func(t *testing.T) {
+		a, err := Figure12(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure12(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Heatmap() != b.Heatmap() {
+			t.Fatalf("figure12 heatmaps diverge between serial and sharded runs")
+		}
+	})
 }
 
 // TestForEachErrorContract pins the pool's error behaviour: failures

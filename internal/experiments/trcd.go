@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"easydram/internal/clock"
 	"easydram/internal/core"
@@ -25,39 +26,78 @@ type HeatmapResult struct {
 }
 
 // Figure12 profiles the minimum reliable tRCD of opt.HeatRows rows in each
-// of the first two banks, using §8.1 profiling requests end to end.
+// of the first two banks, using whole-row §8.1 profiling requests end to
+// end (one host round-trip per row per tRCD level).
+//
+// The (bank, row) grid is sharded into contiguous chunks across the
+// experiment worker pool; every shard owns an independent profiling system,
+// and per-row outcomes are a pure function of the seeded variation model,
+// so the assembled heatmap is identical at any Options.Workers setting.
 func Figure12(opt Options) (*HeatmapResult, error) {
 	cfg := core.TimeScalingA57()
 	cfg.DRAM = core.TechniqueDRAM()
 	cfg.DRAM.Seed = opt.Seed
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: figure12: %w", err)
-	}
 	nominal := cfg.DRAM.Timing.TRCD
 	res := &HeatmapResult{
 		Banks:     2,
 		Rows:      opt.HeatRows,
 		NominalNs: nominal.Nanoseconds(),
 	}
-	strong, total := 0, 0
-	for bank := 0; bank < res.Banks; bank++ {
-		rowVals := make([]float64, res.Rows)
-		for row := 0; row < res.Rows; row++ {
+	res.MinTRCDns = make([][]float64, res.Banks)
+	for b := range res.MinTRCDns {
+		res.MinTRCDns[b] = make([]float64, res.Rows)
+	}
+
+	total := res.Banks * res.Rows
+	if total == 0 {
+		return res, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nShards := workers * 2 // 2x shards per worker smooths uneven shard cost
+	if nShards > total {
+		nShards = total
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	chunk := (total + nShards - 1) / nShards
+	nShards = (total + chunk - 1) / chunk
+
+	strong := make([]int, nShards)
+	err := forEach(opt.Workers, nShards, func(s int) error {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > total {
+			hi = total
+		}
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: figure12: %w", err)
+		}
+		for i := lo; i < hi; i++ {
+			bank, row := i/res.Rows, i%res.Rows
 			base := sys.Mapper().Unmap(dram.Addr{Bank: bank, Row: row})
 			min, err := techniques.MinReliableTRCD(sys, base, nominal)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: figure12: %w", err)
+				return fmt.Errorf("experiments: figure12: %w", err)
 			}
-			rowVals[row] = min.Nanoseconds()
-			total++
+			res.MinTRCDns[bank][row] = min.Nanoseconds()
 			if min <= techniques.ReducedTRCD {
-				strong++
+				strong[s]++
 			}
 		}
-		res.MinTRCDns = append(res.MinTRCDns, rowVals)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.StrongFraction = float64(strong) / float64(total)
+	sum := 0
+	for _, c := range strong {
+		sum += c
+	}
+	res.StrongFraction = float64(sum) / float64(total)
 	return res, nil
 }
 

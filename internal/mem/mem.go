@@ -29,11 +29,17 @@ const (
 	// Bitwise asks the controller to perform an in-DRAM bulk bitwise
 	// majority (ComputeDRAM-class many-row activation; extension).
 	Bitwise
+	// ProfileRow asks the controller to test every cache line of the row at
+	// Addr (row-aligned) at a reduced tRCD with a single Bender program —
+	// the row-granularity fast path of the §8.1 characterization. The
+	// response reports per-line detail in Response.Lines.
+	ProfileRow
 )
 
 var kindNames = map[Kind]string{
 	Read: "read", Write: "write", Writeback: "writeback",
 	RowClone: "rowclone", Profile: "profile", Bitwise: "bitwise",
+	ProfileRow: "profilerow",
 }
 
 func (k Kind) String() string {
@@ -62,13 +68,18 @@ type Request struct {
 	Posted bool
 }
 
-// Response is the controller's answer to a request.
+// Response is the controller's answer to a request. The release point at
+// which the processor may consume a response (Figure 5 step 10) is not part
+// of the response itself: the engine computes it while settling the step
+// and tracks it in its release queue, keyed by ReqID.
 type Response struct {
 	ReqID uint64
-	// Release is the processor cycle count at which the processor is
-	// allowed to consume this response (Figure 5 step 10).
-	Release clock.Cycles
 	// OK reports technique-specific success: profile passed, RowClone
 	// succeeded. Always true for plain reads/writes.
 	OK bool
+	// Lines carries ProfileRow detail: the number of leading cache lines of
+	// the row that read reliably before the first failure (equal to the
+	// row's line count when the whole row passed, so OK == (Lines == row
+	// lines)). Zero for every other request kind.
+	Lines int
 }

@@ -84,9 +84,13 @@ type ControllerStats struct {
 	RowClones  int64
 	BitwiseOps int64
 	Profiles   int64
-	Refreshes  int64
-	RowHits    int64
-	RowMisses  int64
+	// ProfileRows counts whole-row profiling requests (the §8.1 fast path);
+	// ProfiledLines counts the cache lines those requests covered.
+	ProfileRows   int64
+	ProfiledLines int64
+	Refreshes     int64
+	RowHits       int64
+	RowMisses     int64
 }
 
 // NewBaseController builds the controller for a chip with the given timing.
@@ -198,6 +202,8 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 		err = c.serveRowClone(env, ent)
 	case mem.Profile:
 		err = c.serveProfile(env, ent)
+	case mem.ProfileRow:
+		err = c.serveProfileRow(env, ent)
 	case mem.Bitwise:
 		err = c.serveBitwise(env, ent)
 	default:
@@ -348,20 +354,9 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 		b.PRE(a.Bank)
 		b.Wait(c.p.TRP - c.p.Bus.Period())
 	}
-	// Step 1: initialize the target cache line with the known pattern.
-	b.ACT(a.Bank, a.Row)
-	b.Wait(c.p.TRCD - c.p.Bus.Period())
-	b.WR(a.Bank, a.Col, c.profilePattern[:])
-	b.Wait(c.p.TCWL + c.p.TBL + c.p.TWR)
-	b.PRE(a.Bank)
-	b.Wait(c.p.TRP - c.p.Bus.Period())
-	// Step 2: access it with the requested (reduced) tRCD.
-	b.ACTWithRCD(a.Bank, a.Row, ent.Req.RCD)
-	b.Wait(ent.Req.RCD - c.p.Bus.Period())
-	b.RD(a.Bank, a.Col)
-	b.Wait(c.p.TCL + c.p.TBL + c.p.TRTP)
-	b.PRE(a.Bank)
-	b.Wait(c.p.TRP - c.p.Bus.Period())
+	// Initialize the target cache line with the known pattern, then access
+	// it with the requested (reduced) tRCD.
+	b.ProfileLine(a, c.profilePattern[:], ent.Req.RCD)
 
 	res, err := env.Exec()
 	if err != nil {
@@ -371,7 +366,7 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 	env.Charge(costs.ReadbackPerLine + costs.ProfileCompare)
 	env.AddService(res.Elapsed, res.Elapsed)
 
-	// Step 3: compare.
+	// Compare the readback against the pattern.
 	rb := env.Readback()
 	ok := false
 	if len(rb) > 0 {
@@ -379,6 +374,50 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 		ok = last.Reliable && bytes.Equal(last.Data[:], c.profilePattern[:])
 	}
 	env.Respond(ent.Req, ok)
+	return nil
+}
+
+// serveProfileRow serves a row-granularity §8.1 profiling request: one
+// Bender program initializes every cache line of the row with the known
+// pattern and reads each back under the requested tRCD, replacing one
+// request round-trip per line with a single round-trip per row. Per-line
+// outcomes are identical to the per-line path because each line's test read
+// happens exactly RCD after its own activation (see Builder.ProfileCheck).
+func (c *BaseController) serveProfileRow(env *Env, ent Entry) error {
+	costs := env.Tile().Costs()
+	env.Charge(costs.MapAddr)
+	a := ent.Addr
+	cols := env.Tile().Chip().Config().ColsPerRow
+	c.stats.ProfileRows++
+	c.stats.ProfiledLines += int64(cols)
+	b := env.Tile().Builder()
+	if c.openRows[a.Bank] >= 0 {
+		b.PRE(a.Bank)
+		b.Wait(c.p.TRP - c.p.Bus.Period())
+	}
+	b.ProfileRow(a.Bank, a.Row, cols, c.profilePattern[:], ent.Req.RCD)
+
+	res, err := env.Exec()
+	if err != nil {
+		return err
+	}
+	c.openRows[a.Bank] = -1
+	env.Charge((costs.ReadbackPerLine + costs.ProfileCompare) * cols)
+	env.AddService(res.Elapsed, res.Elapsed)
+
+	// The program's only reads are the per-column test reads, in column
+	// order. Count the leading reliable lines; the row passes when all do.
+	rb := env.Readback()
+	okLines := 0
+	if len(rb) >= cols {
+		for _, line := range rb[len(rb)-cols:] {
+			if !line.Reliable || !bytes.Equal(line.Data[:], c.profilePattern[:]) {
+				break
+			}
+			okLines++
+		}
+	}
+	env.RespondLines(ent.Req, okLines == cols, okLines)
 	return nil
 }
 

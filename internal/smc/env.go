@@ -112,12 +112,20 @@ func (e *Env) Exec() (bender.Result, error) {
 func (e *Env) Readback() []bender.ReadLine { return e.readback }
 
 // Respond enqueues the response for req (EasyAPI enqueue_response). The
-// engine fills in the release tag when settling the step.
+// engine computes the response's release point when settling the step.
 func (e *Env) Respond(req mem.Request, ok bool) {
 	e.Charge(e.tile.Costs().Respond)
 	e.responses = append(e.responses, mem.Response{ReqID: req.ID, OK: ok})
 }
 
-// Responses returns the responses produced this step. The engine stamps
-// Release before delivery.
+// RespondLines enqueues a response carrying per-line detail (ProfileRow
+// requests report the number of leading reliable lines).
+func (e *Env) RespondLines(req mem.Request, ok bool, lines int) {
+	e.Charge(e.tile.Costs().Respond)
+	e.responses = append(e.responses, mem.Response{ReqID: req.ID, OK: ok, Lines: lines})
+}
+
+// Responses returns the responses produced this step. Release points are
+// engine-private (tracked in its release queue keyed by ReqID), not part
+// of the response.
 func (e *Env) Responses() []mem.Response { return e.responses }

@@ -33,10 +33,45 @@ func (s ProfileStats) StrongFraction() float64 {
 }
 
 // ProfileWeakRows characterizes every row in the physical address range
-// [start, end) by issuing profiling requests for each cache line at the
-// reduced tRCD (§8.1). A row is weak if any of its lines fails. The
-// returned slice holds the row base addresses of weak rows.
+// [start, end) with whole-row profiling requests at the reduced tRCD
+// (§8.1). A row is weak if any of its lines fails. The returned slice holds
+// the row base addresses of weak rows.
+//
+// Each row costs one host round-trip (one Bender program covering all of
+// the row's cache lines) instead of one per line; weak-row sets and
+// ProfileStats are identical to the per-line path
+// (ProfileWeakRowsPerLine), which remains as a compatibility shim and as
+// the equivalence-test reference.
 func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
+	var stats ProfileStats
+	var weak []uint64
+	rowBytes := uint64(sys.Mapper().RowBytes())
+	lines := int(rowBytes / dram.LineBytes)
+	start &^= rowBytes - 1
+	for row := start; row < end; row += rowBytes {
+		stats.Rows++
+		okLines, rowOK, err := sys.ProfileRow(row, rcd)
+		if err != nil {
+			return nil, stats, fmt.Errorf("techniques: profiling row %#x: %w", row, err)
+		}
+		if rowOK {
+			stats.LinesTried += lines
+		} else {
+			// The per-line path stops at the first failing line; mirror its
+			// accounting so the two paths report identical stats.
+			stats.LinesTried += okLines + 1
+			stats.WeakRows++
+			weak = append(weak, row)
+		}
+	}
+	return weak, stats, nil
+}
+
+// ProfileWeakRowsPerLine is the original line-at-a-time characterization:
+// one profiling request round-trip per cache line, stopping at a row's
+// first failure. It survives as a compatibility shim and as the reference
+// the whole-row fast path is equivalence-tested against.
+func ProfileWeakRowsPerLine(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
 	var stats ProfileStats
 	var weak []uint64
 	rowBytes := uint64(sys.Mapper().RowBytes())
@@ -66,8 +101,23 @@ func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint6
 // MinReliableTRCD characterizes one row against the full level grid and
 // returns the smallest tRCD at which every line reads reliably (the value
 // Figure 12 plots). Nominal tRCD is returned when even the largest grid
-// level fails.
+// level fails. Each level costs one whole-row request round-trip.
 func MinReliableTRCD(sys *core.System, rowBase uint64, nominal clock.PS) (clock.PS, error) {
+	for _, lv := range RCDLevels {
+		_, ok, err := sys.ProfileRow(rowBase, lv)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return lv, nil
+		}
+	}
+	return nominal, nil
+}
+
+// MinReliableTRCDPerLine is the line-at-a-time variant of MinReliableTRCD,
+// kept as the equivalence-test reference for the whole-row path.
+func MinReliableTRCDPerLine(sys *core.System, rowBase uint64, nominal clock.PS) (clock.PS, error) {
 	rowBytes := uint64(sys.Mapper().RowBytes())
 	for _, lv := range RCDLevels {
 		allOK := true

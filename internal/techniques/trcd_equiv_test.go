@@ -1,0 +1,99 @@
+package techniques
+
+import (
+	"testing"
+
+	"easydram/internal/core"
+)
+
+// The whole-row profiling fast path must be observationally identical to
+// the per-line path: same weak-row sets, same ProfileStats, same
+// MinReliableTRCD grid results — on both the scaled and unscaled system
+// configurations. The tests below run each path on its own fresh system
+// (profiling outcomes are a pure function of the seeded variation model and
+// the requested tRCD, so fresh systems are directly comparable).
+
+func equivConfigs() map[string]core.Config {
+	scaled := core.TimeScalingA57()
+	scaled.DRAM = core.TechniqueDRAM()
+	scaled.DRAM.RowsPerBank = 4096
+	unscaled := core.NoTimeScaling()
+	unscaled.DRAM = core.TechniqueDRAM()
+	unscaled.DRAM.RowsPerBank = 4096
+	return map[string]core.Config{"scaled": scaled, "unscaled": unscaled}
+}
+
+func mustSystem(t *testing.T, cfg core.Config) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestProfileWeakRowsRowPathEquivalence(t *testing.T) {
+	const span = 192 * 8192
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			rowSys := mustSystem(t, cfg)
+			lineSys := mustSystem(t, cfg)
+
+			weakRow, statsRow, err := ProfileWeakRows(rowSys, 0, span, ReducedTRCD)
+			if err != nil {
+				t.Fatalf("row path: %v", err)
+			}
+			weakLine, statsLine, err := ProfileWeakRowsPerLine(lineSys, 0, span, ReducedTRCD)
+			if err != nil {
+				t.Fatalf("per-line path: %v", err)
+			}
+
+			if len(weakRow) != len(weakLine) {
+				t.Fatalf("weak-row counts differ: row path %d, per-line %d", len(weakRow), len(weakLine))
+			}
+			for i := range weakRow {
+				if weakRow[i] != weakLine[i] {
+					t.Fatalf("weak set diverges at %d: row path %#x, per-line %#x", i, weakRow[i], weakLine[i])
+				}
+			}
+			if statsRow != statsLine {
+				t.Fatalf("ProfileStats differ: row path %+v, per-line %+v", statsRow, statsLine)
+			}
+
+			// The round-trip reduction is the point of the fast path: one
+			// host request per row versus up to one per line.
+			rowTrips, lineTrips := rowSys.HostRequests(), lineSys.HostRequests()
+			if rowTrips == 0 || lineTrips == 0 {
+				t.Fatalf("host request counters not tracking (row %d, line %d)", rowTrips, lineTrips)
+			}
+			if lineTrips < 10*rowTrips {
+				t.Fatalf("round-trip reduction %.1fx < 10x (row path %d, per-line %d)",
+					float64(lineTrips)/float64(rowTrips), rowTrips, lineTrips)
+			}
+		})
+	}
+}
+
+func TestMinReliableTRCDRowPathEquivalence(t *testing.T) {
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			rowSys := mustSystem(t, cfg)
+			lineSys := mustSystem(t, cfg)
+			nominal := rowSys.Chip().Timing().TRCD
+			for i := 0; i < 24; i++ {
+				base := uint64(i) * 8192
+				viaRow, err := MinReliableTRCD(rowSys, base, nominal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaLine, err := MinReliableTRCDPerLine(lineSys, base, nominal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if viaRow != viaLine {
+					t.Fatalf("row %d: whole-row path %v, per-line path %v", i, viaRow, viaLine)
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,31 @@ func LatMemRd(sizeBytes int, accesses int) Kernel {
 	}}
 }
 
+// SubstrateStream is the cache-hit-heavy streaming kernel of the substrate
+// microbenchmarks: n line-granularity loads sweeping a 64 MiB footprint, so
+// almost every access is an L1/L2 hit. BenchmarkSubstrateCacheAccess and
+// cmd/benchall's snapshot metrics share this one definition so the CI-gated
+// substrate numbers measure exactly the benchmarked code.
+func SubstrateStream(n int) Kernel {
+	return Kernel{Name: "substrate-stream", Body: func(g *Gen) {
+		for i := 0; i < n; i++ {
+			g.Load(uint64(i%(1<<20)) * 64)
+		}
+	}}
+}
+
+// SubstrateMisses is the miss-path companion of SubstrateStream: n dependent
+// loads striding 128 KiB through a 2 GiB span, so every access misses the
+// hierarchy and exercises the full engine/controller/DRAM service loop.
+func SubstrateMisses(n int) Kernel {
+	return Kernel{Name: "substrate-misses", Body: func(g *Gen) {
+		const span = uint64(1) << 31 // stay inside the module's address space
+		for i := 0; i < n; i++ {
+			g.LoadDep(uint64(i) * 131072 % span)
+		}
+	}}
+}
+
 // CPUCopy copies n bytes from src to dst with 8-byte loads and stores — the
 // baseline the RowClone case study normalises against.
 func CPUCopy(src, dst uint64, n int) Kernel {

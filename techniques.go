@@ -67,10 +67,11 @@ func (p *Planner) PlanInit(dstBase uint64, size int, flush bool) (RowClonePlan, 
 // (9.0 ns; nominal is 13.5 ns).
 const ReducedTRCD = techniques.ReducedTRCD
 
-// ProfileWeakRows characterizes every row covering [start, end) with §8.1
-// profiling requests at the given tRCD and returns a TRCDProvider backed by
-// a Bloom filter of the weak rows (§8.2), plus the weak-row fraction.
-// Requires WithDataTracking on the profiling system.
+// ProfileWeakRows characterizes every row covering [start, end) with
+// whole-row §8.1 profiling requests at the given tRCD (one host round-trip
+// per row) and returns a TRCDProvider backed by a Bloom filter of the weak
+// rows (§8.2), plus the weak-row fraction. Requires WithDataTracking on
+// the profiling system.
 func (s *System) ProfileWeakRows(start, end uint64, rcd PS, fpRate float64) (TRCDProvider, float64, error) {
 	weak, st, err := techniques.ProfileWeakRows(s.sys, start, end, rcd)
 	if err != nil {
