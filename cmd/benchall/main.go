@@ -280,13 +280,15 @@ func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 }
 
 // substrateMetrics records simulator-substrate microbenchmarks in the
-// snapshot: per-operation cost of the cache-hit and miss-path service
-// loops, and the §8.1 whole-row characterization fast path's throughput
-// and per-row host round-trips. These are the machine-level numbers the
-// CI bench-trend step (cmd/benchtrend) guards against regression. They go
-// to the JSON snapshot and stderr only — never the report, whose
-// experiment output stays byte-identical across runs and worker counts
-// (the determinism probe relies on that).
+// snapshot: per-operation cost and steady-state allocations of the
+// cache-hit and miss-path service loops, and the §8.1 whole-row
+// characterization fast path's throughput and per-row host round-trips.
+// These are the machine-level numbers the CI bench-trend step
+// (cmd/benchtrend) guards against regression; the allocs/op metrics gate
+// at exactly zero, machine shape notwithstanding. They go to the JSON
+// snapshot and stderr only — never the report, whose experiment output
+// stays byte-identical across runs and worker counts (the determinism
+// probe relies on that).
 func substrateMetrics(snap *snapshot) error {
 	// The kernels are shared with BenchmarkSubstrateCacheAccess/MissPath in
 	// bench_test.go (workload.Substrate*), so these snapshot metrics measure
@@ -294,11 +296,22 @@ func substrateMetrics(snap *snapshot) error {
 	var benchErr error
 	substrate := func(kernel func(n int) workload.Kernel) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			sys, err := easydram.NewSystem()
 			if err != nil {
 				benchErr = err
 				b.Skip()
 			}
+			// Warm outside the measured region: system assembly and the
+			// engine/chip buffers' one-time growth must not count toward
+			// the allocs/op metric, which gates at exactly zero (the CI
+			// smoke step amortizes the same way with a fixed large op
+			// count).
+			if _, err := sys.Run(kernel(50000)); err != nil {
+				benchErr = err
+				b.Skip()
+			}
+			b.ResetTimer()
 			if _, err := sys.Run(kernel(b.N)); err != nil {
 				benchErr = err
 			}
@@ -327,9 +340,11 @@ func substrateMetrics(snap *snapshot) error {
 
 	snap.Metrics["substrate/cache_ns_op"] = float64(cacheRes.NsPerOp())
 	snap.Metrics["substrate/miss_ns_op"] = float64(missRes.NsPerOp())
+	snap.Metrics["substrate/cache_allocs_op"] = float64(cacheRes.AllocsPerOp())
+	snap.Metrics["substrate/miss_allocs_op"] = float64(missRes.AllocsPerOp())
 	snap.Metrics["characterization/rows_per_sec"] = rowsPerSec
 	snap.Metrics["characterization/roundtrips_per_row"] = tripsPerRow
-	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op, miss %d ns/op, characterization %.0f rows/s (%.1f round-trips/row)\n",
-		cacheRes.NsPerOp(), missRes.NsPerOp(), rowsPerSec, tripsPerRow)
+	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), characterization %.0f rows/s (%.1f round-trips/row)\n",
+		cacheRes.NsPerOp(), cacheRes.AllocsPerOp(), missRes.NsPerOp(), missRes.AllocsPerOp(), rowsPerSec, tripsPerRow)
 	return nil
 }

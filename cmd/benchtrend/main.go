@@ -11,7 +11,10 @@
 // reported as warnings instead, since a hardware difference would
 // otherwise masquerade as a code regression (or hide one). The host round
 // trips per profiled row are a pure property of the algorithm and gate
-// unconditionally. Semantic experiment results (figure speedups,
+// unconditionally, as do the substrate allocs/op counts, which must be
+// exactly zero: the service loops are zero-alloc by construction and any
+// nonzero value is a code regression regardless of host or baseline.
+// Semantic experiment results (figure speedups,
 // validation error) are reported informationally — those belong to the
 // experiments' own tests.
 //
@@ -36,12 +39,19 @@ type gatedMetric struct {
 	// machineDependent metrics fail the gate only when baseline and new
 	// snapshot report the same machine shape; otherwise they warn.
 	machineDependent bool
+	// mustBeZero metrics gate on their absolute value: any nonzero fresh
+	// value fails, baseline or not. Allocation counts use this — the
+	// substrate service loops are zero-alloc by construction, and that is a
+	// property of the code, not the machine.
+	mustBeZero bool
 }
 
 // trendMetrics is the set of gated substrate metrics.
 var trendMetrics = map[string]gatedMetric{
 	"substrate/cache_ns_op":               {lowerIsBetter: true, machineDependent: true},
 	"substrate/miss_ns_op":                {lowerIsBetter: true, machineDependent: true},
+	"substrate/cache_allocs_op":           {mustBeZero: true},
+	"substrate/miss_allocs_op":            {mustBeZero: true},
 	"characterization/rows_per_sec":       {lowerIsBetter: false, machineDependent: true},
 	"characterization/roundtrips_per_row": {lowerIsBetter: true},
 }
@@ -131,13 +141,32 @@ func main() {
 	var regressions []string
 	compared := 0
 	for _, m := range gated {
+		gm := trendMetrics[m]
 		bv, inBase := base.Metrics[m]
 		nv, inNew := fresh.Metrics[m]
+		if gm.mustBeZero {
+			// Absolute gate: judged against zero, with or without a
+			// baseline value, on any machine shape.
+			if !inNew {
+				continue
+			}
+			compared++
+			status := "ok"
+			if nv != 0 {
+				status = "REGRESSION (must be zero)"
+				regressions = append(regressions, m)
+			}
+			baseStr := "n/a"
+			if inBase {
+				baseStr = fmt.Sprintf("%.1f", bv)
+			}
+			fmt.Printf("  %-40s %14s -> %14.1f  (gate: == 0)  %s\n", m, baseStr, nv, status)
+			continue
+		}
 		if !inBase || !inNew || bv == 0 {
 			continue
 		}
 		compared++
-		gm := trendMetrics[m]
 		change := nv/bv - 1 // positive = value went up
 		regressed := change > *tolerance
 		if !gm.lowerIsBetter {

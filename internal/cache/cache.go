@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // LineBytes is the cache line size; it matches the DRAM burst size.
@@ -30,9 +31,14 @@ type line struct {
 
 // Cache is one set-associative cache level. Not safe for concurrent use.
 type Cache struct {
-	name     string
-	sets     []line // sets*assoc lines, set-major
-	assoc    int
+	name  string
+	sets  []line // sets*assoc lines, set-major
+	assoc int
+	// setMask extracts the set index; tagShift strips line-offset and set
+	// bits in one shift (the set count is a power of two, so the tag needs
+	// no division).
+	setMask  uint64
+	tagShift uint
 	setCount int
 	setShift uint
 	lruClock uint64
@@ -57,6 +63,8 @@ func New(name string, sizeBytes, assoc int) (*Cache, error) {
 		name:     name,
 		sets:     make([]line, lines),
 		assoc:    assoc,
+		setMask:  uint64(setCount - 1),
+		tagShift: shift + uint(bits.TrailingZeros(uint(setCount))),
 		setCount: setCount,
 		setShift: shift,
 	}, nil
@@ -72,15 +80,15 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) SizeBytes() int { return len(c.sets) * LineBytes }
 
 func (c *Cache) setOf(addr uint64) int {
-	return int((addr >> c.setShift) & uint64(c.setCount-1))
+	return int((addr >> c.setShift) & c.setMask)
 }
 
 func (c *Cache) tagOf(addr uint64) uint64 {
-	return addr >> c.setShift / uint64(c.setCount)
+	return addr >> c.tagShift
 }
 
 func (c *Cache) lineAddr(set int, tag uint64) uint64 {
-	return (tag*uint64(c.setCount) + uint64(set)) << c.setShift
+	return tag<<c.tagShift | uint64(set)<<c.setShift
 }
 
 func (c *Cache) setSlice(set int) []line {
@@ -96,9 +104,8 @@ type Victim struct {
 
 // Lookup reports whether addr hits without changing replacement state.
 func (c *Cache) Lookup(addr uint64) bool {
-	set, tag := c.setOf(addr), c.tagOf(addr)
-	for i := range c.setSlice(set) {
-		l := &c.setSlice(set)[i]
+	tag := c.tagOf(addr)
+	for _, l := range c.setSlice(c.setOf(addr)) {
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -110,8 +117,8 @@ func (c *Cache) Lookup(addr uint64) bool {
 // for writes) and returns hit=true. On miss it returns hit=false and does
 // NOT install the line; the caller installs it after the fill completes.
 func (c *Cache) Access(addr uint64, write bool) (hit bool) {
-	set, tag := c.setOf(addr), c.tagOf(addr)
-	ss := c.setSlice(set)
+	tag := c.tagOf(addr)
+	ss := c.setSlice(c.setOf(addr))
 	for i := range ss {
 		if ss[i].valid && ss[i].tag == tag {
 			c.lruClock++
@@ -161,8 +168,8 @@ func (c *Cache) Install(addr uint64, dirty bool) Victim {
 // Flush removes addr from the cache if present, reporting whether it was
 // present and dirty.
 func (c *Cache) Flush(addr uint64) (present, dirty bool) {
-	set, tag := c.setOf(addr), c.tagOf(addr)
-	ss := c.setSlice(set)
+	tag := c.tagOf(addr)
+	ss := c.setSlice(c.setOf(addr))
 	for i := range ss {
 		if ss[i].valid && ss[i].tag == tag {
 			present, dirty = true, ss[i].dirty

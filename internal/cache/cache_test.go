@@ -157,22 +157,22 @@ func TestHierarchyLevels(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewHierarchy: %v", err)
 	}
-	out := h.Access(0x1000, false)
-	if out.Level != 3 {
-		t.Fatalf("cold access level = %d, want 3", out.Level)
+	level, _ := h.Access(0x1000, false)
+	if level != 3 {
+		t.Fatalf("cold access level = %d, want 3", level)
 	}
-	out = h.Access(0x1000, false)
-	if out.Level != 1 {
-		t.Fatalf("second access level = %d, want 1 (L1 hit)", out.Level)
+	level, _ = h.Access(0x1000, false)
+	if level != 1 {
+		t.Fatalf("second access level = %d, want 1 (L1 hit)", level)
 	}
 	// Evict from L1 by filling its set (4-way) without overflowing the
 	// matching L2 set (8-way), then expect an L2 hit.
 	for i := uint64(1); i <= 8; i++ {
 		h.Access(0x1000+i*32768, false)
 	}
-	out = h.Access(0x1000, false)
-	if out.Level != 2 {
-		t.Fatalf("level = %d, want 2 (L2 hit)", out.Level)
+	level, _ = h.Access(0x1000, false)
+	if level != 2 {
+		t.Fatalf("level = %d, want 2 (L2 hit)", level)
 	}
 }
 
@@ -185,8 +185,7 @@ func TestHierarchyWritebacks(t *testing.T) {
 	h.Access(0, true)
 	sawWriteback := false
 	for i := uint64(1); i < 16; i++ {
-		out := h.Access(i*4*64, true) // all map to set 0 of L2
-		if len(out.Writebacks) > 0 {
+		if _, wbs := h.Access(i*4*64, true); len(wbs) > 0 { // all map to set 0 of L2
 			sawWriteback = true
 		}
 	}

@@ -24,16 +24,6 @@ func PiDRAMHier() HierConfig {
 	return HierConfig{L1Size: 16 << 10, L1Assoc: 4, L2Size: 512 << 10, L2Assoc: 8}
 }
 
-// AccessOutcome describes where an access was satisfied and what side
-// effects it produced.
-type AccessOutcome struct {
-	// Level is 1 (L1 hit), 2 (L2 hit) or 3 (main-memory fill required).
-	Level int
-	// Writebacks lists dirty victim line addresses that must be written
-	// back to main memory as a result of this access.
-	Writebacks []uint64
-}
-
 // Hierarchy is a two-level data-cache hierarchy. It models tags and state
 // only (no data); the DRAM chip model owns data.
 type Hierarchy struct {
@@ -56,19 +46,24 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	return &Hierarchy{L1: l1, L2: l2}, nil
 }
 
-// Access performs a load or store of the line containing addr. The returned
-// outcome reports the satisfying level and dirty writebacks (victims) the
-// access produced. On a level-3 outcome the caller is responsible for
-// fetching the line from memory; the hierarchy installs it immediately
-// (tags-only model, so install order does not matter).
-func (h *Hierarchy) Access(addr uint64, write bool) AccessOutcome {
+// Access performs a load or store of the line containing addr. It reports
+// the satisfying level — 1 (L1 hit), 2 (L2 hit) or 3 (main-memory fill
+// required) — and the dirty victim line addresses that must be written back
+// to main memory as a result of this access. On a level-3 outcome the
+// caller is responsible for fetching the line from memory; the hierarchy
+// installs it immediately (tags-only model, so install order does not
+// matter).
+//
+// The writebacks slice aliases a buffer reused by the next Access call;
+// callers must consume it before touching the hierarchy again. An L1 hit
+// touches no L2 state and never produces writebacks.
+func (h *Hierarchy) Access(addr uint64, write bool) (level int, writebacks []uint64) {
 	addr &^= uint64(LineBytes - 1)
-	h.wbScratch = h.wbScratch[:0]
-
 	if h.L1.Access(addr, write) {
-		return AccessOutcome{Level: 1}
+		return 1, nil
 	}
-	level := 3
+	h.wbScratch = h.wbScratch[:0]
+	level = 3
 	if h.L2.Access(addr, false) {
 		level = 2
 	} else {
@@ -89,11 +84,7 @@ func (h *Hierarchy) Access(addr uint64, write bool) AccessOutcome {
 			h.wbScratch = append(h.wbScratch, v.Addr)
 		}
 	}
-	out := AccessOutcome{Level: level}
-	if len(h.wbScratch) > 0 {
-		out.Writebacks = append([]uint64(nil), h.wbScratch...)
-	}
-	return out
+	return level, h.wbScratch
 }
 
 // WouldMiss reports whether an access to addr would miss both levels,

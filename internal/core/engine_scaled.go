@@ -59,6 +59,15 @@ func (e *engine) runScaled() error {
 			}
 			continue
 		}
+		// Batching contract (see cpu.Core.Step): cap the batch at the next
+		// response release point so every decision inside the batch sees
+		// the same delivered-response state as cycle-at-a-time stepping.
+		// Matured releases were delivered above, so the cap is >= 1.
+		if e.ready.Len() > 0 {
+			if d := clock.Cycles(e.ready.Min().release) - ts.Proc(); d < allowance {
+				allowance = d
+			}
+		}
 		out := e.core.Step(ts.Proc(), allowance)
 		if out.Finished {
 			break

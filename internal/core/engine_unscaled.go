@@ -81,7 +81,17 @@ func (e *engine) runUnscaled() error {
 			continue
 		}
 
-		out := e.core.Step(proc(), 0)
+		// Batching contract (see cpu.Core.Step): cap the batch at the next
+		// response's delivery edge — the first processor clock edge at or
+		// past its wall release — so batched decisions see the same
+		// delivered-response state as cycle-at-a-time stepping. Matured
+		// releases were delivered above, so the cap is >= 1.
+		budget := clock.Cycles(0)
+		if e.ready.Len() > 0 {
+			rel := clock.PS(e.ready.Min().release)
+			budget = clock.Cycles((rel - e.wallNow + procPeriod - 1) / procPeriod)
+		}
+		out := e.core.Step(proc(), budget)
 		if out.Finished {
 			break
 		}

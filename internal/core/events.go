@@ -17,6 +17,8 @@ package core
 //     blocked processor is waiting on. The sequence number makes tie order
 //     deterministic (the engine's results are insensitive to delivery order
 //     within one release point, but determinism must not rest on that).
+//     The position index is an idIndex — the same dense-ID slot scheme as
+//     slotRing — so heap maintenance performs no hashing either.
 //
 //   - arrivalRing: a FIFO of (request id, arrival key) in issue order.
 //     Because the engines issue requests at monotonically nondecreasing
@@ -42,15 +44,17 @@ type releaseItem struct {
 }
 
 // releaseQueue is an indexed min-heap over (release, seq) with O(1) lookup
-// by request id.
+// by request id. The id -> heap-index map is a dense idIndex rather than a
+// Go map: request IDs are sequential, so slot indexing replaces hashing on
+// every push, pop, swap, and removal.
 type releaseQueue struct {
 	items []releaseItem
-	pos   map[uint64]int // request id -> index in items
+	pos   idIndex // request id -> index in items
 	seq   uint64
 }
 
 func newReleaseQueue() releaseQueue {
-	return releaseQueue{pos: make(map[uint64]int, 16)}
+	return releaseQueue{pos: newIDIndex()}
 }
 
 // Len reports the number of queued responses.
@@ -64,7 +68,7 @@ func (q *releaseQueue) Push(id uint64, release int64) {
 	q.items = append(q.items, releaseItem{id: id, release: release, seq: q.seq})
 	q.seq++
 	i := len(q.items) - 1
-	q.pos[id] = i
+	q.pos.Put(id, i)
 	q.siftUp(i)
 }
 
@@ -77,7 +81,7 @@ func (q *releaseQueue) PopMin() releaseItem {
 
 // Release reports the release point recorded for id.
 func (q *releaseQueue) Release(id uint64) (int64, bool) {
-	i, ok := q.pos[id]
+	i, ok := q.pos.Get(id)
 	if !ok {
 		return 0, false
 	}
@@ -86,7 +90,7 @@ func (q *releaseQueue) Release(id uint64) (int64, bool) {
 
 // Remove deletes id's entry if present.
 func (q *releaseQueue) Remove(id uint64) bool {
-	i, ok := q.pos[id]
+	i, ok := q.pos.Get(id)
 	if !ok {
 		return false
 	}
@@ -104,16 +108,16 @@ func (q *releaseQueue) less(i, j int) bool {
 
 func (q *releaseQueue) swap(i, j int) {
 	q.items[i], q.items[j] = q.items[j], q.items[i]
-	q.pos[q.items[i].id] = i
-	q.pos[q.items[j].id] = j
+	q.pos.Put(q.items[i].id, i)
+	q.pos.Put(q.items[j].id, j)
 }
 
 func (q *releaseQueue) removeAt(i int) {
 	last := len(q.items) - 1
-	delete(q.pos, q.items[i].id)
+	q.pos.Delete(q.items[i].id)
 	if i != last {
 		q.items[i] = q.items[last]
-		q.pos[q.items[i].id] = i
+		q.pos.Put(q.items[i].id, i)
 	}
 	q.items = q.items[:last]
 	if i < last {
@@ -190,59 +194,75 @@ func (r *arrivalRing) skipHead() {
 	}
 }
 
-// pendingSlot is one slotRing cell: the request ID it holds (0 = empty —
-// valid because CPU request IDs start at 1) plus the tracked state.
-type pendingSlot struct {
-	id uint64
-	p  pending
+// idSlot is one idTable cell: the request ID it holds (0 = empty — valid
+// because CPU request IDs start at 1) plus the stored value.
+type idSlot[V any] struct {
+	id  uint64
+	val V
 }
 
-// slotRing tracks in-flight requests in a dense, power-of-two slot array
-// indexed by id & mask. Request IDs are allocated sequentially and the live
-// window is small relative to the ring, so collisions are effectively
-// nonexistent; when one does occur (a request outliving a full ring's worth
-// of successors), the ring doubles until every live entry fits. Steady
-// state performs zero allocations.
-type slotRing struct {
-	slots []pendingSlot
+// idTable is a dense map from request IDs to values: a power-of-two slot
+// array indexed by id & mask. Request IDs are allocated sequentially and
+// the live window is small relative to the table, so collisions are
+// effectively nonexistent; when one does occur (an entry outliving a full
+// table's worth of successors), the table doubles until every live entry
+// fits. Steady state performs zero allocations. Both engine-side dense-ID
+// structures instantiate it: slotRing (the in-flight request table) and
+// idIndex (the releaseQueue's id -> heap-position index).
+type idTable[V any] struct {
+	slots []idSlot[V]
 	mask  uint64
 	live  int
 }
 
-// slotRingInitial is the starting ring size; it comfortably covers the live
-// window of every configured core model (MLP plus posted traffic).
-const slotRingInitial = 64
+// slotRing tracks in-flight requests; it replaced a map[uint64]pending
+// that was ~15% of the substrate CPU profile.
+type slotRing = idTable[pending]
 
-func newSlotRing() slotRing {
-	return slotRing{slots: make([]pendingSlot, slotRingInitial), mask: slotRingInitial - 1}
+// idIndex maps request IDs to releaseQueue heap positions, removing the
+// engine's last hash map.
+type idIndex = idTable[int]
+
+// idTableInitial is the starting table size; it comfortably covers the
+// live window of every configured core model (MLP plus posted traffic,
+// which also bounds the responses awaiting release).
+const idTableInitial = 64
+
+func newSlotRing() slotRing { return newIDTable[pending]() }
+
+func newIDIndex() idIndex { return newIDTable[int]() }
+
+func newIDTable[V any]() idTable[V] {
+	return idTable[V]{slots: make([]idSlot[V], idTableInitial), mask: idTableInitial - 1}
 }
 
-// Len reports the number of live in-flight requests.
-func (r *slotRing) Len() int { return r.live }
+// Len reports the number of live entries.
+func (r *idTable[V]) Len() int { return r.live }
 
 // Contains reports whether id is live.
-func (r *slotRing) Contains(id uint64) bool { return r.slots[id&r.mask].id == id }
+func (r *idTable[V]) Contains(id uint64) bool { return r.slots[id&r.mask].id == id }
 
-// Get returns the tracked state for id.
-func (r *slotRing) Get(id uint64) (pending, bool) {
+// Get returns the value stored for id.
+func (r *idTable[V]) Get(id uint64) (V, bool) {
 	s := &r.slots[id&r.mask]
 	if s.id != id {
-		return pending{}, false
+		var zero V
+		return zero, false
 	}
-	return s.p, true
+	return s.val, true
 }
 
-// Put inserts (or overwrites) the tracked state for id.
-func (r *slotRing) Put(id uint64, p pending) {
+// Put inserts (or overwrites) the value for id.
+func (r *idTable[V]) Put(id uint64, v V) {
 	for {
 		s := &r.slots[id&r.mask]
 		if s.id == id {
-			s.p = p
+			s.val = v
 			return
 		}
 		if s.id == 0 {
 			s.id = id
-			s.p = p
+			s.val = v
 			r.live++
 			return
 		}
@@ -250,24 +270,31 @@ func (r *slotRing) Put(id uint64, p pending) {
 	}
 }
 
-// Take removes and returns the tracked state for id.
-func (r *slotRing) Take(id uint64) (pending, bool) {
+// Take removes and returns the value stored for id.
+func (r *idTable[V]) Take(id uint64) (V, bool) {
 	s := &r.slots[id&r.mask]
 	if s.id != id {
-		return pending{}, false
+		var zero V
+		return zero, false
 	}
 	s.id = 0
 	r.live--
-	return s.p, true
+	return s.val, true
 }
 
-// grow doubles the ring until every live entry lands in a distinct slot
+// Delete removes id's entry if present.
+func (r *idTable[V]) Delete(id uint64) bool {
+	_, ok := r.Take(id)
+	return ok
+}
+
+// grow doubles the table until every live entry lands in a distinct slot
 // under the new mask (a single doubling almost always suffices: live IDs
 // span a window no larger than the live count plus the oldest entry's age).
-func (r *slotRing) grow() {
+func (r *idTable[V]) grow() {
 	n := len(r.slots) * 2
 	for {
-		slots := make([]pendingSlot, n)
+		slots := make([]idSlot[V], n)
 		mask := uint64(n - 1)
 		ok := true
 		for i := range r.slots {

@@ -218,167 +218,232 @@ func (c *Core) newID() uint64 {
 	return id
 }
 
+// maxBatchCycles bounds one Step call's internal batch. Returning early
+// with only accumulated cycles is always equivalent to cycle-at-a-time
+// stepping (the next call continues where the batch stopped), so the bound
+// only keeps the engine's cycle-cap checks reasonably granular on
+// compute-dominated streams.
+const maxBatchCycles clock.Cycles = 1 << 16
+
 // Step advances the core by at most budget cycles starting at emulated
-// processor cycle now. A budget <= 0 means unlimited. The engine must honor
-// Outcome.WaitID/Fence before calling Step again.
+// processor cycle now, executing a *batch* of operations per call: runs of
+// non-memory work (compute, cache hits, clean flushes) are consumed in one
+// internal loop and the call returns at the next memory event — a miss
+// issuing requests, a wait, a fence, a mark — or at the budget boundary.
+// The engine/core boundary is therefore crossed per event rather than per
+// cycle.
+//
+// A budget <= 0 means unlimited. Batching contract: the caller must cap
+// budget so that no response-release point falls strictly inside the batch
+// (the engines cap it at the next ready release), because the core's wait
+// and back-pressure decisions read state that response delivery mutates.
+// Under that cap every decision inside the batch observes exactly the state
+// a cycle-at-a-time engine would have shown it, so batched execution is
+// cycle-exact (pinned by the golden cycle-count tests). As with single-op
+// stepping, the final operation of a batch may overshoot the budget by its
+// own atomic cost. The engine must honor Outcome.WaitID/Fence before
+// calling Step again.
 func (c *Core) Step(now clock.Cycles, budget clock.Cycles) Outcome {
-	if budget <= 0 {
-		budget = 1 << 60
+	if budget <= 0 || budget > maxBatchCycles {
+		budget = maxBatchCycles
 	}
 	if c.fencePending {
 		return Outcome{Fence: true}
 	}
-	// ROB window: the core cannot run arbitrarily far past its oldest
-	// outstanding miss.
-	if !c.cfg.InOrder && len(c.outstanding) > 0 {
-		oldest := c.outstanding[0]
-		if now-oldest.issue >= c.cfg.ROBWindow {
-			return Outcome{WaitID: oldest.id}
-		}
-	}
-	if !c.opValid {
-		truncated := c.cfg.MaxInstructions > 0 && c.stats.Instructions >= c.cfg.MaxInstructions
-		if truncated || !c.strm.Next(&c.op) {
-			if len(c.outstanding) > 0 || c.fencePending {
-				return Outcome{Fence: true}
+	var acc clock.Cycles // cycles consumed by the batch so far
+	for {
+		// ROB window: the core cannot run arbitrarily far past its oldest
+		// outstanding miss. Re-checked before every op at the batch's
+		// current cycle (now+acc), exactly as per-call stepping would.
+		// When a wait arises mid-batch the batch returns what it has; the
+		// next call reports the wait itself after the engine has delivered
+		// any responses maturing at the batch boundary.
+		if !c.cfg.InOrder && len(c.outstanding) > 0 {
+			oldest := c.outstanding[0]
+			if (now+acc)-oldest.issue >= c.cfg.ROBWindow {
+				if acc > 0 {
+					return Outcome{Cycles: acc}
+				}
+				return Outcome{WaitID: oldest.id}
 			}
-			return Outcome{Finished: true}
 		}
-		c.opValid = true
-		if c.op.Kind == workload.OpCompute {
-			w := clock.Cycles(c.cfg.IssueWidth)
-			c.computeRemaining = (clock.Cycles(c.op.N) + w - 1) / w
+		if !c.opValid {
+			truncated := c.cfg.MaxInstructions > 0 && c.stats.Instructions >= c.cfg.MaxInstructions
+			if truncated || !c.strm.Next(&c.op) {
+				if acc > 0 {
+					return Outcome{Cycles: acc}
+				}
+				if len(c.outstanding) > 0 || c.fencePending {
+					return Outcome{Fence: true}
+				}
+				return Outcome{Finished: true}
+			}
+			c.opValid = true
+			if c.op.Kind == workload.OpCompute {
+				w := clock.Cycles(c.cfg.IssueWidth)
+				c.computeRemaining = (clock.Cycles(c.op.N) + w - 1) / w
+				if c.computeRemaining == 0 {
+					c.computeRemaining = 1
+				}
+				c.stats.Instructions += c.op.N
+				c.stats.ComputeCycles += int64(c.computeRemaining)
+			}
+		}
+
+		switch c.op.Kind {
+		case workload.OpCompute:
+			take := c.computeRemaining
+			if take > budget-acc {
+				take = budget - acc
+			}
+			c.computeRemaining -= take
 			if c.computeRemaining == 0 {
-				c.computeRemaining = 1
+				c.opValid = false
 			}
-			c.stats.Instructions += c.op.N
-			c.stats.ComputeCycles += int64(c.computeRemaining)
-		}
-	}
+			acc += take
+			if acc >= budget {
+				return Outcome{Cycles: acc}
+			}
+			continue
 
-	switch c.op.Kind {
-	case workload.OpCompute:
-		take := c.computeRemaining
-		if take > budget {
-			take = budget
-		}
-		c.computeRemaining -= take
-		if c.computeRemaining == 0 {
+		case workload.OpLoad, workload.OpStore:
+			// A dependent op cannot issue until the producing load returns.
+			if c.op.Dep && c.lastLoadMiss != 0 {
+				if acc > 0 {
+					return Outcome{Cycles: acc}
+				}
+				return Outcome{WaitID: c.lastLoadMiss}
+			}
+			isStore := c.op.Kind == workload.OpStore
+			// Back-pressure before touching the hierarchy: with all MSHRs
+			// busy, an access that would miss cannot even issue.
+			if !c.cfg.InOrder && len(c.outstanding) >= c.cfg.MLP && c.hier.WouldMiss(c.op.Addr) {
+				if acc > 0 {
+					return Outcome{Cycles: acc}
+				}
+				return Outcome{WaitID: c.outstanding[0].id}
+			}
+			c.stats.Instructions++
+			if isStore {
+				c.stats.Stores++
+			} else {
+				c.stats.Loads++
+			}
+			level, writebacks := c.hier.Access(c.op.Addr, isStore)
 			c.opValid = false
-		}
-		return Outcome{Cycles: take}
-
-	case workload.OpLoad, workload.OpStore:
-		// A dependent op cannot issue until the producing load returns.
-		if c.op.Dep && c.lastLoadMiss != 0 {
-			return Outcome{WaitID: c.lastLoadMiss}
-		}
-		isStore := c.op.Kind == workload.OpStore
-		// Back-pressure before touching the hierarchy: with all MSHRs
-		// busy, an access that would miss cannot even issue.
-		if !c.cfg.InOrder && len(c.outstanding) >= c.cfg.MLP && c.hier.WouldMiss(c.op.Addr) {
-			return Outcome{WaitID: c.outstanding[0].id}
-		}
-		c.stats.Instructions++
-		if isStore {
-			c.stats.Stores++
-		} else {
-			c.stats.Loads++
-		}
-		out := c.hier.Access(c.op.Addr, isStore)
-		c.opValid = false
-		dep := c.op.Dep
-		switch out.Level {
-		case 1:
-			c.stats.L1Hits++
-			return Outcome{Cycles: c.hitCost(c.cfg.L1Lat, dep)}
-		case 2:
-			c.stats.L2Hits++
-			return Outcome{Cycles: c.hitCost(c.cfg.L2Lat, dep)}
-		}
-		// Main-memory miss.
-		id := c.newID()
-		c.reqScratch = c.reqScratch[:0]
-		c.reqScratch = append(c.reqScratch, mem.Request{
-			ID: id, Kind: mem.Read, Addr: lineAlign(c.op.Addr),
-		})
-		if isStore {
-			c.stats.MemFills++
-		} else {
-			c.stats.MemReads++
-		}
-		for _, wb := range out.Writebacks {
-			c.stats.Writebacks++
+			dep := c.op.Dep
+			if level < 3 {
+				// Cache hit: pure cycles, the batch keeps running.
+				if level == 1 {
+					c.stats.L1Hits++
+					acc += c.hitCost(c.cfg.L1Lat, dep)
+				} else {
+					c.stats.L2Hits++
+					acc += c.hitCost(c.cfg.L2Lat, dep)
+				}
+				if acc >= budget {
+					return Outcome{Cycles: acc}
+				}
+				continue
+			}
+			// Main-memory miss: the batch ends here so the requests carry
+			// the issue cycle they would under per-op stepping.
+			id := c.newID()
+			c.reqScratch = c.reqScratch[:0]
 			c.reqScratch = append(c.reqScratch, mem.Request{
-				ID: c.newID(), Kind: mem.Writeback, Addr: wb, Posted: true,
+				ID: id, Kind: mem.Read, Addr: lineAlign(c.op.Addr),
 			})
-		}
-		if c.cfg.NextLinePrefetch {
-			next := lineAlign(c.op.Addr) + cache.LineBytes
-			if c.hier.WouldMiss(next) {
-				c.stats.Prefetches++
-				c.hier.Access(next, false) // install into the hierarchy
+			if isStore {
+				c.stats.MemFills++
+			} else {
+				c.stats.MemReads++
+			}
+			for _, wb := range writebacks {
+				c.stats.Writebacks++
 				c.reqScratch = append(c.reqScratch, mem.Request{
-					ID: c.newID(), Kind: mem.Read, Addr: next, Posted: true,
+					ID: c.newID(), Kind: mem.Writeback, Addr: wb, Posted: true,
 				})
 			}
-		}
-		o := Outcome{Cycles: c.cfg.MissIssueCost, Reqs: c.reqScratch}
-		if o.Cycles <= 0 {
-			o.Cycles = 1
-		}
-		if c.cfg.InOrder {
-			o.WaitID = id
-		} else {
-			c.outstanding = append(c.outstanding, outstandingMiss{id: id, issue: now})
-			if !isStore {
-				c.lastLoadMiss = id
+			if c.cfg.NextLinePrefetch {
+				next := lineAlign(c.op.Addr) + cache.LineBytes
+				if c.hier.WouldMiss(next) {
+					c.stats.Prefetches++
+					c.hier.Access(next, false) // install into the hierarchy
+					c.reqScratch = append(c.reqScratch, mem.Request{
+						ID: c.newID(), Kind: mem.Read, Addr: next, Posted: true,
+					})
+				}
 			}
-		}
-		return o
+			issue := c.cfg.MissIssueCost
+			if issue <= 0 {
+				issue = 1
+			}
+			o := Outcome{Cycles: acc + issue, Reqs: c.reqScratch}
+			if c.cfg.InOrder {
+				o.WaitID = id
+			} else {
+				c.outstanding = append(c.outstanding, outstandingMiss{id: id, issue: now + acc})
+				if !isStore {
+					c.lastLoadMiss = id
+				}
+			}
+			return o
 
-	case workload.OpFlush:
-		c.stats.Instructions++
-		c.stats.Flushes++
-		c.opValid = false
-		o := Outcome{Cycles: c.cfg.FlushCost}
-		if c.hier.Flush(c.op.Addr) {
-			o.Reqs = append(c.reqScratch[:0], mem.Request{
-				ID: c.newID(), Kind: mem.Writeback, Addr: lineAlign(c.op.Addr), Posted: true,
+		case workload.OpFlush:
+			c.stats.Instructions++
+			c.stats.Flushes++
+			c.opValid = false
+			acc += c.cfg.FlushCost
+			if c.hier.Flush(c.op.Addr) {
+				c.reqScratch = append(c.reqScratch[:0], mem.Request{
+					ID: c.newID(), Kind: mem.Writeback, Addr: lineAlign(c.op.Addr), Posted: true,
+				})
+				return Outcome{Cycles: acc, Reqs: c.reqScratch}
+			}
+			if acc >= budget {
+				return Outcome{Cycles: acc}
+			}
+			continue
+
+		case workload.OpRowClone:
+			// The clone must observe all prior stores and writebacks: fence
+			// first, then issue a blocking RowClone request. Handled as its
+			// own step so the fence/issue sequencing stays explicit.
+			if acc > 0 {
+				return Outcome{Cycles: acc}
+			}
+			if !c.rcFenced {
+				c.rcFenced = true
+				c.fencePending = true
+				return Outcome{Cycles: 1, Fence: true}
+			}
+			c.rcFenced = false
+			c.stats.Instructions++
+			c.stats.RowClones++
+			c.opValid = false
+			id := c.newID()
+			c.reqScratch = append(c.reqScratch[:0], mem.Request{
+				ID: id, Kind: mem.RowClone, Addr: c.op.Addr, Src: c.op.Src,
 			})
-			c.reqScratch = o.Reqs
-		}
-		return o
+			return Outcome{Cycles: 2, Reqs: c.reqScratch, WaitID: id}
 
-	case workload.OpRowClone:
-		// The clone must observe all prior stores and writebacks: fence
-		// first, then issue a blocking RowClone request.
-		if !c.rcFenced {
-			c.rcFenced = true
+		case workload.OpBarrier:
+			c.opValid = false
 			c.fencePending = true
-			return Outcome{Cycles: 1, Fence: true}
+			return Outcome{Cycles: acc + 1, Fence: true}
+
+		case workload.OpMark:
+			// Marks are recorded by the engine at the pre-advance cycle, so
+			// a mark always terminates the preceding batch first.
+			if acc > 0 {
+				return Outcome{Cycles: acc}
+			}
+			c.opValid = false
+			return Outcome{Mark: true}
+
+		default:
+			panic(fmt.Sprintf("cpu %s: unknown op kind %v", c.cfg.Name, c.op.Kind))
 		}
-		c.rcFenced = false
-		c.stats.Instructions++
-		c.stats.RowClones++
-		c.opValid = false
-		id := c.newID()
-		c.reqScratch = append(c.reqScratch[:0], mem.Request{
-			ID: id, Kind: mem.RowClone, Addr: c.op.Addr, Src: c.op.Src,
-		})
-		return Outcome{Cycles: 2, Reqs: c.reqScratch, WaitID: id}
-
-	case workload.OpBarrier:
-		c.opValid = false
-		c.fencePending = true
-		return Outcome{Cycles: 1, Fence: true}
-
-	case workload.OpMark:
-		c.opValid = false
-		return Outcome{Mark: true}
-
-	default:
-		panic(fmt.Sprintf("cpu %s: unknown op kind %v", c.cfg.Name, c.op.Kind))
 	}
 }
 

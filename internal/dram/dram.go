@@ -125,9 +125,21 @@ type Chip struct {
 	vm      *variation.Model
 	checker *timing.Checker
 	banks   []bankState
-	rows    map[uint64][]byte
-	stats   Stats
+	// rows holds the backing data store as two-level per-bank tables
+	// (bank -> rowChunkRows-row chunk -> row), every level allocated
+	// lazily. The RD/WR data path indexes instead of hashing, and the
+	// GC-scannable metadata stays proportional to the row neighbourhoods
+	// actually touched rather than the full 32K-row geometry.
+	rows  [][][][]byte
+	stats Stats
 }
+
+// rowChunkShift/rowChunkRows size the row-table chunks (a power of two:
+// the data path splits row indices with a shift and mask).
+const (
+	rowChunkShift = 8
+	rowChunkRows  = 1 << rowChunkShift
+)
 
 // New constructs a Chip.
 func New(cfg Config) (*Chip, error) {
@@ -158,7 +170,7 @@ func New(cfg Config) (*Chip, error) {
 		vm:      vm,
 		checker: timing.NewChecker(cfg.Timing, cfg.BankGroups, cfg.BanksPerGroup),
 		banks:   banks,
-		rows:    make(map[uint64][]byte),
+		rows:    make([][][][]byte, geom.Banks),
 	}, nil
 }
 
@@ -181,16 +193,21 @@ func (c *Chip) Timing() timing.Params { return c.cfg.Timing }
 // RowBytes reports the row size in bytes.
 func (c *Chip) RowBytes() int { return c.cfg.ColsPerRow * LineBytes }
 
-func (c *Chip) rowKey(bank, row int) uint64 {
-	return uint64(bank)<<40 | uint64(uint32(row))
-}
-
 func (c *Chip) rowData(bank, row int) []byte {
-	k := c.rowKey(bank, row)
-	d, ok := c.rows[k]
-	if !ok {
+	bt := c.rows[bank]
+	if bt == nil {
+		bt = make([][][]byte, (c.cfg.RowsPerBank+rowChunkRows-1)/rowChunkRows)
+		c.rows[bank] = bt
+	}
+	ch := bt[row>>rowChunkShift]
+	if ch == nil {
+		ch = make([][]byte, rowChunkRows)
+		bt[row>>rowChunkShift] = ch
+	}
+	d := ch[row&(rowChunkRows-1)]
+	if d == nil {
 		d = make([]byte, c.RowBytes())
-		c.rows[k] = d
+		ch[row&(rowChunkRows-1)] = d
 	}
 	return d
 }

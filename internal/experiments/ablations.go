@@ -157,7 +157,7 @@ func Ablations(opt Options) ([]*AblationResult, error) {
 		AblationScheduler, AblationPagePolicy, AblationPrefetcher, AblationDDR5,
 	}
 	out := make([]*AblationResult, len(runs))
-	err := forEach(opt.Workers, len(runs), func(i int) error {
+	err := forEach(opt.EffectiveWorkers(), len(runs), func(i int) error {
 		r, err := runs[i](opt)
 		if err != nil {
 			return err

@@ -22,6 +22,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"easydram/internal/clock"
 	"easydram/internal/core"
@@ -50,9 +51,20 @@ type Options struct {
 	// MaxProcCycles aborts runaway runs.
 	MaxProcCycles clock.Cycles
 	// Workers bounds the experiment worker pool: the number of independent
-	// system runs in flight at once. 0 selects GOMAXPROCS; 1 forces serial
-	// execution. Results are deterministic at any setting.
+	// system runs in flight at once. 0 selects GOMAXPROCS (see
+	// EffectiveWorkers); 1 forces serial execution. Results are
+	// deterministic at any setting.
 	Workers int
+}
+
+// EffectiveWorkers resolves the worker-pool size: Workers when positive,
+// otherwise runtime.GOMAXPROCS(0). Every experiment runner sizes its pool
+// through this method, so a zero value always means "use the machine".
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Default returns the paper-scale options.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -391,6 +392,58 @@ func TestParallelHarnessDeterministic(t *testing.T) {
 			t.Fatalf("figure12 heatmaps diverge between serial and sharded runs")
 		}
 	})
+}
+
+// TestEffectiveWorkersDefault pins the Options.Workers zero-value contract:
+// an unset pool size resolves to GOMAXPROCS, and explicit settings pass
+// through untouched.
+func TestEffectiveWorkersDefault(t *testing.T) {
+	var opt Options
+	if got, want := opt.EffectiveWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("zero Workers resolved to %d, want GOMAXPROCS %d", got, want)
+	}
+	opt.Workers = 3
+	if got := opt.EffectiveWorkers(); got != 3 {
+		t.Fatalf("explicit Workers=3 resolved to %d", got)
+	}
+	opt.Workers = -1
+	if got, want := opt.EffectiveWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("negative Workers resolved to %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestWorkerCountByteIdentical asserts the satellite determinism contract
+// directly: a 1-worker and a 4-worker run of the same quick-scale
+// experiment produce byte-identical rendered output and identical headline
+// numbers, as does a defaulted (Workers=0) run.
+func TestWorkerCountByteIdentical(t *testing.T) {
+	opt := Quick()
+	opt.KernelSize = workload.Tiny
+	opt.LatAccesses = 500
+	opt.Sizes = []int{32 << 10, 256 << 10}
+
+	one, four, def := opt, opt, opt
+	one.Workers = 1
+	four.Workers = 4
+	def.Workers = 0
+
+	render := func(o Options) (string, float64) {
+		t.Helper()
+		v, err := Validation(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Table(), v.AvgPct
+	}
+	tabOne, avgOne := render(one)
+	tabFour, avgFour := render(four)
+	tabDef, avgDef := render(def)
+	if tabOne != tabFour || avgOne != avgFour {
+		t.Fatalf("1-worker vs 4-worker results diverge:\n%s\n---\n%s", tabOne, tabFour)
+	}
+	if tabOne != tabDef || avgOne != avgDef {
+		t.Fatalf("defaulted-worker run diverges from the serial run:\n%s\n---\n%s", tabOne, tabDef)
+	}
 }
 
 // TestForEachErrorContract pins the pool's error behaviour: failures

@@ -45,7 +45,7 @@ func Figure8(opt Options) (*LatencyProfileResult, error) {
 	for _, c := range configs {
 		res.Curves[c.name] = make([]float64, sizes)
 	}
-	err := forEach(opt.Workers, len(configs)*sizes, func(i int) error {
+	err := forEach(opt.EffectiveWorkers(), len(configs)*sizes, func(i int) error {
 		c, kib := configs[i/sizes], opt.LatSizesKiB[i%sizes]
 		cfg := c.cfg
 		cfg.DRAM.Seed = opt.Seed
@@ -111,7 +111,7 @@ func Validation(opt Options) (*ValidationResult, error) {
 		RefCycles: make([]clock.Cycles, n),
 		ErrorPct:  make([]float64, n),
 	}
-	err := forEach(opt.Workers, n, func(i int) error {
+	err := forEach(opt.EffectiveWorkers(), n, func(i int) error {
 		k := kernels[i]
 		tsCfg := core.TimeScaling1GHz()
 		tsCfg.DRAM.Seed = opt.Seed

@@ -59,7 +59,7 @@ func RowClone(opt Options, flush bool) (*RowCloneResult, error) {
 		res.Copy[c.name] = make([]float64, sizes)
 		res.Init[c.name] = make([]float64, sizes)
 	}
-	err := forEach(opt.Workers, len(configs)*sizes, func(i int) error {
+	err := forEach(opt.EffectiveWorkers(), len(configs)*sizes, func(i int) error {
 		c, si := configs[i/sizes], i%sizes
 		size := opt.Sizes[si]
 		copySp, copyFB, err := rowcloneOne(opt, c, size, flush, false)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 
 	"easydram/internal/clock"
 	"easydram/internal/core"
@@ -52,11 +51,7 @@ func Figure12(opt Options) (*HeatmapResult, error) {
 	if total == 0 {
 		return res, nil
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	nShards := workers * 2 // 2x shards per worker smooths uneven shard cost
+	nShards := opt.EffectiveWorkers() * 2 // 2x shards per worker smooths uneven shard cost
 	if nShards > total {
 		nShards = total
 	}
@@ -67,7 +62,7 @@ func Figure12(opt Options) (*HeatmapResult, error) {
 	nShards = (total + chunk - 1) / chunk
 
 	strong := make([]int, nShards)
-	err := forEach(opt.Workers, nShards, func(s int) error {
+	err := forEach(opt.EffectiveWorkers(), nShards, func(s int) error {
 		lo, hi := s*chunk, (s+1)*chunk
 		if hi > total {
 			hi = total
@@ -170,7 +165,7 @@ func Figure13(opt Options) (*TRCDResult, error) {
 		MPKI:         make([]float64, n),
 		WeakFraction: make([]float64, n),
 	}
-	err := forEach(opt.Workers, n, func(i int) error {
+	err := forEach(opt.EffectiveWorkers(), n, func(i int) error {
 		k := kernels[i]
 		res.Names[i] = k.Name
 		extent := workload.Extent(k)

@@ -92,8 +92,11 @@ func New(chip *dram.Chip, costs CostModel) *Tile {
 	}
 }
 
-// Costs returns the cost model.
-func (t *Tile) Costs() CostModel { return t.costs }
+// Costs returns the cost model. The pointer refers to the tile's own copy:
+// the controller consults costs on every scheduling step, and a by-value
+// return of the ~14-word struct was a measurable share of the service
+// loop's duffcopy time.
+func (t *Tile) Costs() *CostModel { return &t.costs }
 
 // Chip returns the DRAM model behind Bender.
 func (t *Tile) Chip() *dram.Chip { return t.engine.Chip() }

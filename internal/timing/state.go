@@ -16,6 +16,7 @@ const (
 	CmdRD
 	CmdWR
 	CmdREF
+	cmdCount
 )
 
 var cmdNames = map[Cmd]string{
@@ -43,30 +44,56 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s violates %s by %s", v.Cmd, v.Param, v.Shortfall)
 }
 
-// BankState tracks the timing-relevant history of a single bank.
+// Per-bank event indices into BankState.last. evtWRData records when the
+// last write burst finished on the bus (the tWR reference point); the WR
+// issue time itself feeds only the cross-bank column aggregates, so no
+// per-bank slot exists for it.
+const (
+	evtACT = iota
+	evtPRE
+	evtRD
+	evtWRData
+	evtCount
+)
+
+// BankState tracks the timing-relevant history of a single bank. The
+// command-issue history lives in an event-indexed array so the checker's
+// precomputed constraint tables can address it without per-command field
+// dispatch.
 type BankState struct {
 	Open    bool
 	OpenRow int
-	LastACT clock.PS
-	LastPRE clock.PS
-	LastRD  clock.PS
-	LastWR  clock.PS
-	// LastWRData is when the last write burst finished on the bus.
-	LastWRData clock.PS
 	// ActRCD is the tRCD in effect for the currently open row (reduced-tRCD
 	// techniques activate with a shorter tRCD).
 	ActRCD clock.PS
+	// last holds the most recent time of each tracked event on this bank,
+	// indexed by evtACT..evtWRData.
+	last [evtCount]clock.PS
 }
 
 const never = clock.PS(-1 << 62)
 
 // NewBankState returns a bank whose history predates all commands.
 func NewBankState() BankState {
-	return BankState{
-		OpenRow: -1, LastACT: never, LastPRE: never,
-		LastRD: never, LastWR: never, LastWRData: never,
+	bs := BankState{OpenRow: -1}
+	for i := range bs.last {
+		bs.last[i] = never
 	}
+	return bs
 }
+
+// bankRule is one precomputed same-bank separation constraint: issuing the
+// owning command at time t requires t >= bank.last[evt] + delta.
+type bankRule struct {
+	evt   uint8
+	delta clock.PS
+	param string
+}
+
+// pairDelta is a (command, command) minimum-separation table indexed by
+// bank-group relation: index 0 is the different-group value, index 1 the
+// same-group value (e.g. {tRRD_S, tRRD_L} for ACT->ACT).
+type pairDelta [2]clock.PS
 
 // Checker tracks per-bank and cross-bank timing state for one rank and
 // reports, for each command, the earliest legal issue time and any violations
@@ -75,11 +102,30 @@ func NewBankState() BankState {
 // Checker never prevents a command from executing: EasyDRAM's whole purpose
 // is to issue command sequences that violate the standard. The chip model
 // consults the violations to decide physical behaviour.
+//
+// The constraint logic is table-driven: same-bank constraints are flattened
+// at construction into per-command bankRule lists (rules), cross-bank
+// ACT->ACT and column->column constraints into bank-group-relation tables
+// (rrd, ccd), and the cross-bank history into rolling per-group and global
+// aggregates updated on each Apply — so neither Apply nor the Earliest*
+// queries ever scan the bank array.
 type Checker struct {
-	p          Params
-	banks      []BankState
-	bankGroups int
-	perGroup   int
+	p     Params
+	banks []BankState
+	// groupOf maps bank -> bank group (lookup table; no divide per command).
+	groupOf []uint8
+	// rules holds the flat same-bank constraint table per command.
+	rules [cmdCount][]bankRule
+	// rrd and ccd are the cross-bank (command, command) separation tables
+	// indexed by bank-group relation (ACT->ACT and RD/WR->RD/WR).
+	rrd pairDelta
+	ccd pairDelta
+	// Rolling cross-bank aggregates: most recent ACT / column command per
+	// bank group and overall.
+	lastACTGroup []clock.PS
+	lastACTAny   clock.PS
+	lastColGroup []clock.PS
+	lastColAny   clock.PS
 	// actWindow holds issue times of the most recent four ACTs (tFAW).
 	actWindow [4]clock.PS
 	actIdx    int
@@ -95,12 +141,41 @@ type Checker struct {
 func NewChecker(p Params, bankGroups, banksPerGroup int) *Checker {
 	n := bankGroups * banksPerGroup
 	banks := make([]BankState, n)
+	groupOf := make([]uint8, n)
 	for i := range banks {
 		banks[i] = NewBankState()
+		groupOf[i] = uint8(i / banksPerGroup)
 	}
-	c := &Checker{p: p, banks: banks, bankGroups: bankGroups, perGroup: banksPerGroup, lastBus: never, lastREF: never}
+	c := &Checker{
+		p:       p,
+		banks:   banks,
+		groupOf: groupOf,
+		rrd:     pairDelta{p.TRRDS, p.TRRDL},
+		ccd:     pairDelta{p.TCCDS, p.TCCDL},
+		lastBus: never,
+		lastREF: never,
+	}
+	c.lastACTGroup = make([]clock.PS, bankGroups)
+	c.lastColGroup = make([]clock.PS, bankGroups)
+	for g := 0; g < bankGroups; g++ {
+		c.lastACTGroup[g] = never
+		c.lastColGroup[g] = never
+	}
+	c.lastACTAny, c.lastColAny = never, never
 	for i := range c.actWindow {
 		c.actWindow[i] = never
+	}
+	// Same-bank constraint tables, in the order violations are reported.
+	// RD/WR's tRCD depends on the per-activation ActRCD and tCCD on the
+	// shared data bus, so those two stay dynamic in Apply.
+	c.rules[CmdACT] = []bankRule{
+		{evt: evtPRE, delta: p.TRP, param: "tRP"},
+		{evt: evtACT, delta: p.TRC, param: "tRC"},
+	}
+	c.rules[CmdPRE] = []bankRule{
+		{evt: evtACT, delta: p.TRAS, param: "tRAS"},
+		{evt: evtWRData, delta: p.TWR, param: "tWR"},
+		{evt: evtRD, delta: p.TRTP, param: "tRTP"},
 	}
 	return c
 }
@@ -114,8 +189,6 @@ func (c *Checker) NumBanks() int { return len(c.banks) }
 // Bank returns a pointer to the state of bank b.
 func (c *Checker) Bank(b int) *BankState { return &c.banks[b] }
 
-func (c *Checker) group(bank int) int { return bank / c.perGroup }
-
 func maxPS(a, b clock.PS) clock.PS {
 	if a > b {
 		return a
@@ -126,43 +199,32 @@ func maxPS(a, b clock.PS) clock.PS {
 // EarliestACT reports the earliest standard-legal time for ACT on bank b.
 func (c *Checker) EarliestACT(b int) clock.PS {
 	bank := &c.banks[b]
-	t := bank.LastPRE + c.p.TRP
-	t = maxPS(t, bank.LastACT+c.p.TRC)
+	t := bank.last[evtPRE] + c.p.TRP
+	t = maxPS(t, bank.last[evtACT]+c.p.TRC)
 	t = maxPS(t, c.lastREF+c.p.TRFC)
-	for _, ob := range c.banksInGroup(c.group(b)) {
-		t = maxPS(t, c.banks[ob].LastACT+c.p.TRRDL)
-	}
-	for i := range c.banks {
-		t = maxPS(t, c.banks[i].LastACT+c.p.TRRDS)
-	}
+	t = maxPS(t, c.lastACTGroup[c.groupOf[b]]+c.rrd[1])
+	t = maxPS(t, c.lastACTAny+c.rrd[0])
 	// tFAW: at most four ACTs in any tFAW window.
 	oldest := c.actWindow[c.actIdx]
 	t = maxPS(t, oldest+c.p.TFAW)
 	return t
 }
 
-func (c *Checker) banksInGroup(g int) []int {
-	out := make([]int, 0, c.perGroup)
-	for i := g * c.perGroup; i < (g+1)*c.perGroup; i++ {
-		out = append(out, i)
-	}
-	return out
-}
-
 // EarliestPRE reports the earliest standard-legal time for PRE on bank b.
 func (c *Checker) EarliestPRE(b int) clock.PS {
 	bank := &c.banks[b]
-	t := bank.LastACT + c.p.TRAS
-	t = maxPS(t, bank.LastRD+c.p.TRTP)
-	t = maxPS(t, bank.LastWRData+c.p.TWR)
+	t := bank.last[evtACT] + c.p.TRAS
+	t = maxPS(t, bank.last[evtRD]+c.p.TRTP)
+	t = maxPS(t, bank.last[evtWRData]+c.p.TWR)
 	return t
 }
 
 // EarliestRD reports the earliest standard-legal time for RD on bank b.
 func (c *Checker) EarliestRD(b int) clock.PS {
 	bank := &c.banks[b]
-	t := bank.LastACT + bank.effRCD(c.p)
-	t = c.colGlobal(b, t)
+	t := bank.last[evtACT] + bank.effRCD(&c.p)
+	t = maxPS(t, c.lastColGroup[c.groupOf[b]]+c.ccd[1])
+	t = maxPS(t, c.lastColAny+c.ccd[0])
 	return t
 }
 
@@ -171,24 +233,14 @@ func (c *Checker) EarliestWR(b int) clock.PS {
 	return c.EarliestRD(b)
 }
 
-func (bs *BankState) effRCD(p Params) clock.PS {
+// effRCD is the tRCD in effect for the open row. Params is passed by
+// pointer: the struct is ~20 words, and a by-value copy per RD/WR showed up
+// as the hot path's largest duffcopy.
+func (bs *BankState) effRCD(p *Params) clock.PS {
 	if bs.ActRCD > 0 {
 		return bs.ActRCD
 	}
 	return p.TRCD
-}
-
-func (c *Checker) colGlobal(b int, t clock.PS) clock.PS {
-	g := c.group(b)
-	for i := range c.banks {
-		last := maxPS(c.banks[i].LastRD, c.banks[i].LastWR)
-		if c.group(i) == g {
-			t = maxPS(t, last+c.p.TCCDL)
-		} else {
-			t = maxPS(t, last+c.p.TCCDS)
-		}
-	}
-	return t
 }
 
 // Apply records command cmd on bank b at time t with the tRCD value rcd in
@@ -197,44 +249,58 @@ func (c *Checker) colGlobal(b int, t clock.PS) clock.PS {
 // buffer reused by the next Apply call; callers must copy entries they keep.
 func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
 	c.viol = c.viol[:0]
-	record := func(param string, need clock.PS) {
-		if t < need {
-			c.viol = append(c.viol, Violation{Param: param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
-		}
+	if cmd >= cmdCount || cmd < CmdACT {
+		panic(fmt.Sprintf("timing: unknown command %v", cmd))
 	}
 	bank := &c.banks[b]
+	for _, r := range c.rules[cmd] {
+		if need := bank.last[r.evt] + r.delta; t < need {
+			c.viol = append(c.viol, Violation{Param: r.param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
+	}
 	switch cmd {
 	case CmdACT:
-		record("tRP", bank.LastPRE+c.p.TRP)
-		record("tRC", bank.LastACT+c.p.TRC)
-		record("tFAW", c.actWindow[c.actIdx]+c.p.TFAW)
+		if need := c.actWindow[c.actIdx] + c.p.TFAW; t < need {
+			c.viol = append(c.viol, Violation{Param: "tFAW", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
 		bank.Open = true
-		bank.LastACT = t
 		bank.ActRCD = rcd
+		bank.last[evtACT] = t
 		c.actWindow[c.actIdx] = t
 		c.actIdx = (c.actIdx + 1) % len(c.actWindow)
+		g := c.groupOf[b]
+		c.lastACTGroup[g] = maxPS(c.lastACTGroup[g], t)
+		c.lastACTAny = maxPS(c.lastACTAny, t)
 	case CmdPRE:
-		record("tRAS", bank.LastACT+c.p.TRAS)
-		record("tWR", bank.LastWRData+c.p.TWR)
-		record("tRTP", bank.LastRD+c.p.TRTP)
 		bank.Open = false
 		bank.OpenRow = -1
-		bank.LastPRE = t
+		bank.last[evtPRE] = t
 	case CmdRD:
-		record("tRCD", bank.LastACT+bank.effRCD(c.p))
-		record("tCCD", c.lastBus) // coarse data-bus conflict
-		bank.LastRD = t
+		if need := bank.last[evtACT] + bank.effRCD(&c.p); t < need {
+			c.viol = append(c.viol, Violation{Param: "tRCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
+		if need := c.lastBus; t < need { // coarse data-bus conflict
+			c.viol = append(c.viol, Violation{Param: "tCCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
+		bank.last[evtRD] = t
 		c.lastBus = t + c.p.TCL + c.p.TBL
+		g := c.groupOf[b]
+		c.lastColGroup[g] = maxPS(c.lastColGroup[g], t)
+		c.lastColAny = maxPS(c.lastColAny, t)
 	case CmdWR:
-		record("tRCD", bank.LastACT+bank.effRCD(c.p))
-		record("tCCD", c.lastBus)
-		bank.LastWR = t
-		bank.LastWRData = t + c.p.TCWL + c.p.TBL
-		c.lastBus = bank.LastWRData
+		if need := bank.last[evtACT] + bank.effRCD(&c.p); t < need {
+			c.viol = append(c.viol, Violation{Param: "tRCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
+		if need := c.lastBus; t < need {
+			c.viol = append(c.viol, Violation{Param: "tCCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+		}
+		bank.last[evtWRData] = t + c.p.TCWL + c.p.TBL
+		c.lastBus = bank.last[evtWRData]
+		g := c.groupOf[b]
+		c.lastColGroup[g] = maxPS(c.lastColGroup[g], t)
+		c.lastColAny = maxPS(c.lastColAny, t)
 	case CmdREF:
 		c.lastREF = t
-	default:
-		panic(fmt.Sprintf("timing: unknown command %v", cmd))
 	}
 	return c.viol
 }
