@@ -13,6 +13,7 @@ import (
 
 	"easydram/internal/core"
 	"easydram/internal/experiments"
+	"easydram/internal/smc"
 	"easydram/internal/stats"
 	"easydram/internal/techniques"
 	"easydram/internal/workload"
@@ -349,6 +350,48 @@ func BenchmarkSubstrateMissPath(b *testing.B) {
 	if _, err := sys.Run(workload.SubstrateMisses(b.N)); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkSubstrateRowHitBurst measures row-hit burst service through the
+// SMC hot path itself: groups of RowBurstDepth same-row requests pending
+// together, served either serially (one scheduler pick, one Bender program,
+// one execution, one timing-check pass per request) or as a burst (one of
+// each per GROUP, with per-request modeled costs charged exactly as serial
+// service charges them — emulated timing is bit-identical, pinned by
+// core.TestBurstServiceBitIdentical). The timed region is the burst path;
+// an untimed serial run of the same request count yields the vs-serial-x
+// speedup. End-to-end workload effect is bounded by the SMC's share of the
+// full engine loop; this benchmark isolates the service path the burst
+// optimization targets.
+func BenchmarkSubstrateRowHitBurst(b *testing.B) {
+	const depth = workload.RowBurstDepth
+	mk := func() *smc.BenchHarness {
+		h, err := smc.NewBenchHarness()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+	run := func(h *smc.BenchHarness, n, budget int) {
+		if err := h.ServeRowBursts(n, depth, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+	burst, serial := mk(), mk()
+	run(burst, 50000, depth) // warm buffers outside the timer
+	run(serial, 50000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(burst, b.N, depth)
+	b.StopTimer()
+	burstNs := b.Elapsed()
+	t0 := time.Now()
+	run(serial, b.N, 1)
+	serialNs := time.Since(t0)
+	if burstNs > 0 {
+		b.ReportMetric(float64(serialNs)/float64(burstNs), "vs-serial-x")
+	}
+	b.ReportMetric(burst.Ctl.Stats().AvgBurstLen(), "avg-burst-len")
 }
 
 // BenchmarkEnergyExtension measures RowClone's DRAM-energy advantage for

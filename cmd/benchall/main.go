@@ -20,6 +20,7 @@ import (
 	"easydram"
 	"easydram/internal/core"
 	"easydram/internal/experiments"
+	"easydram/internal/smc"
 	"easydram/internal/stats"
 	"easydram/internal/techniques"
 	"easydram/internal/workload"
@@ -323,6 +324,52 @@ func substrateMetrics(snap *snapshot) error {
 		return benchErr
 	}
 
+	// Row-hit burst service, via the same SMC-level harness as
+	// BenchmarkSubstrateRowHitBurst: burst ns/op (gated), its allocs/op
+	// (gated at zero), the vs-serial speedup, and the mean burst length
+	// (gated — a drop means the service path stopped coalescing).
+	var burstStats smc.ControllerStats
+	var serialSecs float64
+	burstRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		burst, err := smc.NewBenchHarness()
+		if err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		serial, err := smc.NewBenchHarness()
+		if err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		if err := burst.ServeRowBursts(50000, workload.RowBurstDepth, workload.RowBurstDepth); err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		if err := serial.ServeRowBursts(50000, workload.RowBurstDepth, 1); err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		b.ResetTimer()
+		if err := burst.ServeRowBursts(b.N, workload.RowBurstDepth, workload.RowBurstDepth); err != nil {
+			benchErr = err
+		}
+		b.StopTimer()
+		burstStats = burst.Ctl.Stats()
+		t0 := time.Now()
+		if err := serial.ServeRowBursts(b.N, workload.RowBurstDepth, 1); err != nil {
+			benchErr = err
+		}
+		serialSecs = time.Since(t0).Seconds()
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	burstSpeedup := 0.0
+	if s := burstRes.T.Seconds(); s > 0 {
+		burstSpeedup = serialSecs / s
+	}
+
 	cfg := core.TimeScalingA57()
 	cfg.DRAM = core.TechniqueDRAM()
 	sys, err := core.NewSystem(cfg)
@@ -342,9 +389,14 @@ func substrateMetrics(snap *snapshot) error {
 	snap.Metrics["substrate/miss_ns_op"] = float64(missRes.NsPerOp())
 	snap.Metrics["substrate/cache_allocs_op"] = float64(cacheRes.AllocsPerOp())
 	snap.Metrics["substrate/miss_allocs_op"] = float64(missRes.AllocsPerOp())
+	snap.Metrics["substrate/burst_ns_op"] = float64(burstRes.NsPerOp())
+	snap.Metrics["substrate/burst_allocs_op"] = float64(burstRes.AllocsPerOp())
+	snap.Metrics["substrate/burst_vs_serial_x"] = burstSpeedup
+	snap.Metrics["smc/avg_burst_len"] = burstStats.AvgBurstLen()
 	snap.Metrics["characterization/rows_per_sec"] = rowsPerSec
 	snap.Metrics["characterization/roundtrips_per_row"] = tripsPerRow
-	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), characterization %.0f rows/s (%.1f round-trips/row)\n",
-		cacheRes.NsPerOp(), cacheRes.AllocsPerOp(), missRes.NsPerOp(), missRes.AllocsPerOp(), rowsPerSec, tripsPerRow)
+	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), burst %d ns/op (%.2fx vs serial, avg len %.1f), characterization %.0f rows/s (%.2f round-trips/row)\n",
+		cacheRes.NsPerOp(), cacheRes.AllocsPerOp(), missRes.NsPerOp(), missRes.AllocsPerOp(),
+		burstRes.NsPerOp(), burstSpeedup, burstStats.AvgBurstLen(), rowsPerSec, tripsPerRow)
 	return nil
 }

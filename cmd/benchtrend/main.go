@@ -48,10 +48,17 @@ type gatedMetric struct {
 
 // trendMetrics is the set of gated substrate metrics.
 var trendMetrics = map[string]gatedMetric{
-	"substrate/cache_ns_op":               {lowerIsBetter: true, machineDependent: true},
-	"substrate/miss_ns_op":                {lowerIsBetter: true, machineDependent: true},
-	"substrate/cache_allocs_op":           {mustBeZero: true},
-	"substrate/miss_allocs_op":            {mustBeZero: true},
+	"substrate/cache_ns_op":     {lowerIsBetter: true, machineDependent: true},
+	"substrate/miss_ns_op":      {lowerIsBetter: true, machineDependent: true},
+	"substrate/burst_ns_op":     {lowerIsBetter: true, machineDependent: true},
+	"substrate/cache_allocs_op": {mustBeZero: true},
+	"substrate/miss_allocs_op":  {mustBeZero: true},
+	"substrate/burst_allocs_op": {mustBeZero: true},
+	// The mean row-hit burst length is a pure property of the gather
+	// algorithm on the benchmark's traffic shape (no wall clock involved),
+	// so it gates on any host: a drop means the service path stopped
+	// coalescing.
+	"smc/avg_burst_len":                   {lowerIsBetter: false},
 	"characterization/rows_per_sec":       {lowerIsBetter: false, machineDependent: true},
 	"characterization/roundtrips_per_row": {lowerIsBetter: true},
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	easydram [-quick] [-seed N] <experiment>
+//	easydram [-quick] [-seed N] [-burst-cap N] <experiment>
 //
 // where experiment is one of: table1, fig2, validation, fig8, fig10,
 // fig11, fig12, fig13, fig14, all.
@@ -21,6 +21,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use unit-test-scale parameters")
 	seed := flag.Uint64("seed", 1, "DRAM variation seed")
+	burstCap := flag.Int("burst-cap", 0, "row-hit burst service cap (0 = serial; emulated results are identical either way)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|all>\n")
 		flag.PrintDefaults()
@@ -37,6 +38,7 @@ func main() {
 		opt.KernelSize = workload.Small
 	}
 	opt.Seed = *seed
+	opt.BurstCap = *burstCap
 
 	if err := run(flag.Arg(0), opt); err != nil {
 		fmt.Fprintf(os.Stderr, "easydram: %v\n", err)

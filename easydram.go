@@ -24,6 +24,7 @@ import (
 	"easydram/internal/clock"
 	"easydram/internal/core"
 	"easydram/internal/dram"
+	"easydram/internal/mem"
 	"easydram/internal/ramulator"
 	"easydram/internal/smc"
 	"easydram/internal/workload"
@@ -91,17 +92,67 @@ func WithDataTracking() Option {
 	return func(cfg *core.Config) { cfg.DRAM.TrackData = true }
 }
 
-// WithScheduler selects the memory scheduling policy: "fr-fcfs" (default)
-// or "fcfs".
+// WithScheduler selects the memory scheduling policy: "fr-fcfs" (default),
+// "fcfs", or "bliss".
 func WithScheduler(name string) Option {
 	return func(cfg *core.Config) {
 		switch name {
 		case "fcfs":
 			cfg.Scheduler = smc.FCFS{}
+		case "bliss":
+			cfg.Scheduler = smc.NewBLISS()
 		default:
 			cfg.Scheduler = smc.FRFCFS{}
 		}
 	}
+}
+
+// Scheduler is the pluggable memory-scheduling interface: Pick selects the
+// next buffered request to serve. Implement it (and optionally
+// BurstScheduler) to run a custom policy on the software-defined memory
+// controller; see examples/customscheduler.
+type Scheduler = smc.Scheduler
+
+// BurstScheduler extends Scheduler with row-hit burst picking: PickBurst
+// returns the run of requests the policy would serve consecutively on one
+// (bank, row), which the controller then serves through a single DRAM
+// Bender program (see WithBurstCap).
+type BurstScheduler = smc.BurstScheduler
+
+// SchedEntry is one buffered request as schedulers see it: decoded DRAM
+// coordinates plus an arrival sequence number (the table is unordered;
+// order by Seq). SchedEntry.IsAccess distinguishes plain accesses from
+// technique requests.
+type SchedEntry = smc.Entry
+
+// ReqKind classifies a buffered request (SchedEntry.Kind).
+type ReqKind = mem.Kind
+
+// Request kinds a scheduler observes in the request table: plain accesses
+// (ReqRead, ReqWrite, ReqWriteback) plus the technique kinds, which
+// SchedEntry.IsAccess filters out.
+const (
+	// ReqRead is a demand cache-line fill.
+	ReqRead = mem.Read
+	// ReqWrite is a cache-line store reaching memory.
+	ReqWrite = mem.Write
+	// ReqWriteback is a posted dirty-line eviction.
+	ReqWriteback = mem.Writeback
+)
+
+// WithCustomScheduler installs a user-provided scheduling policy.
+func WithCustomScheduler(s Scheduler) Option {
+	return func(cfg *core.Config) { cfg.Scheduler = s }
+}
+
+// WithBurstCap bounds how many same-row requests one controller step may
+// serve through a single DRAM Bender program (0 = serial service). Burst
+// service is bit-identical to serial service in emulated time — the engine
+// grants a burst only when it can prove equivalence — so the cap trades
+// nothing but host time. It engages when refresh is off (see
+// WithRefresh).
+func WithBurstCap(n int) Option {
+	return func(cfg *core.Config) { cfg.BurstCap = n }
 }
 
 // WithRefresh toggles periodic refresh.

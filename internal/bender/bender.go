@@ -91,14 +91,22 @@ type Engine struct {
 
 	readback []ReadLine
 	maxRead  int
+	// discard suppresses readback accumulation for the current execution
+	// (plain access programs; nobody consumes their read data).
+	discard bool
 }
 
+// ReadbackLines is the default readback-buffer capacity in cache lines
+// (512 KiB — the paper's EasyTile readback buffer class). Programs whose
+// buffered reads exceed it fail; bulk profiling must size its batches
+// against this bound.
+const ReadbackLines = 8192
+
 // NewEngine returns an Engine bound to chip. maxReadback bounds the readback
-// buffer (0 selects the default 8192 lines, 512 KiB — the paper's EasyTile
-// readback buffer class).
+// buffer (0 selects the default ReadbackLines).
 func NewEngine(chip *dram.Chip, maxReadback int) *Engine {
 	if maxReadback <= 0 {
-		maxReadback = 8192
+		maxReadback = ReadbackLines
 	}
 	return &Engine{chip: chip, bus: chip.Timing().Bus, maxRead: maxReadback}
 }
@@ -117,6 +125,18 @@ func (e *Engine) DrainReadback() []ReadLine {
 	rb := e.readback
 	e.readback = e.readback[:0]
 	return rb
+}
+
+// ExecDiscardReads runs prog like Exec but drops read data instead of
+// buffering it in the readback buffer (and is exempt from the buffer's
+// capacity limit). The access service paths use it: a plain read's data is
+// never consumed, so moving 64-byte lines per RD would be pure overhead.
+// Chip state, statistics, and Result are identical to a buffered run.
+func (e *Engine) ExecDiscardReads(prog []Instr, start clock.PS, wrbuf [][]byte) (Result, error) {
+	e.discard = true
+	res, err := e.Exec(prog, start, wrbuf)
+	e.discard = false
+	return res, err
 }
 
 // Exec runs prog starting at absolute chip time start. wrbuf supplies data
@@ -155,6 +175,20 @@ func (e *Engine) Exec(prog []Instr, start clock.PS, wrbuf [][]byte) (Result, err
 			res.Commands++
 			t += period
 		case OpRD:
+			if e.discard {
+				// The line's reliability and data go nowhere: the caller
+				// declared the readback unused (ExecDiscardReads), so skip
+				// building and buffering the 64-byte line entirely. Chip
+				// state, statistics, and timing checks advance exactly as a
+				// buffered read's would.
+				if _, err := e.chip.Read(in.A, in.B, t, nil); err != nil {
+					return res, fmt.Errorf("bender: pc=%d: %w", pc, err)
+				}
+				res.Commands++
+				res.Reads++
+				t += period
+				break
+			}
 			if len(e.readback) >= e.maxRead {
 				return res, fmt.Errorf("bender: readback buffer overflow (%d lines)", e.maxRead)
 			}

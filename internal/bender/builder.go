@@ -17,6 +17,12 @@ type Builder struct {
 	p    timing.Params
 	prog []Instr
 	wr   [][]byte
+	// cursor is the bus time the program occupies so far: one bus cycle per
+	// SEND-class command, the programmed delay per WAIT, tRFC per REF. It
+	// mirrors the executor's time advance exactly (control instructions are
+	// free), which is what lets the burst service path attribute a precise
+	// slice of one program's bus time to each coalesced request.
+	cursor clock.PS
 }
 
 // NewBuilder returns a Builder that computes delays from p.
@@ -28,7 +34,15 @@ func NewBuilder(p timing.Params) *Builder {
 func (b *Builder) Reset() {
 	b.prog = b.prog[:0]
 	b.wr = b.wr[:0]
+	b.cursor = 0
 }
+
+// Cursor reports the bus time the program assembled so far will occupy,
+// exactly as the executor will account it (commands one bus cycle each,
+// WAITs their programmed delay, REF tRFC). Loops emitted via Loop are not
+// position-independent and are not reflected beyond one iteration; the
+// service paths that consume Cursor never use loops.
+func (b *Builder) Cursor() clock.PS { return b.cursor }
 
 // Len reports the current instruction count.
 func (b *Builder) Len() int { return len(b.prog) }
@@ -45,6 +59,14 @@ func (b *Builder) WriteBuf() [][]byte { return b.wr }
 // Emit appends a raw instruction.
 func (b *Builder) Emit(in Instr) *Builder {
 	b.prog = append(b.prog, in)
+	switch in.Op {
+	case OpNOP, OpACT, OpPRE, OpRD, OpWR:
+		b.cursor += b.p.Bus.Period()
+	case OpWAIT:
+		b.cursor += clock.PS(in.A) * b.p.Bus.Period()
+	case OpREF:
+		b.cursor += b.p.TRFC
+	}
 	return b
 }
 
@@ -60,10 +82,7 @@ func (b *Builder) waitAfterCmd(t clock.PS) int {
 
 // Wait appends a WAIT for the given duration (rounded up to bus cycles).
 func (b *Builder) Wait(t clock.PS) *Builder {
-	n := int(b.p.Bus.CyclesCeil(t))
-	if n > 0 {
-		b.prog = append(b.prog, Instr{Op: OpWAIT, A: n})
-	}
+	b.waitCycles(int(b.p.Bus.CyclesCeil(t)))
 	return b
 }
 
@@ -251,6 +270,30 @@ func (b *Builder) ProfileRow(bank, row, cols int, pattern []byte, rcd clock.PS) 
 	return b
 }
 
+// StripeRowsMax is the largest row count ProfileRowStripe accepts in one
+// program on the default 128-column module: the EasyTile readback buffer
+// holds ReadbackLines (8192) lines, and each profiled row contributes one
+// test read per column, so 64 rows exactly fill it. The binding limit is
+// rows*cols <= ReadbackLines — wider geometries fit fewer rows (the
+// controller checks the product).
+const StripeRowsMax = ReadbackLines / 128
+
+// ProfileRowStripe appends the bank-stripe profiling program (§8.1 at its
+// batching limit): the whole-row sequence of ProfileRow repeated for `rows`
+// consecutive rows starting at startRow, all in one program. Per-line
+// reliability outcomes are identical to per-row (and per-line) programs
+// because each line still goes through ProfileCheck — its test read lands
+// exactly rcd after its own activation, and the variation model decides
+// reliability from that spacing alone. The readback buffer receives
+// rows*cols lines in (row, column) order; rows*cols must not exceed the
+// 8192-line readback buffer (StripeRowsMax rows of a 128-column module).
+func (b *Builder) ProfileRowStripe(bank, startRow, rows, cols int, pattern []byte, rcd clock.PS) *Builder {
+	for r := 0; r < rows; r++ {
+		b.ProfileRow(bank, startRow+r, cols, pattern, rcd)
+	}
+	return b
+}
+
 // Loop wraps body(i-free) in an LDI/DEC/BNZ loop executing count times.
 // The body must not emit absolute jumps.
 func (b *Builder) Loop(reg, count int, body func(*Builder)) *Builder {
@@ -264,6 +307,6 @@ func (b *Builder) Loop(reg, count int, body func(*Builder)) *Builder {
 
 func (b *Builder) waitCycles(n int) {
 	if n > 0 {
-		b.prog = append(b.prog, Instr{Op: OpWAIT, A: n})
+		b.Emit(Instr{Op: OpWAIT, A: n})
 	}
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+
+	"easydram/internal/clock"
+)
+
+// Row-hit burst service: engine-side gating.
+//
+// The controller may serve several same-row requests in one SMC step (one
+// Bender program) — see smc.BaseController's serveAccessBurst — but only
+// when doing so is bit-identical to serving them one step at a time. The
+// controller charges per-request modeled costs exactly as serial service
+// would; what it cannot see is the engine state that would have let the
+// outside world interleave between serial steps. The gates below encode
+// exactly those conditions, one per engine phase:
+//
+//   - blocked: the processor waits on one request. Serial service stops
+//     stepping the SMC the moment that request's response is queued (the
+//     processor consumes it and may issue new requests), so a burst must
+//     cut immediately after serving blockedOn.
+//   - fencing / draining: the processor issues nothing until everything
+//     completes; bursts extend freely.
+//   - stalled (scaled only): the processor could run once the MC counter
+//     passes its cycle. Serial service would hand control back to the
+//     processor after any step that lifts MC above Proc, so a burst may
+//     only extend while its projected MC stays at or below Proc.
+//
+// In the unscaled engine, issued requests carry wall-clock arrival times
+// and are staged until the SMC's decision point reaches them. A serial
+// step sequence would ingest a staged request before the step whose
+// decision point (the previous step's completion) reaches its arrival —
+// changing table sizes, scheduling charges, and possibly the pick — so a
+// burst must stop before its service chain's completion reaches the next
+// staged arrival (burstLimit).
+//
+// Refresh is the one interaction not replicated mid-burst: serial service
+// re-checks the refresh horizon before every step. Rather than approximate,
+// the engine grants no burst budget when refresh is enabled (see
+// Config.BurstCap); the golden workload configurations therefore exercise
+// bursting through dedicated refresh-free tests.
+
+// burstPhase identifies the engine state an SMC step runs under.
+type burstPhase uint8
+
+const (
+	// burstPhaseStall: scaled engine, processor runnable but out of
+	// allowance (MC <= Proc).
+	burstPhaseStall burstPhase = iota
+	// burstPhaseBlocked: processor blocked on one request's response.
+	burstPhaseBlocked
+	// burstPhaseFence: processor fenced until all outstanding work drains.
+	burstPhaseFence
+	// burstPhaseDrain: workload finished; posted writebacks drain.
+	burstPhaseDrain
+)
+
+// burstBudget reports the burst budget for the current step.
+func (e *engine) burstBudget() int { return e.burstCap }
+
+// mayExtendBurstScaled is the scaled engine's burst gate: it is consulted
+// by the controller after each served request, before appending the next.
+func (e *engine) mayExtendBurstScaled() bool {
+	env := e.sys.env
+	resp := env.Responses()
+	if len(resp) == 0 {
+		return false
+	}
+	// Serial service stops the moment the blocked-on response exists.
+	if e.blockedOn != 0 && resp[len(resp)-1].ReqID == e.blockedOn {
+		return false
+	}
+	if e.burstPhase == burstPhaseStall {
+		// The processor regains allowance as soon as MC exceeds Proc;
+		// serial service would let it run (and possibly issue requests that
+		// change the next step's table) before serving more.
+		if e.projectedMC() > e.ts.Proc() {
+			return false
+		}
+	}
+	return true
+}
+
+// projectedMC replays the ServeModeled chain of the closed segments on top
+// of the live MC service point, without mutating the counters, and returns
+// the MC cycle the chain would reach.
+func (e *engine) projectedMC() clock.Cycles {
+	env := e.sys.env
+	chain := e.ts.MCTime()
+	resp := env.Responses()
+	var prevOcc clock.PS
+	prevResp := 0
+	for _, s := range env.Segments() {
+		occ := s.Occupancy - prevOcc
+		// One response per segment; its arrival tag lower-bounds the start.
+		if s.Responses > prevResp {
+			if p, ok := e.inflight.Get(resp[s.Responses-1].ReqID); ok {
+				if t := e.ts.ProcEmul.ToTime(p.tag); t > chain {
+					chain = t
+				}
+			}
+		}
+		chain += occ
+		prevOcc, prevResp = s.Occupancy, s.Responses
+	}
+	return e.ts.ProcEmul.CyclesFloor(chain)
+}
+
+// mayExtendBurstUnscaled is the unscaled engine's burst gate.
+func (e *engine) mayExtendBurstUnscaled() bool {
+	env := e.sys.env
+	resp := env.Responses()
+	if len(resp) == 0 {
+		return false
+	}
+	if e.blockedOn != 0 && resp[len(resp)-1].ReqID == e.blockedOn {
+		return false
+	}
+	if e.burstLimit == math.MaxInt64 {
+		return true
+	}
+	// Serial service would ingest the next staged request before the step
+	// whose decision point reaches its arrival; the decision point after
+	// the closed segments is their chained completion.
+	return int64(e.projectedCompletion()) < e.burstLimit
+}
+
+// projectedCompletion replays the unscaled service chain of the closed
+// segments: per segment, start at max(SMC free point, the served request's
+// arrival), occupy for the charged SMC cycles (zero under HardwareMC) plus
+// the modeled occupancy.
+func (e *engine) projectedCompletion() clock.PS {
+	env := e.sys.env
+	resp := env.Responses()
+	free := e.smcFreeAt
+	var prevCharged int64
+	var prevOcc clock.PS
+	prevResp := 0
+	for _, s := range env.Segments() {
+		start := free
+		if s.Responses > prevResp {
+			if p, ok := e.inflight.Get(resp[s.Responses-1].ReqID); ok && p.arrival > start {
+				start = p.arrival
+			}
+		}
+		var smcOcc clock.PS
+		if !e.cfg.HardwareMC {
+			smcOcc = clock.PS(s.Charged-prevCharged) * e.cfg.FPGA.Period()
+		}
+		free = start + smcOcc + (s.Occupancy - prevOcc)
+		prevCharged, prevOcc, prevResp = s.Charged, s.Occupancy, s.Responses
+	}
+	return free
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"easydram/internal/clock"
+	"easydram/internal/smc"
+	"easydram/internal/workload"
+)
+
+// Burst-service equivalence tests. Row-hit burst service (Config.BurstCap)
+// must be invisible to the emulated system: every cycle count and every
+// semantic statistic must be bit-identical to serial service. Bursting
+// engages only with refresh off (see burst.go), so these tests run the
+// golden configurations with RefreshEnabled=false.
+
+// burstCfg returns cfg with refresh off and the given burst cap.
+func burstCfg(cfg Config, cap int) Config {
+	cfg.RefreshEnabled = false
+	cfg.BurstCap = cap
+	return cfg
+}
+
+// runBurst runs k on cfg and returns the result.
+func runBurst(t *testing.T, cfg Config, k workload.Kernel) Result {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(k.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// normalizeCtrl zeroes the burst counters, which are the only controller
+// statistics allowed to differ between burst and serial service.
+func normalizeCtrl(s smc.ControllerStats) smc.ControllerStats {
+	s.BurstsServed = 0
+	s.BurstedRequests = 0
+	return s
+}
+
+// assertBurstIdentical runs k under cfg with bursting off and on and
+// requires bit-identical emulated results. It returns the burst run's
+// controller stats so callers can additionally require that bursts
+// actually happened (a vacuously passing equivalence test proves nothing).
+func assertBurstIdentical(t *testing.T, cfg Config, k workload.Kernel) smc.ControllerStats {
+	t.Helper()
+	serial := runBurst(t, burstCfg(cfg, 0), k)
+	burst := runBurst(t, burstCfg(cfg, 8), k)
+
+	if serial.ProcCycles != burst.ProcCycles || serial.GlobalCycles != burst.GlobalCycles {
+		t.Fatalf("cycle counts diverge: serial %d/%d vs burst %d/%d",
+			serial.ProcCycles, serial.GlobalCycles, burst.ProcCycles, burst.GlobalCycles)
+	}
+	if len(serial.Marks) != len(burst.Marks) {
+		t.Fatalf("mark counts diverge: %v vs %v", serial.Marks, burst.Marks)
+	}
+	for i := range serial.Marks {
+		if serial.Marks[i] != burst.Marks[i] {
+			t.Fatalf("marks diverge at %d: %v vs %v", i, serial.Marks, burst.Marks)
+		}
+	}
+	if serial.CPU != burst.CPU {
+		t.Fatalf("CPU stats diverge:\n%+v\n%+v", serial.CPU, burst.CPU)
+	}
+	if normalizeCtrl(serial.Ctrl) != normalizeCtrl(burst.Ctrl) {
+		t.Fatalf("controller stats diverge:\n%+v\n%+v", serial.Ctrl, burst.Ctrl)
+	}
+	if serial.Chip != burst.Chip {
+		// Includes command counts AND timing-violation counts: the burst
+		// program must land every DRAM command on the same absolute bus
+		// cycle as serial programs would.
+		t.Fatalf("chip stats diverge:\n%+v\n%+v", serial.Chip, burst.Chip)
+	}
+	if serial.Ctrl.BurstsServed != 0 {
+		t.Fatalf("serial run recorded %d bursts", serial.Ctrl.BurstsServed)
+	}
+	return burst.Ctrl
+}
+
+// burstMLP8 widens the A57 core so a full RowBurstDepth group can be
+// outstanding together.
+func burstMLP8(cfg Config) Config {
+	cfg.CPU.MLP = 8
+	return cfg
+}
+
+// unscaledOoO is the no-time-scaling configuration with an out-of-order
+// core (MLP 8) at the physical clock: the in-order Rocket blocks on every
+// miss and so never holds a same-row run in the request table.
+func unscaledOoO() Config {
+	cfg := NoTimeScaling()
+	cfg.CPU = burstMLP8(TimeScalingA57()).CPU
+	cfg.CPU.Clock = cfg.ProcPhys
+	return cfg
+}
+
+// wbRowKernel dirties whole rows line by line, flushes them (posted
+// writebacks), and fences — so the controller's table fills with same-row
+// writebacks that burst during the fence.
+func wbRowKernel(rows int) workload.Kernel {
+	return workload.Kernel{Name: "wb-rows", Body: func(g *workload.Gen) {
+		const rowBytes = 8192
+		for r := 0; r < rows; r++ {
+			base := uint64(r) * rowBytes
+			for c := 0; c < rowBytes/64; c++ {
+				g.Store(base + uint64(c)*64)
+			}
+			for c := 0; c < rowBytes/64; c++ {
+				g.Flush(base + uint64(c)*64)
+			}
+			g.Barrier()
+		}
+	}}
+}
+
+func TestBurstServiceBitIdentical(t *testing.T) {
+	rowBurst := workload.SubstrateRowBurst(1024)
+	gemver := workload.PBGemver(48)
+	latmem := workload.LatMemRd(256<<10, 2000)
+	wbRows := wbRowKernel(4)
+
+	cases := []struct {
+		name      string
+		cfg       Config
+		k         workload.Kernel
+		wantBurst bool
+	}{
+		{"scaled/rowburst", burstMLP8(TimeScalingA57()), rowBurst, true},
+		{"unscaled/rowburst", unscaledOoO(), rowBurst, true},
+		{"ts1ghz/rowburst", burstMLP8(TimeScaling1GHz()), rowBurst, true},
+		{"ref1ghz/rowburst", burstMLP8(Reference1GHz()), rowBurst, true},
+		{"scaled/wbrows", TimeScalingA57(), wbRows, true},
+		{"unscaled/wbrows", NoTimeScaling(), wbRows, true},
+		{"scaled/gemver", TimeScalingA57(), gemver, false},
+		{"unscaled/gemver", NoTimeScaling(), gemver, false},
+		{"scaled/latmem", TimeScalingA57(), latmem, false},
+		{"unscaled/latmem", NoTimeScaling(), latmem, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ctrl := assertBurstIdentical(t, c.cfg, c.k)
+			if c.wantBurst && ctrl.BurstsServed == 0 {
+				t.Fatalf("equivalence is vacuous: no bursts served (%+v)", ctrl)
+			}
+			if c.wantBurst && ctrl.AvgBurstLen() < 2 {
+				t.Fatalf("avg burst len %.2f implausibly low", ctrl.AvgBurstLen())
+			}
+		})
+	}
+}
+
+// TestBurstGoldenCycleCounts pins absolute cycle counts with bursting
+// ENABLED, alongside the serial golden numbers in determinism_test.go: the
+// burst path must neither drift on its own nor silently stop engaging
+// (BurstsServed is pinned too).
+func TestBurstGoldenCycleCounts(t *testing.T) {
+	type golden struct {
+		proc, global clock.Cycles
+		served       int64
+		bursts       int64
+		bursted      int64
+	}
+	rowBurst := workload.SubstrateRowBurst(1024)
+	cases := []struct {
+		name string
+		cfg  Config
+		want golden
+	}{
+		// Captured from the serial engine (BurstCap=0) on these exact
+		// configurations; the burst run must reproduce them bit-identically.
+		{"scaled", burstMLP8(burstCfg(TimeScalingA57(), 8)), golden{18968, 156608, 1024, 128, 896}},
+		{"unscaled", burstCfg(unscaledOoO(), 8), golden{30895, 61790, 1024, 128, 896}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := runBurst(t, c.cfg, rowBurst)
+			got := golden{res.ProcCycles, res.GlobalCycles, res.Ctrl.Served,
+				res.Ctrl.BurstsServed, res.Ctrl.BurstedRequests}
+			if got != c.want {
+				t.Fatalf("burst golden drifted:\n got %+v\nwant %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestBurstDisabledUnderRefresh pins the refresh gate: with refresh on, a
+// burst cap must be ignored (results equal the refresh-on serial golden
+// numbers in determinism_test.go, and no bursts are recorded).
+func TestBurstDisabledUnderRefresh(t *testing.T) {
+	cfg := burstMLP8(TimeScalingA57())
+	cfg.BurstCap = 8 // RefreshEnabled stays true
+	res := runBurst(t, cfg, workload.SubstrateRowBurst(256))
+	if res.Ctrl.BurstsServed != 0 {
+		t.Fatalf("bursts served despite refresh: %d", res.Ctrl.BurstsServed)
+	}
+}

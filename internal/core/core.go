@@ -39,7 +39,6 @@ import (
 	"easydram/internal/clock"
 	"easydram/internal/cpu"
 	"easydram/internal/dram"
-	"easydram/internal/mem"
 	"easydram/internal/smc"
 	"easydram/internal/tile"
 	"easydram/internal/timescale"
@@ -80,6 +79,17 @@ type Config struct {
 	// last-level cache and the memory controller in the target system.
 	MemPathLatency clock.PS
 
+	// BurstCap bounds how many same-row requests one SMC step may serve
+	// through a single Bender program (row-hit burst service). 0 or 1
+	// selects serial service. Bursting never changes emulated timing: the
+	// engine only grants a burst when serving it is provably bit-identical
+	// to serial service (and per-request modeled costs are charged exactly
+	// as the serial path charges them), so this knob trades nothing but
+	// host time. It currently engages only when RefreshEnabled is false —
+	// mid-burst refresh accounting is not replicated, and the engine falls
+	// back to serial service rather than approximate.
+	BurstCap int
+
 	RefreshEnabled bool
 
 	// MaxProcCycles aborts runs that exceed this many emulated processor
@@ -101,6 +111,9 @@ func (c Config) Validate() error {
 	}
 	if c.ModeledCtrlLatency < 0 || c.MemPathLatency < 0 {
 		return fmt.Errorf("core: modeled latencies must be non-negative")
+	}
+	if c.BurstCap < 0 {
+		return fmt.Errorf("core: burst cap must be non-negative, got %d", c.BurstCap)
 	}
 	return nil
 }
@@ -226,6 +239,14 @@ type pending struct {
 	tag clock.Cycles
 }
 
+// stagedReq is one issued-but-not-arrived request in the unscaled engine:
+// its slot in the tile's request slab plus its ID (arrival time lives in
+// the in-flight table).
+type stagedReq struct {
+	slot tile.ReqSlot
+	id   uint64
+}
+
 // Run executes the workload stream to completion and returns the result.
 // The stream is closed before Run returns.
 func (s *System) Run(strm workload.Stream) (Result, error) {
@@ -241,6 +262,12 @@ func (s *System) Run(strm workload.Stream) (Result, error) {
 		inflight:      newSlotRing(),
 		ready:         newReleaseQueue(),
 		trackArrivals: s.ctl.RefreshEnabled(),
+		burstCap:      1,
+	}
+	if s.cfg.BurstCap > 1 && !s.ctl.RefreshEnabled() {
+		// Mid-burst refresh accounting is not replicated (see burst.go);
+		// with refresh on, bursting stays off rather than approximate.
+		e.burstCap = s.cfg.BurstCap
 	}
 	if s.cfg.Scaling {
 		err = e.runScaled()
@@ -280,12 +307,22 @@ type engine struct {
 	// staged holds issued requests not yet visible to the controller
 	// (non-scaled mode): the SMC only observes requests that have arrived
 	// by its next decision point, mirroring the scaled engine's gating.
-	staged []mem.Request
+	// Request bytes already live in the tile's slab; staged carries slots.
+	staged []stagedReq
 
 	blockedOn  uint64
 	fencing    bool
 	maxRelease clock.Cycles
 	marks      []clock.Cycles
+
+	// Burst service state: burstCap is the per-step budget granted to the
+	// controller (1 = serial); burstPhase records which engine state the
+	// current SMC step runs under, and burstLimit is the next staged
+	// arrival (unscaled mode) the burst's service chain must stay below.
+	// See burst.go.
+	burstCap   int
+	burstPhase burstPhase
+	burstLimit int64
 
 	procCycles  clock.Cycles // final, non-scaled mode
 	globalFinal clock.Cycles

@@ -5,6 +5,7 @@ import (
 
 	"easydram/internal/clock"
 	"easydram/internal/mem"
+	"easydram/internal/smc"
 	"easydram/internal/timescale"
 )
 
@@ -15,6 +16,7 @@ func (e *engine) runScaled() error {
 		return err
 	}
 	e.ts = ts
+	e.sys.env.SetBurst(1, e.mayExtendBurstScaled)
 
 	for {
 		e.deliverMaturedScaled()
@@ -26,6 +28,7 @@ func (e *engine) runScaled() error {
 				e.blockedOn = 0
 				continue
 			}
+			e.burstPhase = burstPhaseBlocked
 			if err := e.smcStepScaled(); err != nil {
 				return err
 			}
@@ -46,6 +49,7 @@ func (e *engine) runScaled() error {
 				e.consumeScaled(it.id)
 				continue
 			}
+			e.burstPhase = burstPhaseFence
 			if err := e.smcStepScaled(); err != nil {
 				return err
 			}
@@ -54,6 +58,7 @@ func (e *engine) runScaled() error {
 
 		allowance := ts.ProcAllowance()
 		if allowance == 0 {
+			e.burstPhase = burstPhaseStall
 			if err := e.smcStepScaled(); err != nil {
 				return err
 			}
@@ -83,7 +88,7 @@ func (e *engine) runScaled() error {
 			if debugTrace {
 				tracef("S issue id=%d kind=%v proc=%d", out.Reqs[i].ID, out.Reqs[i].Kind, ts.Proc())
 			}
-			e.issueScaled(out.Reqs[i])
+			e.issueScaled(&out.Reqs[i])
 		}
 		if out.WaitID != 0 {
 			if debugTrace {
@@ -99,6 +104,7 @@ func (e *engine) runScaled() error {
 	}
 
 	// Drain posted writebacks so wall-time accounting covers them.
+	e.burstPhase = burstPhaseDrain
 	for e.inflight.Len() > 0 {
 		if err := e.smcStepScaled(); err != nil {
 			return err
@@ -129,8 +135,10 @@ func (e *engine) consumeScaled(id uint64) {
 }
 
 // issueScaled places a new request into the EasyTile FIFO, tagging it with
-// the current processor cycle and gating the processor domain.
-func (e *engine) issueScaled(req mem.Request) {
+// the current processor cycle and gating the processor domain. The request
+// is copied into the tile's slab here, once; every later stage carries its
+// slot.
+func (e *engine) issueScaled(req *mem.Request) {
 	req.Tag = e.ts.Proc()
 	e.sys.tile.PushRequest(req)
 	e.inflight.Put(req.ID, pending{posted: req.Posted, tag: req.Tag})
@@ -194,6 +202,7 @@ func (e *engine) smcStepScaled() error {
 	}
 	env := e.sys.env
 	env.Reset(e.cfg.CPU.Clock.ToTime(e.ts.MC()))
+	env.SetBurstBudget(e.burstBudget())
 	worked, err := e.sys.ctl.ServeOne(env)
 	if err != nil {
 		return err
@@ -207,6 +216,10 @@ func (e *engine) smcStepScaled() error {
 			return nil
 		}
 		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+	}
+
+	if len(env.Segments()) > 0 {
+		return e.settleScaledSegments(env)
 	}
 
 	charged := env.ChargedFPGA()
@@ -245,6 +258,52 @@ func (e *engine) smcStepScaled() error {
 			continue
 		}
 		e.ready.Push(r.ReqID, int64(release))
+	}
+	e.maybeExitCritical()
+	return nil
+}
+
+// settleScaledSegments settles a burst step segment by segment, applying to
+// each served request exactly the arithmetic its own serial step would have
+// received: one AdvanceWall per segment (per-call FPGA-cycle ceilings
+// included), one MC service chained through ServeModeled, and one release
+// tag per response — so responses enter the release queue with their
+// individual latencies and the counters advance bit-identically to serial
+// service.
+func (e *engine) settleScaledSegments(env *smc.Env) error {
+	responses := env.Responses()
+	var prev smc.Segment
+	for _, s := range env.Segments() {
+		charged := s.Charged - prev.Charged
+		if e.cfg.HardwareMC {
+			charged = 0
+		}
+		e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + s.Wall)
+		if s.Responses != prev.Responses+1 {
+			return fmt.Errorf("core: burst segment closed with %d responses, want 1", s.Responses-prev.Responses)
+		}
+		r := responses[s.Responses-1]
+		arrival := clock.Cycles(0)
+		p, ok := e.inflight.Get(r.ReqID)
+		if ok {
+			arrival = p.tag
+		}
+		release := e.ts.ServeModeled(arrival, s.Occupancy-prev.Occupancy,
+			s.Latency-prev.Latency+e.extraModeled(1))
+		if debugTrace {
+			tracef("S burst-serve id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", r.ReqID, arrival,
+				s.Occupancy-prev.Occupancy, s.Latency-prev.Latency, e.ts.MC(), release, e.ts.Proc())
+		}
+		if _, ok := e.inflight.Take(r.ReqID); !ok {
+			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
+		}
+		if release > e.maxRelease {
+			e.maxRelease = release
+		}
+		if !p.posted {
+			e.ready.Push(r.ReqID, int64(release))
+		}
+		prev = s
 	}
 	e.maybeExitCritical()
 	return nil

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"easydram/internal/clock"
+	"easydram/internal/smc"
 )
 
 // runUnscaled executes the workload without time scaling. The processor
@@ -20,6 +22,7 @@ func (e *engine) runUnscaled() error {
 	var maxWall clock.PS
 
 	proc := func() clock.Cycles { return clock.Cycles(e.wallNow / procPeriod) }
+	e.sys.env.SetBurst(1, e.mayExtendBurstUnscaled)
 
 	for {
 		// Deliver responses whose wall release time has passed (in release
@@ -45,6 +48,7 @@ func (e *engine) runUnscaled() error {
 				e.blockedOn = 0
 				continue
 			}
+			e.burstPhase = burstPhaseBlocked
 			w, err := e.smcStepUnscaled()
 			if err != nil {
 				return err
@@ -65,6 +69,7 @@ func (e *engine) runUnscaled() error {
 				continue
 			}
 			if e.inflight.Len() > 0 {
+				e.burstPhase = burstPhaseFence
 				w, err := e.smcStepUnscaled()
 				if err != nil {
 					return err
@@ -103,12 +108,13 @@ func (e *engine) runUnscaled() error {
 			return err
 		}
 		for i := range out.Reqs {
-			req := out.Reqs[i]
+			req := &out.Reqs[i]
 			req.Tag = proc()
 			if debugTrace {
 				tracef("U issue id=%d kind=%v wall=%d proc=%d", req.ID, req.Kind, e.wallNow, proc())
 			}
-			e.staged = append(e.staged, req)
+			// Copy into the tile slab once; stage the slot until arrival.
+			e.staged = append(e.staged, stagedReq{slot: e.sys.tile.Stage(req), id: req.ID})
 			e.inflight.Put(req.ID, pending{posted: req.Posted, arrival: e.wallNow})
 			if e.trackArrivals {
 				e.arrivals.Push(req.ID, int64(e.wallNow))
@@ -129,6 +135,7 @@ func (e *engine) runUnscaled() error {
 
 	e.procCycles = proc()
 	// Drain remaining posted writebacks for wall-time accounting.
+	e.burstPhase = burstPhaseDrain
 	for e.inflight.Len() > 0 {
 		w, err := e.smcStepUnscaled()
 		if err != nil {
@@ -200,25 +207,35 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	// in issue order and arrivals are monotone, so the earliest is first.
 	decision := e.smcFreeAt
 	if len(e.staged) > 0 && e.sys.tile.IncomingEmpty() && e.sys.ctl.Pending() == 0 {
-		if p, ok := e.inflight.Get(e.staged[0].ID); ok && decision < p.arrival {
+		if p, ok := e.inflight.Get(e.staged[0].id); ok && decision < p.arrival {
 			decision = p.arrival
 		}
 	}
 	kept := e.staged[:0]
-	for _, req := range e.staged {
-		if p, _ := e.inflight.Get(req.ID); p.arrival <= decision {
-			e.sys.tile.PushRequest(req)
+	for _, sr := range e.staged {
+		if p, _ := e.inflight.Get(sr.id); p.arrival <= decision {
+			e.sys.tile.Enqueue(sr.slot)
 		} else {
-			kept = append(kept, req)
+			kept = append(kept, sr)
 		}
 	}
 	e.staged = kept
+
+	// A burst's service chain must stop before the next staged arrival:
+	// serial stepping would ingest that request first (see burst.go).
+	e.burstLimit = math.MaxInt64
+	if len(e.staged) > 0 {
+		if p, ok := e.inflight.Get(e.staged[0].id); ok {
+			e.burstLimit = int64(p.arrival)
+		}
+	}
 
 	now := e.wallNow
 	if e.smcFreeAt > now {
 		now = e.smcFreeAt
 	}
 	env.Reset(now)
+	env.SetBurstBudget(e.burstBudget())
 	worked, err := e.sys.ctl.ServeOne(env)
 	if err != nil {
 		return 0, err
@@ -232,6 +249,10 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	}
 
 	responses := env.Responses()
+
+	if len(env.Segments()) > 0 {
+		return e.settleUnscaledSegments(env)
+	}
 
 	// Service start: the SMC must be free and the request must have
 	// arrived (the model serves one request per step, so the first
@@ -277,6 +298,55 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 			continue
 		}
 		e.ready.Push(r.ReqID, int64(release))
+	}
+	return completion, nil
+}
+
+// settleUnscaledSegments settles a burst step segment by segment with the
+// exact wall-clock service math of a serial step sequence: each segment
+// starts at max(SMC free point, its request's arrival), chains the serial
+// resource by its charged SMC cycles plus modeled occupancy, and releases
+// its response at its own latency. The returned completion is the last
+// segment's (the chain's maximum).
+func (e *engine) settleUnscaledSegments(env *smc.Env) (clock.PS, error) {
+	responses := env.Responses()
+	var prev smc.Segment
+	var completion clock.PS
+	for _, s := range env.Segments() {
+		if s.Responses != prev.Responses+1 {
+			return 0, fmt.Errorf("core: burst segment closed with %d responses, want 1", s.Responses-prev.Responses)
+		}
+		r := responses[s.Responses-1]
+		p, ok := e.inflight.Get(r.ReqID)
+		if !ok {
+			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
+		}
+		start := e.smcFreeAt
+		if p.arrival > start {
+			start = p.arrival
+		}
+		var smcOcc, smcLat clock.PS
+		if e.cfg.HardwareMC {
+			smcLat = e.extraModeled(1)
+		} else {
+			chargedPS := clock.PS(s.Charged-prev.Charged) * e.cfg.FPGA.Period()
+			smcOcc = chargedPS
+			smcLat = chargedPS + e.extraModeled(1)
+		}
+		completion = start + smcOcc + (s.Occupancy - prev.Occupancy)
+		release := start + smcLat + (s.Latency - prev.Latency)
+		if release < completion {
+			release = completion
+		}
+		e.smcFreeAt = completion
+		if debugTrace {
+			tracef("U burst-serve id=%d start=%d completion=%d release=%d", r.ReqID, start, completion, release)
+		}
+		e.inflight.Take(r.ReqID)
+		if !p.posted {
+			e.ready.Push(r.ReqID, int64(release))
+		}
+		prev = s
 	}
 	return completion, nil
 }

@@ -20,7 +20,7 @@ import (
 func (s *System) hostServe(req mem.Request) (mem.Response, error) {
 	s.hostReqID++
 	req.ID = s.hostReqID
-	s.tile.PushRequest(req)
+	s.tile.PushRequest(&req)
 	for i := 0; i < 1024; i++ {
 		s.env.Reset(0)
 		worked, err := s.ctl.ServeOne(s.env)
@@ -63,6 +63,20 @@ func (s *System) ProfileRow(pa uint64, rcd clock.PS) (okLines int, ok bool, err 
 	pa &^= uint64(s.Mapper().RowBytes() - 1)
 	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: pa, RCD: rcd})
 	return r.Lines, r.OK, err
+}
+
+// ProfileRowStripe tests every cache line of `rows` consecutive DRAM rows
+// starting at the row containing pa (row-aligned internally) at the given
+// tRCD, with a single bank-stripe profiling request — one host round-trip
+// and one Bender program for up to 64 rows (the readback-buffer bound; see
+// bender.StripeRowsMax). rowLines[r] is the r-th covered row's leading
+// reliable line count (the column count when the row passed); ok reports
+// whether every line of every row passed. Per-line outcomes are identical
+// to ProfileRow and ProfileLine.
+func (s *System) ProfileRowStripe(pa uint64, rows int, rcd clock.PS) (rowLines []int, ok bool, err error) {
+	pa &^= uint64(s.Mapper().RowBytes() - 1)
+	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: pa, RCD: rcd, Rows: rows})
+	return r.RowLines, r.OK, err
 }
 
 // BitwiseMAJ performs an in-DRAM bulk bitwise majority across the rows at

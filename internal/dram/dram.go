@@ -125,6 +125,9 @@ type Chip struct {
 	vm      *variation.Model
 	checker *timing.Checker
 	banks   []bankState
+	// maxMinRCD caches vm.MaxMinTRCD(): reads at or above it are reliable
+	// without consulting the variation model.
+	maxMinRCD clock.PS
 	// rows holds the backing data store as two-level per-bank tables
 	// (bank -> rowChunkRows-row chunk -> row), every level allocated
 	// lazily. The RD/WR data path indexes instead of hashing, and the
@@ -165,12 +168,13 @@ func New(cfg Config) (*Chip, error) {
 		banks[i] = bankState{openRow: -1, lastActRow: -1, lastActTime: -1 << 60, lastPreTime: -1 << 60}
 	}
 	return &Chip{
-		cfg:     cfg,
-		geom:    geom,
-		vm:      vm,
-		checker: timing.NewChecker(cfg.Timing, cfg.BankGroups, cfg.BanksPerGroup),
-		banks:   banks,
-		rows:    make([][][][]byte, geom.Banks),
+		cfg:       cfg,
+		geom:      geom,
+		vm:        vm,
+		checker:   timing.NewChecker(cfg.Timing, cfg.BankGroups, cfg.BanksPerGroup),
+		banks:     banks,
+		maxMinRCD: vm.MaxMinTRCD(),
+		rows:      make([][][][]byte, geom.Banks),
 	}, nil
 }
 
@@ -228,8 +232,7 @@ const rowCloneEarlyACT = 10 * clock.Nanosecond
 func (c *Chip) Activate(bank, row int, t clock.PS, rcd clock.PS) (cloned, cloneOK bool) {
 	c.boundsRow(bank, row)
 	b := &c.banks[bank]
-	viol := c.checker.Apply(timing.CmdACT, bank, t, rcd)
-	c.stats.TimingViolations += int64(len(viol))
+	c.stats.TimingViolations += int64(c.checker.ApplyCount(timing.CmdACT, bank, t, rcd))
 	c.stats.ACTs++
 
 	if attempted, ok := c.tryBitwiseMAJ(bank, row, t); attempted {
@@ -271,8 +274,7 @@ func (c *Chip) Activate(bank, row int, t clock.PS, rcd clock.PS) (cloned, cloneO
 func (c *Chip) Precharge(bank int, t clock.PS) {
 	c.boundsBank(bank)
 	b := &c.banks[bank]
-	viol := c.checker.Apply(timing.CmdPRE, bank, t, 0)
-	c.stats.TimingViolations += int64(len(viol))
+	c.stats.TimingViolations += int64(c.checker.ApplyCount(timing.CmdPRE, bank, t, 0))
 	c.stats.PREs++
 	// Early precharge interrupts restoration and leaves the sense amps
 	// holding the row's data (RowClone first half).
@@ -295,15 +297,16 @@ func (c *Chip) Read(bank, col int, t clock.PS, dst []byte) (reliable bool, err e
 	if col < 0 || col >= c.cfg.ColsPerRow {
 		return false, fmt.Errorf("dram: RD column %d out of range", col)
 	}
-	viol := c.checker.Apply(timing.CmdRD, bank, t, 0)
-	c.stats.TimingViolations += int64(len(viol))
+	c.stats.TimingViolations += int64(c.checker.ApplyCount(timing.CmdRD, bank, t, 0))
 	c.stats.RDs++
 
 	effRCD := t - b.lastActTime
 	if nominal := c.cfg.Timing.TRCD; effRCD > nominal {
 		effRCD = nominal
 	}
-	reliable = c.cfg.Ideal || c.vm.ReadReliable(bank, b.openRow, col, effRCD)
+	// At or above the variation grid's top level every line is reliable;
+	// normal (nominal-timing) reads skip the noise-field evaluation.
+	reliable = c.cfg.Ideal || effRCD >= c.maxMinRCD || c.vm.ReadReliable(bank, b.openRow, col, effRCD)
 	if !reliable {
 		c.stats.CorruptedReads++
 	}
@@ -330,8 +333,7 @@ func (c *Chip) Write(bank, col int, t clock.PS, src []byte) error {
 	if col < 0 || col >= c.cfg.ColsPerRow {
 		return fmt.Errorf("dram: WR column %d out of range", col)
 	}
-	viol := c.checker.Apply(timing.CmdWR, bank, t, 0)
-	c.stats.TimingViolations += int64(len(viol))
+	c.stats.TimingViolations += int64(c.checker.ApplyCount(timing.CmdWR, bank, t, 0))
 	c.stats.WRs++
 	if c.cfg.TrackData && src != nil {
 		data := c.rowData(bank, b.openRow)
@@ -343,7 +345,7 @@ func (c *Chip) Write(bank, col int, t clock.PS, src []byte) error {
 // Refresh issues REF at absolute time t (all banks must be precharged in
 // real DDR4; the model tolerates open banks but closes them).
 func (c *Chip) Refresh(t clock.PS) {
-	c.checker.Apply(timing.CmdREF, 0, t, 0)
+	c.checker.ApplyCount(timing.CmdREF, 0, t, 0)
 	c.stats.REFs++
 	for i := range c.banks {
 		c.banks[i].openRow = -1

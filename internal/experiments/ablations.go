@@ -48,7 +48,7 @@ func (r *AblationResult) finish() {
 
 // ablationRun executes k on cfg and records the point.
 func (r *AblationResult) ablationRun(label string, cfg core.Config, k workload.Kernel, opt Options) error {
-	res, err := runKernel(cfg, k, opt.MaxProcCycles)
+	res, err := runKernel(cfg, k, opt)
 	if err != nil {
 		return err
 	}

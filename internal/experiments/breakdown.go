@@ -77,7 +77,7 @@ func Figure2(opt Options) (*BreakdownResult, error) {
 		cfg.DRAM.Seed = opt.Seed
 		cfg.RefreshEnabled = false // isolate the request path
 		k := missKernel(misses)
-		r, err := runKernel(cfg, k, opt.MaxProcCycles)
+		r, err := runKernel(cfg, k, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +137,7 @@ func Table1(opt Options) (*Table1Result, error) {
 	cfg := core.TimeScalingA57()
 	cfg.DRAM.Seed = opt.Seed
 	k := workload.PBGemver(196)
-	r, err := runKernel(cfg, k, opt.MaxProcCycles)
+	r, err := runKernel(cfg, k, opt)
 	if err != nil {
 		return nil, err
 	}

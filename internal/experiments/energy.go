@@ -56,11 +56,11 @@ func Energy(opt Options) (*EnergyResult, error) {
 			return nil, err
 		}
 
-		base, err := runKernel(cfg, workload.CopyBench(src, dst, size, false), opt.MaxProcCycles)
+		base, err := runKernel(cfg, workload.CopyBench(src, dst, size, false), opt)
 		if err != nil {
 			return nil, err
 		}
-		rc, err := runKernel(cfg, plan.Kernel(), opt.MaxProcCycles)
+		rc, err := runKernel(cfg, plan.Kernel(), opt)
 		if err != nil {
 			return nil, err
 		}

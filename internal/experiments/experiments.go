@@ -55,6 +55,14 @@ type Options struct {
 	// EffectiveWorkers); 1 forces serial execution. Results are
 	// deterministic at any setting.
 	Workers int
+	// BurstCap bounds row-hit burst service in the software memory
+	// controller (core.Config.BurstCap): how many same-row requests one SMC
+	// step may serve through a single Bender program. 0 leaves the presets'
+	// serial service. Burst service is bit-identical in emulated time, so
+	// every experiment result is unchanged by this knob; it only trades
+	// host time (and currently engages only in refresh-free
+	// configurations).
+	BurstCap int
 }
 
 // EffectiveWorkers resolves the worker-pool size: Workers when positive,
@@ -96,10 +104,14 @@ func Quick() Options {
 	return o
 }
 
-// runKernel executes one kernel on a fresh system built from cfg.
-func runKernel(cfg core.Config, k workload.Kernel, maxCycles clock.Cycles) (core.Result, error) {
-	if maxCycles > 0 {
-		cfg.MaxProcCycles = maxCycles
+// runKernel executes one kernel on a fresh system built from cfg, with the
+// option-level knobs (cycle cap, burst cap) applied.
+func runKernel(cfg core.Config, k workload.Kernel, opt Options) (core.Result, error) {
+	if opt.MaxProcCycles > 0 {
+		cfg.MaxProcCycles = opt.MaxProcCycles
+	}
+	if opt.BurstCap > 0 {
+		cfg.BurstCap = opt.BurstCap
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

@@ -50,7 +50,7 @@ func Figure8(opt Options) (*LatencyProfileResult, error) {
 		cfg := c.cfg
 		cfg.DRAM.Seed = opt.Seed
 		k := workload.LatMemRd(kib<<10, opt.LatAccesses)
-		r, err := runKernel(cfg, k, opt.MaxProcCycles)
+		r, err := runKernel(cfg, k, opt)
 		if err != nil {
 			return err
 		}
@@ -118,11 +118,11 @@ func Validation(opt Options) (*ValidationResult, error) {
 		refCfg := core.Reference1GHz()
 		refCfg.DRAM.Seed = opt.Seed
 
-		ts, err := runKernel(tsCfg, k, opt.MaxProcCycles)
+		ts, err := runKernel(tsCfg, k, opt)
 		if err != nil {
 			return err
 		}
-		ref, err := runKernel(refCfg, k, opt.MaxProcCycles)
+		ref, err := runKernel(refCfg, k, opt)
 		if err != nil {
 			return err
 		}

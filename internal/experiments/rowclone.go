@@ -133,11 +133,11 @@ func rowcloneOne(opt Options, c rcConfig, size int, flush, isInit bool) (float64
 		baseKernel = workload.CopyBench(srcBase, dstBase, size, flush)
 	}
 
-	base, err := runKernel(cfg, baseKernel, opt.MaxProcCycles)
+	base, err := runKernel(cfg, baseKernel, opt)
 	if err != nil {
 		return 0, 0, err
 	}
-	rc, err := runKernel(cfg, plan.Kernel(), opt.MaxProcCycles)
+	rc, err := runKernel(cfg, plan.Kernel(), opt)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -199,11 +199,11 @@ func Figure13(opt Options) (*TRCDResult, error) {
 			fast := base
 			fast.TRCD = provider
 
-			baseRes, err := runKernel(base, k, opt.MaxProcCycles)
+			baseRes, err := runKernel(base, k, opt)
 			if err != nil {
 				return err
 			}
-			fastRes, err := runKernel(fast, k, opt.MaxProcCycles)
+			fastRes, err := runKernel(fast, k, opt)
 			if err != nil {
 				return err
 			}

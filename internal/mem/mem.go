@@ -64,6 +64,11 @@ type Request struct {
 	Tag clock.Cycles
 	// RCD is the reduced tRCD to test for Profile requests.
 	RCD clock.PS
+	// Rows extends a ProfileRow request to a bank stripe: the number of
+	// consecutive rows (starting at Addr's row) covered by one Bender
+	// program. 0 and 1 both mean a single row. Bounded by the readback
+	// buffer (64 rows of a 128-column module).
+	Rows int
 	// Posted requests complete without the processor consuming a response.
 	Posted bool
 }
@@ -77,9 +82,17 @@ type Response struct {
 	// OK reports technique-specific success: profile passed, RowClone
 	// succeeded. Always true for plain reads/writes.
 	OK bool
-	// Lines carries ProfileRow detail: the number of leading cache lines of
-	// the row that read reliably before the first failure (equal to the
-	// row's line count when the whole row passed, so OK == (Lines == row
-	// lines)). Zero for every other request kind.
+	// Lines carries ProfileRow detail: the number of leading cache lines
+	// that read reliably before the first failure, counted in (row, column)
+	// order across the request's rows (one row unless Request.Rows extends
+	// it to a bank stripe). When every covered line passed, OK is true and
+	// Lines equals rows*cols; otherwise Lines/cols full rows passed and row
+	// Lines/cols failed at column Lines%cols. Zero for every other request
+	// kind.
 	Lines int
+	// RowLines carries bank-stripe profiling detail: element r is the
+	// number of leading reliable lines of the stripe's r-th row (equal to
+	// the column count when the row passed). Nil for every non-profiling
+	// request — the hot access path never allocates it.
+	RowLines []int
 }

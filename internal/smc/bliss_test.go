@@ -24,15 +24,15 @@ func TestBLISSCapsRowHitStreak(t *testing.T) {
 	// The first MaxStreak picks favour row hits...
 	for i := 0; i < s.MaxStreak; i++ {
 		got := s.Pick(table, openRows)
-		if table[got].Req.ID == 99 {
+		if table[got].ID == 99 {
 			t.Fatalf("pick %d chose the miss before the streak cap", i)
 		}
 		table = append(table[:got], table[got+1:]...)
 	}
 	// ...then the blacklist forces the oldest (the miss).
 	got := s.Pick(table, openRows)
-	if table[got].Req.ID != 99 {
-		t.Fatalf("streak cap did not trigger: picked %d", table[got].Req.ID)
+	if table[got].ID != 99 {
+		t.Fatalf("streak cap did not trigger: picked %d", table[got].ID)
 	}
 }
 

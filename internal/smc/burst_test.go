@@ -1,0 +1,235 @@
+package smc
+
+import (
+	"testing"
+
+	"easydram/internal/dram"
+	"easydram/internal/mem"
+	"easydram/internal/tile"
+)
+
+// Burst-gathering unit tests: PickBurst must return exactly the prefix of
+// the scheduler's serial service order that stays on the winner's
+// (bank, row), bounded by the cap, never coalescing across banks.
+
+func burstPick(s BurstScheduler, table []Entry, openRows []int, cap int) []int {
+	return s.PickBurst(table, openRows, cap, nil)
+}
+
+func ids(table []Entry, idxs []int) []uint64 {
+	out := make([]uint64, len(idxs))
+	for i, idx := range idxs {
+		out[i] = table[idx].ID
+	}
+	return out
+}
+
+func wantIDs(t *testing.T, table []Entry, got []int, want ...uint64) {
+	t.Helper()
+	g := ids(table, got)
+	if len(g) != len(want) {
+		t.Fatalf("burst = %v, want %v", g, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("burst = %v, want %v", g, want)
+		}
+	}
+}
+
+func TestFRFCFSBurstGathersSameRowReadsInSeqOrder(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, 5)
+	hit := func(id uint64, col int) mem.Request {
+		return mem.Request{ID: id, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: col})}
+	}
+	table := entries(m,
+		hit(1, 0), hit(2, 1),
+		mem.Request{ID: 3, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})}, // other-bank miss
+		hit(4, 2),
+	)
+	// Scramble slice positions; Seq (set by entries in push order) decides.
+	table[0], table[3] = table[3], table[0]
+	got := burstPick(FRFCFS{}, table, openRows, 8)
+	wantIDs(t, table, got, 1, 2, 4)
+}
+
+func TestFRFCFSBurstRespectsCap(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, 5)
+	var reqs []mem.Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, mem.Request{ID: uint64(i + 1), Kind: mem.Read,
+			Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: i})})
+	}
+	table := entries(m, reqs...)
+	got := burstPick(FRFCFS{}, table, openRows, 4)
+	wantIDs(t, table, got, 1, 2, 3, 4)
+}
+
+func TestFRFCFSBurstNeverCoalescesAcrossBanks(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	// Rows open in banks 0 and 1; hit reads in both. The bank-1 hits are
+	// interleaved by age with the bank-0 hits, so the burst must stop at the
+	// first point an older bank-1 hit would win the serial pick.
+	openRows := openRowsWith(0, 5)
+	openRows[1] = 3
+	b0 := func(id uint64, col int) mem.Request {
+		return mem.Request{ID: id, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: col})}
+	}
+	b1 := func(id uint64, col int) mem.Request {
+		return mem.Request{ID: id, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 1, Row: 3, Col: col})}
+	}
+	table := entries(m, b0(1, 0), b0(2, 1), b1(3, 0), b0(4, 2))
+	got := burstPick(FRFCFS{}, table, openRows, 8)
+	// Serial order: 1, 2 (bank 0, oldest hits), then 3 (bank 1), then 4.
+	wantIDs(t, table, got, 1, 2)
+}
+
+func TestFRFCFSBurstWritesBlockedByOtherBankHitRead(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, 5)
+	openRows[1] = 3
+	table := entries(m,
+		mem.Request{ID: 1, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 0})},
+		mem.Request{ID: 2, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 1})},
+		mem.Request{ID: 3, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 1, Row: 3, Col: 0})},
+	)
+	// Serial: read 1, then the bank-1 hit read 3, only then writeback 2 —
+	// so the burst is the winner alone.
+	got := burstPick(FRFCFS{}, table, openRows, 8)
+	wantIDs(t, table, got, 1)
+
+	// Without the competing hit read, the same-row writeback joins.
+	table = table[:2]
+	got = burstPick(FRFCFS{}, table, openRows, 8)
+	wantIDs(t, table, got, 1, 2)
+}
+
+func TestFRFCFSBurstMissHeadOpensRow(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, -1) // everything precharged
+	table := entries(m,
+		mem.Request{ID: 1, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 0})},
+		mem.Request{ID: 2, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 1})},
+		mem.Request{ID: 3, Kind: mem.Writeback, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: 2})},
+	)
+	// The miss head activates row 5; the following same-row read and then
+	// the same-row write ride along.
+	got := burstPick(FRFCFS{}, table, openRows, 8)
+	wantIDs(t, table, got, 1, 2, 3)
+}
+
+func TestFRFCFSBurstTechniqueWinnerStaysAlone(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, -1)
+	table := entries(m,
+		mem.Request{ID: 1, Kind: mem.Profile, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5}), RCD: 9000},
+	)
+	got := burstPick(FRFCFS{}, table, openRows, 8)
+	wantIDs(t, table, got, 1)
+}
+
+func TestFCFSBurstBreaksAtArrivalOrder(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, -1)
+	sameRow := func(id uint64, col int) mem.Request {
+		return mem.Request{ID: id, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: col})}
+	}
+	table := entries(m,
+		sameRow(1, 0), sameRow(2, 1),
+		mem.Request{ID: 3, Kind: mem.Read, Addr: m.Unmap(dram.Addr{Bank: 2, Row: 7})},
+		sameRow(4, 2), // younger than the bank-2 read: FCFS serves 3 first
+	)
+	got := burstPick(FCFS{}, table, openRows, 8)
+	wantIDs(t, table, got, 1, 2)
+}
+
+func TestBLISSBurstHonoursStreakCap(t *testing.T) {
+	m, _ := NewRowBankCol(16, 128)
+	openRows := openRowsWith(0, 5)
+	var reqs []mem.Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, mem.Request{ID: uint64(i + 1), Kind: mem.Read,
+			Addr: m.Unmap(dram.Addr{Bank: 0, Row: 5, Col: i})})
+	}
+	table := entries(m, reqs...)
+	s := NewBLISS()
+	got := burstPick(s, table, openRows, 8)
+	// Pick (the winner) sets streak=1; three extensions reach MaxStreak=4.
+	wantIDs(t, table, got, 1, 2, 3, 4)
+	if s.streak != s.MaxStreak {
+		t.Fatalf("streak = %d, want %d", s.streak, s.MaxStreak)
+	}
+	// A truncated burst rewinds the streak to what serial service reached.
+	s = NewBLISS()
+	got = burstPick(s, table, openRows, 8)
+	s.NoteBurstServed(2)
+	if s.streak != 2 {
+		t.Fatalf("streak after truncation = %d, want 2", s.streak)
+	}
+	_ = got
+}
+
+// TestControllerBurstOneProgram drives the controller directly: eight
+// same-row reads with a burst budget must produce eight responses and eight
+// segments from ONE Bender program, with accumulated charges equal to the
+// serial path's.
+func TestControllerBurstOneProgram(t *testing.T) {
+	serve := func(budget int) (*BaseController, *Env) {
+		ctl, env := newControllerEnv(t)
+		for i := uint64(0); i < 8; i++ {
+			env.Tile().PushRequest(&mem.Request{ID: i + 1, Kind: mem.Read, Addr: i * 64})
+		}
+		env.Reset(0)
+		env.SetBurst(budget, nil)
+		steps := 0
+		for {
+			worked, err := ctl.ServeOne(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps++
+			if !worked || ctl.Pending() == 0 {
+				break
+			}
+		}
+		if budget > 1 && steps != 1 {
+			t.Fatalf("burst budget %d took %d steps, want 1", budget, steps)
+		}
+		return ctl, env
+	}
+
+	burstCtl, burstEnv := serve(8)
+	if got := len(burstEnv.Responses()); got != 8 {
+		t.Fatalf("burst step produced %d responses, want 8", got)
+	}
+	if got := len(burstEnv.Segments()); got != 8 {
+		t.Fatalf("burst step closed %d segments, want 8", got)
+	}
+	if burstEnv.Tile().Stats().ProgramsRun != 1 {
+		t.Fatalf("burst ran %d programs, want 1", burstEnv.Tile().Stats().ProgramsRun)
+	}
+	if st := burstCtl.Stats(); st.BurstsServed != 1 || st.BurstedRequests != 8 || st.AvgBurstLen() != 8 {
+		t.Fatalf("burst stats = %+v", st)
+	}
+
+	serialCtl, serialEnv := serve(1)
+	if serialEnv.Tile().Stats().ProgramsRun != 8 {
+		t.Fatalf("serial ran %d programs, want 8", serialEnv.Tile().Stats().ProgramsRun)
+	}
+	// The serial env accumulated all eight steps without Reset, so totals
+	// must match the burst step's exactly (occupancy, latency, charges).
+	if burstEnv.ChargedFPGA() != serialEnv.ChargedFPGA() {
+		t.Fatalf("charged: burst %d vs serial %d", burstEnv.ChargedFPGA(), serialEnv.ChargedFPGA())
+	}
+	if burstEnv.Occupancy() != serialEnv.Occupancy() || burstEnv.Latency() != serialEnv.Latency() {
+		t.Fatalf("modeled: burst %v/%v vs serial %v/%v",
+			burstEnv.Occupancy(), burstEnv.Latency(), serialEnv.Occupancy(), serialEnv.Latency())
+	}
+	if serialCtl.Stats().RowHits != burstCtl.Stats().RowHits {
+		t.Fatalf("row hits diverge")
+	}
+}
+
+var _ = tile.ReqSlot(0)

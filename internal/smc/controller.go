@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"easydram/internal/bender"
 	"easydram/internal/clock"
 	"easydram/internal/dram"
 	"easydram/internal/mem"
@@ -61,7 +62,12 @@ type Config struct {
 // swap-remove, so both the scheduling decision and the removal are free of
 // per-decision address translation and O(n) copying. Arrival order lives in
 // Entry.Seq (a monotone counter), which schedulers use for age-based
-// tie-breaking.
+// tie-breaking. Entries carry a slot into the tile's pooled request slab
+// instead of a copy of the request itself.
+//
+// When the environment grants a burst budget (see Env.SetBurst) and the
+// scheduler implements BurstScheduler, a single step may serve a whole
+// row-hit burst through one Bender program — see serveAccessBurst.
 type BaseController struct {
 	cfg      Config
 	p        timing.Params
@@ -72,6 +78,13 @@ type BaseController struct {
 	profilePattern [dram.LineBytes]byte
 
 	refreshDue clock.PS
+
+	// burstSched is cfg.Scheduler when it supports burst picking (and the
+	// page policy allows coalescing); statelessSched marks the built-in
+	// stateless schedulers, for which a one-entry table needs no Pick call.
+	burstSched     BurstScheduler
+	statelessSched bool
+	burstIdx       []int
 
 	stats ControllerStats
 }
@@ -84,13 +97,29 @@ type ControllerStats struct {
 	RowClones  int64
 	BitwiseOps int64
 	Profiles   int64
-	// ProfileRows counts whole-row profiling requests (the §8.1 fast path);
+	// ProfileRows counts rows covered by whole-row profiling requests (the
+	// §8.1 fast path; a bank-stripe request counts each row it covers);
 	// ProfiledLines counts the cache lines those requests covered.
 	ProfileRows   int64
 	ProfiledLines int64
 	Refreshes     int64
 	RowHits       int64
 	RowMisses     int64
+	// BurstsServed counts steps that served more than one request through
+	// one Bender program; BurstedRequests counts the requests those steps
+	// covered. Both stay zero with bursting disabled — every other counter
+	// is bit-identical either way.
+	BurstsServed    int64
+	BurstedRequests int64
+}
+
+// AvgBurstLen reports the mean requests per multi-request step (0 when no
+// bursts were served).
+func (s ControllerStats) AvgBurstLen() float64 {
+	if s.BurstsServed == 0 {
+		return 0
+	}
+	return float64(s.BurstedRequests) / float64(s.BurstsServed)
 }
 
 // NewBaseController builds the controller for a chip with the given timing.
@@ -106,6 +135,13 @@ func NewBaseController(cfg Config, p timing.Params, banks int) (*BaseController,
 		open[i] = -1
 	}
 	c := &BaseController{cfg: cfg, p: p, openRows: open, refreshDue: p.TREFI}
+	if bs, ok := cfg.Scheduler.(BurstScheduler); ok && cfg.Policy == OpenPage {
+		c.burstSched = bs
+	}
+	switch cfg.Scheduler.(type) {
+	case FCFS, FRFCFS:
+		c.statelessSched = true
+	}
 	for i := range c.profilePattern {
 		c.profilePattern[i] = 0xA5
 	}
@@ -161,14 +197,18 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 	// Transfer new requests from the hardware buffers to the software
 	// request table (Figure 6 step 5), decoding DRAM coordinates once here
 	// rather than on every scheduling decision. The modeled MapAddr cost is
-	// still charged at service time; this is host-side work only.
+	// still charged at service time; this is host-side work only. The
+	// request bytes stay in the tile's slab — the table entry carries the
+	// slot and the decoded hot fields.
+	t := env.Tile()
 	for {
-		req, ok := env.Tile().PopRequest()
+		slot, ok := t.PopRequest()
 		if !ok {
 			break
 		}
 		env.Charge(costs.ReceiveRequest)
-		ent := Entry{Req: req, Addr: c.cfg.Mapper.Map(req.Addr), Seq: c.nextSeq}
+		req := t.Req(slot)
+		ent := Entry{Slot: slot, ID: req.ID, Kind: req.Kind, Addr: c.cfg.Mapper.Map(req.Addr), Seq: c.nextSeq}
 		c.nextSeq++
 		switch req.Kind {
 		case mem.RowClone, mem.Bitwise:
@@ -186,14 +226,50 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 	// Scheduling decision. Swap-remove keeps the pop O(1); age order is
 	// preserved in Entry.Seq, not in slice positions.
 	env.Charge(costs.ScheduleBase + costs.SchedulePerReq*len(c.table))
-	idx := c.cfg.Scheduler.Pick(c.table, c.openRows)
+
+	// Burst path: when the step's burst budget allows it, ask the scheduler
+	// for the run of requests it would serve consecutively on one
+	// (bank, row) and serve them all through one Bender program.
+	if c.burstSched != nil && env.BurstBudget() > 1 && len(c.table) > 1 {
+		c.burstIdx = c.burstSched.PickBurst(c.table, c.openRows, env.BurstBudget(), c.burstIdx[:0])
+		if len(c.burstIdx) > 1 {
+			if err := c.serveAccessBurst(env); err != nil {
+				return false, err
+			}
+			if len(c.table) == 0 && env.Tile().IncomingEmpty() {
+				// The serial path's final step charges its critical exit
+				// inside the step; fold it into the last segment.
+				env.SetCritical(false)
+				env.AbsorbTrailingCharge()
+			}
+			return true, nil
+		}
+		// A burst of one is just the scheduling decision.
+		return c.serveIndex(env, c.burstIdx[0])
+	}
+
+	var idx int
+	if len(c.table) == 1 && c.statelessSched {
+		// The built-in stateless schedulers can only pick the sole entry;
+		// skip the interface call on this hottest of paths. (The modeled
+		// scheduling cost above is charged regardless, so emulated timing
+		// is unaffected.)
+		idx = 0
+	} else {
+		idx = c.cfg.Scheduler.Pick(c.table, c.openRows)
+	}
+	return c.serveIndex(env, idx)
+}
+
+// serveIndex serves the table entry at idx and removes it.
+func (c *BaseController) serveIndex(env *Env, idx int) (bool, error) {
 	ent := c.table[idx]
 	last := len(c.table) - 1
 	c.table[idx] = c.table[last]
 	c.table = c.table[:last]
 
 	var err error
-	switch ent.Req.Kind {
+	switch ent.Kind {
 	case mem.Read:
 		err = c.serveAccess(env, ent, false)
 	case mem.Write, mem.Writeback:
@@ -207,7 +283,7 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 	case mem.Bitwise:
 		err = c.serveBitwise(env, ent)
 	default:
-		err = fmt.Errorf("smc: unknown request kind %v", ent.Req.Kind)
+		err = fmt.Errorf("smc: unknown request kind %v", ent.Kind)
 	}
 	if err != nil {
 		return false, err
@@ -219,16 +295,15 @@ func (c *BaseController) ServeOne(env *Env) (bool, error) {
 	return true, nil
 }
 
-// serveAccess serves a cache-line read or write with an open-row policy.
-func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
-	costs := env.Tile().Costs()
-	env.Charge(costs.MapAddr)
-	a := ent.Addr
-	b := env.Tile().Builder()
-
-	rowHit := c.openRows[a.Bank] == a.Row
+// emitAccess appends the DRAM command sequence for one cache-line access to
+// b and returns the activation latency it incurred (0 for a row hit). It
+// charges the Bloom lookup when the tRCD provider is consulted and updates
+// open-row state and hit/miss statistics — exactly the front half of the
+// serial access path, shared with the burst path so the two stay identical
+// by construction.
+func (c *BaseController) emitAccess(env *Env, b *bender.Builder, a dram.Addr, isWrite bool) clock.PS {
 	var actLatency clock.PS
-	if rowHit {
+	if c.openRows[a.Bank] == a.Row {
 		c.stats.RowHits++
 	} else {
 		c.stats.RowMisses++
@@ -239,7 +314,7 @@ func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 		}
 		rcd := c.p.TRCD
 		if c.cfg.TRCD != nil {
-			env.Charge(costs.BloomCheck)
+			env.Charge(env.Tile().Costs().BloomCheck)
 			if v := c.cfg.TRCD(a); v > 0 {
 				rcd = v
 			}
@@ -256,7 +331,18 @@ func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 		b.RD(a.Bank, a.Col)
 		c.stats.Reads++
 	}
-	if _, err := env.Exec(); err != nil {
+	return actLatency
+}
+
+// serveAccess serves a cache-line read or write with an open-row policy.
+func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
+	costs := env.Tile().Costs()
+	env.Charge(costs.MapAddr)
+	a := ent.Addr
+	b := env.Tile().Builder()
+
+	actLatency := c.emitAccess(env, b, a, isWrite)
+	if _, err := env.ExecAccess(); err != nil {
 		return err
 	}
 	// Occupancy: row preparation (when needed) plus the data burst. The
@@ -277,13 +363,137 @@ func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 		pb := env.Tile().Builder()
 		pb.Wait(c.p.TRTP)
 		pb.PRE(a.Bank)
-		if _, err := env.Exec(); err != nil {
+		if _, err := env.ExecAccess(); err != nil {
 			return err
 		}
 		c.openRows[a.Bank] = -1
 	}
-	env.Respond(ent.Req, true)
+	env.Respond(ent.ID, true)
+	env.Tile().Release(ent.Slot)
 	return nil
+}
+
+// serveAccessBurst serves the row-hit burst in c.burstIdx (at least two
+// same-(bank, row) accesses, in service order) through ONE Bender program:
+// the winner's row preparation (when it misses) followed by the per-line
+// column commands, with a one-bus-cycle gap between requests standing in
+// for the serial path's program-launch turnaround. Every modeled cost —
+// Poll, the scheduling decision over the table size that serial step would
+// have seen, MapAddr, per-program build/flush charges, column latencies —
+// is charged per request exactly as the serial path charges it, and each
+// request's accumulator slice is recorded as an Env segment, so the engine
+// settles the burst bit-identically to serial service. The host-side win is
+// everything that is NOT modeled: one scheduler pick, one program build,
+// one Bender execution, one timing-check pass, and one engine round-trip
+// instead of one per request.
+//
+// Between requests the controller asks Env.ExtendBurst whether serving the
+// next one is still provably serial-equivalent (the engine's gate cuts the
+// burst at arrivals, refreshes, or processor wake-ups); unserved entries
+// simply stay in the table.
+func (c *BaseController) serveAccessBurst(env *Env) error {
+	t := env.Tile()
+	costs := t.Costs()
+	b := t.Builder()
+	n0 := len(c.table)
+
+	// Entries are read in place (removal is deferred to the end, so the
+	// gathered indices stay valid); the gate may cut the tail, and the
+	// table is only edited once the served prefix is known.
+	served := 0
+	for j, idx := range c.burstIdx {
+		if j > 0 {
+			if !env.ExtendBurst() {
+				break
+			}
+			// Inter-request gap: the serial path's per-program launch
+			// turnaround (one bus cycle), reproduced so every command lands
+			// on the same absolute bus cycle as it would have serially.
+			b.Emit(bender.Instr{Op: bender.OpWAIT, A: 1})
+		}
+		ent := &c.table[idx]
+		isWrite := ent.Kind != mem.Read
+
+		lenBefore := b.Len()
+		curBefore := b.Cursor()
+		actLatency := c.emitAccess(env, b, ent.Addr, isWrite)
+		// A row hit's program is a single column command: one bus cycle of
+		// wall time, no cursor arithmetic needed.
+		wall := c.p.Bus.Period()
+		if actLatency != 0 {
+			wall = b.Cursor() - curBefore
+		}
+
+		// The j-th serial step's charges in one add: poll (steps beyond the
+		// first see an empty FIFO — the gate guarantees no mid-burst
+		// arrival), the scheduling decision over the table that step would
+		// have seen, address translation, and its own program's build and
+		// flush costs.
+		instrs := b.Len() - lenBefore
+		charge := costs.MapAddr + costs.BuildPerInstr*instrs + costs.FlushLaunch + costs.FlushPerInstr*instrs
+		if j > 0 {
+			charge += costs.Poll + costs.ScheduleBase + costs.SchedulePerReq*(n0-j)
+		}
+
+		occ := actLatency + c.p.TBL
+		if isWrite {
+			env.AddService(occ, actLatency+c.p.TCWL+c.p.TBL)
+		} else {
+			charge += costs.ReadbackPerLine
+			env.AddService(occ, actLatency+c.p.TCL+c.p.TBL)
+		}
+		env.Charge(charge)
+		env.Respond(ent.ID, true)
+		t.Release(ent.Slot)
+		c.stats.Served++
+		served++
+		env.CloseSegment(wall)
+	}
+	if served < len(c.burstIdx) {
+		if tr, ok := c.burstSched.(burstTruncater); ok {
+			tr.NoteBurstServed(served)
+		}
+	}
+	if served > 1 {
+		c.stats.BurstsServed++
+		c.stats.BurstedRequests += int64(served)
+	}
+
+	// One real execution for the whole batch.
+	if _, err := env.ExecAccessPrecharged(); err != nil {
+		return err
+	}
+
+	// Remove the served prefix from the table: wholesale when the burst
+	// consumed every entry (the common case for a full same-row run),
+	// highest index first otherwise so swap-remove cannot disturb a lower
+	// still-pending index.
+	if served == n0 {
+		c.table = c.table[:0]
+	} else {
+		c.removeServed(c.burstIdx[:served])
+	}
+	return nil
+}
+
+// removeServed swap-removes the given table indices (sorted in place,
+// removed highest first).
+func (c *BaseController) removeServed(idxs []int) {
+	// Insertion sort: bursts are short and the buffer is reused.
+	for i := 1; i < len(idxs); i++ {
+		v := idxs[i]
+		j := i - 1
+		for j >= 0 && idxs[j] < v {
+			idxs[j+1] = idxs[j]
+			j--
+		}
+		idxs[j+1] = v
+	}
+	for _, idx := range idxs {
+		last := len(c.table) - 1
+		c.table[idx] = c.table[last]
+		c.table = c.table[:last]
+	}
 }
 
 // serveRowClone serves an in-DRAM row copy (§7).
@@ -294,7 +504,8 @@ func (c *BaseController) serveRowClone(env *Env, ent Entry) error {
 	c.stats.RowClones++
 	if src.Bank != dst.Bank {
 		// FPM RowClone cannot cross banks; the caller must fall back.
-		env.Respond(ent.Req, false)
+		env.Respond(ent.ID, false)
+		env.Tile().Release(ent.Slot)
 		return nil
 	}
 	b := env.Tile().Builder()
@@ -309,7 +520,8 @@ func (c *BaseController) serveRowClone(env *Env, ent Entry) error {
 	}
 	c.openRows[src.Bank] = -1
 	env.AddService(res.Elapsed, res.Elapsed)
-	env.Respond(ent.Req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	env.Respond(ent.ID, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	env.Tile().Release(ent.Slot)
 	return nil
 }
 
@@ -322,7 +534,8 @@ func (c *BaseController) serveBitwise(env *Env, ent Entry) error {
 	r1, r2 := ent.Src, ent.Addr
 	c.stats.BitwiseOps++
 	if r1.Bank != r2.Bank {
-		env.Respond(ent.Req, false)
+		env.Respond(ent.ID, false)
+		env.Tile().Release(ent.Slot)
 		return nil
 	}
 	b := env.Tile().Builder()
@@ -337,7 +550,8 @@ func (c *BaseController) serveBitwise(env *Env, ent Entry) error {
 	}
 	c.openRows[r1.Bank] = -1
 	env.AddService(res.Elapsed, res.Elapsed)
-	env.Respond(ent.Req, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	env.Respond(ent.ID, res.CloneAttempts > 0 && res.CloneSuccesses == res.CloneAttempts)
+	env.Tile().Release(ent.Slot)
 	return nil
 }
 
@@ -348,6 +562,7 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 	costs := env.Tile().Costs()
 	env.Charge(costs.MapAddr)
 	a := ent.Addr
+	rcd := env.Tile().Req(ent.Slot).RCD
 	c.stats.Profiles++
 	b := env.Tile().Builder()
 	if c.openRows[a.Bank] >= 0 {
@@ -356,7 +571,7 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 	}
 	// Initialize the target cache line with the known pattern, then access
 	// it with the requested (reduced) tRCD.
-	b.ProfileLine(a, c.profilePattern[:], ent.Req.RCD)
+	b.ProfileLine(a, c.profilePattern[:], rcd)
 
 	res, err := env.Exec()
 	if err != nil {
@@ -373,51 +588,89 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 		last := rb[len(rb)-1]
 		ok = last.Reliable && bytes.Equal(last.Data[:], c.profilePattern[:])
 	}
-	env.Respond(ent.Req, ok)
+	env.Respond(ent.ID, ok)
+	env.Tile().Release(ent.Slot)
 	return nil
 }
 
-// serveProfileRow serves a row-granularity §8.1 profiling request: one
-// Bender program initializes every cache line of the row with the known
-// pattern and reads each back under the requested tRCD, replacing one
-// request round-trip per line with a single round-trip per row. Per-line
-// outcomes are identical to the per-line path because each line's test read
-// happens exactly RCD after its own activation (see Builder.ProfileCheck).
+// serveProfileRow serves a row-granularity §8.1 profiling request — or, when
+// the request's Rows field extends it, a whole bank stripe of consecutive
+// rows: one Bender program initializes every cache line of each covered row
+// with the known pattern and reads each back under the requested tRCD,
+// replacing one request round-trip per line with a single round-trip for up
+// to 64 rows. Per-line outcomes are identical to the per-line path because
+// each line's test read happens exactly RCD after its own activation (see
+// Builder.ProfileCheck).
 func (c *BaseController) serveProfileRow(env *Env, ent Entry) error {
 	costs := env.Tile().Costs()
 	env.Charge(costs.MapAddr)
 	a := ent.Addr
+	req := env.Tile().Req(ent.Slot)
+	rcd := req.RCD
+	rows := req.Rows
+	if rows < 1 {
+		rows = 1
+	}
 	cols := env.Tile().Chip().Config().ColsPerRow
-	c.stats.ProfileRows++
-	c.stats.ProfiledLines += int64(cols)
+	if rows*cols > bender.ReadbackLines {
+		return fmt.Errorf("smc: profile stripe of %d rows x %d cols exceeds the %d-line readback buffer",
+			rows, cols, bender.ReadbackLines)
+	}
+	c.stats.ProfileRows += int64(rows)
+	c.stats.ProfiledLines += int64(rows * cols)
 	b := env.Tile().Builder()
 	if c.openRows[a.Bank] >= 0 {
 		b.PRE(a.Bank)
 		b.Wait(c.p.TRP - c.p.Bus.Period())
 	}
-	b.ProfileRow(a.Bank, a.Row, cols, c.profilePattern[:], ent.Req.RCD)
+	b.ProfileRowStripe(a.Bank, a.Row, rows, cols, c.profilePattern[:], rcd)
 
-	res, err := env.Exec()
+	// Execute via the tile directly and scan its readback in place: a
+	// 64-row stripe reads back half a megabyte, and the Env's usual
+	// buffer-the-readback copy would double the cache traffic for lines
+	// this routine consumes immediately. Exec costs are charged as Env.Exec
+	// charges them.
+	n := b.Len()
+	env.Charge(costs.BuildPerInstr*n + costs.FlushLaunch + costs.FlushPerInstr*n)
+	res, rb, err := env.Tile().Exec()
 	if err != nil {
-		return err
+		return fmt.Errorf("smc: %w", err)
 	}
+	env.AddBenderWall(res.Elapsed)
 	c.openRows[a.Bank] = -1
-	env.Charge((costs.ReadbackPerLine + costs.ProfileCompare) * cols)
+	env.Charge((costs.ReadbackPerLine + costs.ProfileCompare) * rows * cols)
 	env.AddService(res.Elapsed, res.Elapsed)
 
-	// The program's only reads are the per-column test reads, in column
-	// order. Count the leading reliable lines; the row passes when all do.
-	rb := env.Readback()
+	// The program's only reads are the per-column test reads, in (row,
+	// column) order. Per covered row, count its leading reliable lines (the
+	// per-line path's stop-at-first-failure accounting); the request passes
+	// when every line of every row is reliable. Lines reports the leading
+	// reliable lines of the whole stripe for single-row compatibility.
+	total := rows * cols
 	okLines := 0
-	if len(rb) >= cols {
-		for _, line := range rb[len(rb)-cols:] {
-			if !line.Reliable || !bytes.Equal(line.Data[:], c.profilePattern[:]) {
-				break
+	rowLines := make([]int, rows)
+	if len(rb) >= total {
+		stripe := rb[len(rb)-total:]
+		leading := true
+		for r := 0; r < rows; r++ {
+			cnt := 0
+			for _, line := range stripe[r*cols : (r+1)*cols] {
+				if !line.Reliable || !bytes.Equal(line.Data[:], c.profilePattern[:]) {
+					break
+				}
+				cnt++
 			}
-			okLines++
+			rowLines[r] = cnt
+			if leading {
+				okLines += cnt
+				if cnt != cols {
+					leading = false
+				}
+			}
 		}
 	}
-	env.RespondLines(ent.Req, okLines == cols, okLines)
+	env.RespondLines(ent.ID, okLines == total, okLines, rowLines)
+	env.Tile().Release(ent.Slot)
 	return nil
 }
 

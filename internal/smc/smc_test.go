@@ -84,7 +84,7 @@ func TestMapperValidation(t *testing.T) {
 func entries(m Mapper, reqs ...mem.Request) []Entry {
 	out := make([]Entry, len(reqs))
 	for i, r := range reqs {
-		out[i] = Entry{Req: r, Addr: m.Map(r.Addr), Seq: uint64(i)}
+		out[i] = Entry{ID: r.ID, Kind: r.Kind, Addr: m.Map(r.Addr), Seq: uint64(i)}
 		switch r.Kind {
 		case mem.RowClone, mem.Bitwise:
 			out[i].Src = m.Map(r.Src)
@@ -208,7 +208,7 @@ func newControllerEnv(t *testing.T) (*BaseController, *Env) {
 
 func TestControllerServesRead(t *testing.T) {
 	ctl, env := newControllerEnv(t)
-	env.Tile().PushRequest(mem.Request{ID: 1, Kind: mem.Read, Addr: 0})
+	env.Tile().PushRequest(&mem.Request{ID: 1, Kind: mem.Read, Addr: 0})
 	env.Reset(0)
 	worked, err := ctl.ServeOne(env)
 	if err != nil {
@@ -232,7 +232,7 @@ func TestControllerServesRead(t *testing.T) {
 func TestControllerRowHitTracking(t *testing.T) {
 	ctl, env := newControllerEnv(t)
 	for i := uint64(0); i < 3; i++ {
-		env.Tile().PushRequest(mem.Request{ID: i + 1, Kind: mem.Read, Addr: i * 64})
+		env.Tile().PushRequest(&mem.Request{ID: i + 1, Kind: mem.Read, Addr: i * 64})
 	}
 	for i := 0; i < 3; i++ {
 		env.Reset(0)
@@ -299,7 +299,7 @@ func TestControllerProfileDetectsWeakLine(t *testing.T) {
 	}()
 
 	serve := func(addr uint64, rcd int64) bool {
-		env.Tile().PushRequest(mem.Request{ID: 99, Kind: mem.Profile, Addr: addr, RCD: 9000})
+		env.Tile().PushRequest(&mem.Request{ID: 99, Kind: mem.Profile, Addr: addr, RCD: 9000})
 		env.Reset(0)
 		if _, err := ctl.ServeOne(env); err != nil {
 			t.Fatalf("ServeOne: %v", err)
@@ -358,7 +358,7 @@ func TestControllerRowCloneCrossBankFails(t *testing.T) {
 	m := ctl.Mapper()
 	src := m.Unmap(dram.Addr{Bank: 0, Row: 10})
 	dst := m.Unmap(dram.Addr{Bank: 1, Row: 10})
-	env.Tile().PushRequest(mem.Request{ID: 5, Kind: mem.RowClone, Addr: dst, Src: src})
+	env.Tile().PushRequest(&mem.Request{ID: 5, Kind: mem.RowClone, Addr: dst, Src: src})
 	env.Reset(0)
 	if _, err := ctl.ServeOne(env); err != nil {
 		t.Fatal(err)

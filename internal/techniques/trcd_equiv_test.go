@@ -97,3 +97,54 @@ func TestMinReliableTRCDRowPathEquivalence(t *testing.T) {
 		})
 	}
 }
+
+// TestProfileRowStripeMatchesWholeRowPath pins the bank-stripe program
+// against repeated single-row requests: per-row pass/fail and the failing
+// row's leading-line count must agree, and the stripe must cost one host
+// round-trip where the whole-row path costs one per row.
+func TestProfileRowStripeMatchesWholeRowPath(t *testing.T) {
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			stripeSys := mustSystem(t, cfg)
+			rowSys := mustSystem(t, cfg)
+			m := stripeSys.Mapper()
+			rowBytes := uint64(m.RowBytes())
+			lines := m.RowBytes() / 64
+			const rows = 48
+			// Consecutive DRAM rows of bank 0 sit one bank rotation apart
+			// physically under the default mapping.
+			bankStride := rowBytes * uint64(m.Banks())
+
+			before := stripeSys.HostRequests()
+			rowLines, gotOK, err := stripeSys.ProfileRowStripe(0, rows, ReducedTRCD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stripeSys.HostRequests()-before != 1 {
+				t.Fatalf("stripe cost %d round-trips, want 1", stripeSys.HostRequests()-before)
+			}
+			if len(rowLines) != rows {
+				t.Fatalf("stripe returned %d rows, want %d", len(rowLines), rows)
+			}
+
+			wantOK := true
+			for r := 0; r < rows; r++ {
+				okLines, ok, err := rowSys.ProfileRow(uint64(r)*bankStride, ReducedTRCD)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					wantOK = false
+				} else {
+					okLines = lines
+				}
+				if rowLines[r] != okLines {
+					t.Fatalf("stripe row %d: %d leading lines, whole-row path says %d", r, rowLines[r], okLines)
+				}
+			}
+			if gotOK != wantOK {
+				t.Fatalf("stripe ok=%v, whole-row path ok=%v", gotOK, wantOK)
+			}
+		})
+	}
+}

@@ -66,29 +66,66 @@ type Stats struct {
 	InstrsRun    int64
 }
 
+// ReqSlot is a dense index into a Tile's pooled request slab. Requests are
+// written into the slab once, at issue; every later stage (the incoming
+// FIFO, the controller's table entries) carries the 4-byte slot instead of
+// re-copying the request struct — the same dense-index idea as the
+// engine-side idTable in internal/core/events.go, here with an explicit
+// free list because slots are named by position rather than request ID.
+type ReqSlot int32
+
+// reqSlab is the pooled backing store for in-flight requests. Alloc pops a
+// recycled slot when one exists and grows the slab otherwise; steady state
+// performs zero allocations because the live population is bounded by the
+// core's MLP plus buffered posted traffic.
+type reqSlab struct {
+	slots []mem.Request
+	free  []ReqSlot
+}
+
+func (s *reqSlab) alloc(r *mem.Request) ReqSlot {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.slots[idx] = *r
+		return idx
+	}
+	s.slots = append(s.slots, *r)
+	return ReqSlot(len(s.slots) - 1)
+}
+
+func (s *reqSlab) release(idx ReqSlot) { s.free = append(s.free, idx) }
+
 // Tile couples the hardware buffers with DRAM Bender.
 type Tile struct {
 	costs   CostModel
 	engine  *bender.Engine
 	builder *bender.Builder
 
-	// incoming is a slice-backed FIFO: Pop advances head instead of
-	// shifting, and the backing array is recycled once drained.
-	incoming []mem.Request
+	// reqs is the pooled request slab; incoming is a slice-backed FIFO of
+	// slab slots: Pop advances head instead of shifting, and the backing
+	// array is recycled once drained.
+	reqs     reqSlab
+	incoming []ReqSlot
 	head     int
 	stats    Stats
 
 	// dramCursor is the DRAM-bus absolute time of the next Bender program.
 	dramCursor clock.PS
+	// busPeriod caches the chip's bus period (reading it through
+	// Chip().Timing() copies the whole Params struct — measurable per
+	// program on the service hot path).
+	busPeriod clock.PS
 }
 
 // New builds a tile over the given chip.
 func New(chip *dram.Chip, costs CostModel) *Tile {
 	eng := bender.NewEngine(chip, 0)
 	return &Tile{
-		costs:   costs,
-		engine:  eng,
-		builder: bender.NewBuilder(chip.Timing()),
+		costs:     costs,
+		engine:    eng,
+		builder:   bender.NewBuilder(chip.Timing()),
+		busPeriod: chip.Timing().Bus.Period(),
 	}
 }
 
@@ -107,47 +144,85 @@ func (t *Tile) Builder() *bender.Builder { return t.builder }
 // Stats returns a snapshot of tile counters.
 func (t *Tile) Stats() Stats { return t.stats }
 
-// PushRequest inserts a request into the incoming FIFO (Tile Control Logic
-// does this automatically as requests arrive on the memory bus).
-func (t *Tile) PushRequest(r mem.Request) {
-	t.incoming = append(t.incoming, r)
+// Stage copies a request into the pooled slab without enqueuing it and
+// returns its slot. The unscaled engine stages issued requests whose
+// arrival time has not been reached; everything else should use
+// PushRequest.
+func (t *Tile) Stage(r *mem.Request) ReqSlot { return t.reqs.alloc(r) }
+
+// Enqueue appends a previously staged slot to the incoming FIFO (Tile
+// Control Logic does this automatically as requests arrive on the memory
+// bus).
+func (t *Tile) Enqueue(idx ReqSlot) {
+	t.incoming = append(t.incoming, idx)
 	t.stats.RequestsIn++
 	if n := len(t.incoming) - t.head; n > t.stats.MaxQueueLen {
 		t.stats.MaxQueueLen = n
 	}
 }
 
+// PushRequest copies a request into the slab and enqueues it in one step.
+func (t *Tile) PushRequest(r *mem.Request) { t.Enqueue(t.Stage(r)) }
+
+// Req returns the slab entry for a live slot. The pointer stays valid until
+// Release(idx); callers must not hold it past that.
+func (t *Tile) Req(idx ReqSlot) *mem.Request { return &t.reqs.slots[idx] }
+
+// Release recycles a request's slab slot. Call exactly once per request,
+// after its response has been enqueued.
+func (t *Tile) Release(idx ReqSlot) { t.reqs.release(idx) }
+
 // IncomingEmpty reports whether the request FIFO is empty.
 func (t *Tile) IncomingEmpty() bool { return t.head >= len(t.incoming) }
 
-// PopRequest removes and returns the oldest incoming request.
-func (t *Tile) PopRequest() (mem.Request, bool) {
+// PopRequest removes and returns the oldest incoming request's slab slot.
+func (t *Tile) PopRequest() (ReqSlot, bool) {
 	if t.head >= len(t.incoming) {
-		return mem.Request{}, false
+		return -1, false
 	}
-	r := t.incoming[t.head]
+	idx := t.incoming[t.head]
 	t.head++
 	if t.head == len(t.incoming) {
 		t.incoming = t.incoming[:0]
 		t.head = 0
 	}
-	return r, true
+	return idx, true
 }
 
 // Exec runs the builder's current program on DRAM Bender, advancing the
 // DRAM-bus cursor, and returns the result plus drained readback lines.
 func (t *Tile) Exec() (bender.Result, []bender.ReadLine, error) {
-	prog := t.builder.Program()
-	res, err := t.engine.Exec(prog, t.dramCursor, t.builder.WriteBuf())
+	res, err := t.exec(false)
 	if err != nil {
-		return res, nil, fmt.Errorf("tile: %w", err)
+		return res, nil, err
+	}
+	return res, t.engine.DrainReadback(), nil
+}
+
+// ExecDiscardReads runs the builder's current program like Exec but drops
+// read data instead of buffering it (plain access service, whose readback
+// nobody consumes).
+func (t *Tile) ExecDiscardReads() (bender.Result, error) {
+	return t.exec(true)
+}
+
+func (t *Tile) exec(discard bool) (bender.Result, error) {
+	prog := t.builder.Program()
+	var res bender.Result
+	var err error
+	if discard {
+		res, err = t.engine.ExecDiscardReads(prog, t.dramCursor, t.builder.WriteBuf())
+	} else {
+		res, err = t.engine.Exec(prog, t.dramCursor, t.builder.WriteBuf())
+	}
+	if err != nil {
+		return res, fmt.Errorf("tile: %w", err)
 	}
 	t.dramCursor += res.Elapsed
 	// A small inter-program gap models the Bender launch turnaround.
-	t.dramCursor += t.Chip().Timing().Bus.Period()
+	t.dramCursor += t.busPeriod
 	t.stats.ProgramsRun++
 	t.stats.InstrsRun += int64(len(prog))
-	rb := t.engine.DrainReadback()
 	t.builder.Reset()
-	return res, rb, nil
+	return res, nil
 }

@@ -24,13 +24,14 @@ func TestFIFOOrder(t *testing.T) {
 		t.Fatalf("new tile must have an empty FIFO")
 	}
 	for i := uint64(1); i <= 3; i++ {
-		tl.PushRequest(mem.Request{ID: i})
+		tl.PushRequest(&mem.Request{ID: i})
 	}
 	for i := uint64(1); i <= 3; i++ {
-		r, ok := tl.PopRequest()
-		if !ok || r.ID != i {
-			t.Fatalf("pop %d = (%+v,%v)", i, r, ok)
+		slot, ok := tl.PopRequest()
+		if !ok || tl.Req(slot).ID != i {
+			t.Fatalf("pop %d = (%v,%v)", i, slot, ok)
 		}
+		tl.Release(slot)
 	}
 	if _, ok := tl.PopRequest(); ok {
 		t.Fatalf("empty pop must fail")

@@ -133,8 +133,11 @@ type Checker struct {
 	lastREF   clock.PS
 	// viol is the reusable violation buffer Apply returns (the hot path
 	// calls Apply per command; allocating a fresh slice each time dominated
-	// the engine's allocation profile).
-	viol []Violation
+	// the engine's allocation profile). collect gates whether apply builds
+	// Violation records or only counts them (ApplyCount, the chip model's
+	// hot path — it consumes nothing but the count).
+	viol    []Violation
+	collect bool
 }
 
 // NewChecker returns a Checker for bankGroups*banksPerGroup banks.
@@ -249,19 +252,46 @@ func (bs *BankState) effRCD(p *Params) clock.PS {
 // buffer reused by the next Apply call; callers must copy entries they keep.
 func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
 	c.viol = c.viol[:0]
+	c.collect = true
+	c.apply(cmd, b, t, rcd)
+	return c.viol
+}
+
+// ApplyCount records cmd exactly like Apply but returns only the number of
+// violations, building no Violation records. The chip model's hot path uses
+// it: per-command violation detail is diagnostic, and constructing the
+// record structs was a measurable share of every RD/WR.
+func (c *Checker) ApplyCount(cmd Cmd, b int, t clock.PS, rcd clock.PS) int {
+	c.collect = false
+	n := c.apply(cmd, b, t, rcd)
+	c.collect = true
+	return n
+}
+
+// record notes one violation: always counted, materialised only when the
+// caller asked for detail.
+func (c *Checker) record(n *int, param string, cmd Cmd, need, t clock.PS) {
+	*n++
+	if c.collect {
+		c.viol = append(c.viol, Violation{Param: param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+	}
+}
+
+func (c *Checker) apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) int {
 	if cmd >= cmdCount || cmd < CmdACT {
 		panic(fmt.Sprintf("timing: unknown command %v", cmd))
 	}
+	n := 0
 	bank := &c.banks[b]
 	for _, r := range c.rules[cmd] {
 		if need := bank.last[r.evt] + r.delta; t < need {
-			c.viol = append(c.viol, Violation{Param: r.param, Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.record(&n, r.param, cmd, need, t)
 		}
 	}
 	switch cmd {
 	case CmdACT:
 		if need := c.actWindow[c.actIdx] + c.p.TFAW; t < need {
-			c.viol = append(c.viol, Violation{Param: "tFAW", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.record(&n, "tFAW", cmd, need, t)
 		}
 		bank.Open = true
 		bank.ActRCD = rcd
@@ -277,10 +307,10 @@ func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
 		bank.last[evtPRE] = t
 	case CmdRD:
 		if need := bank.last[evtACT] + bank.effRCD(&c.p); t < need {
-			c.viol = append(c.viol, Violation{Param: "tRCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.record(&n, "tRCD", cmd, need, t)
 		}
 		if need := c.lastBus; t < need { // coarse data-bus conflict
-			c.viol = append(c.viol, Violation{Param: "tCCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.record(&n, "tCCD", cmd, need, t)
 		}
 		bank.last[evtRD] = t
 		c.lastBus = t + c.p.TCL + c.p.TBL
@@ -289,10 +319,10 @@ func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
 		c.lastColAny = maxPS(c.lastColAny, t)
 	case CmdWR:
 		if need := bank.last[evtACT] + bank.effRCD(&c.p); t < need {
-			c.viol = append(c.viol, Violation{Param: "tRCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.record(&n, "tRCD", cmd, need, t)
 		}
 		if need := c.lastBus; t < need {
-			c.viol = append(c.viol, Violation{Param: "tCCD", Cmd: cmd, Need: need, Actual: t, Shortfall: need - t})
+			c.record(&n, "tCCD", cmd, need, t)
 		}
 		bank.last[evtWRData] = t + c.p.TCWL + c.p.TBL
 		c.lastBus = bank.last[evtWRData]
@@ -302,5 +332,5 @@ func (c *Checker) Apply(cmd Cmd, b int, t clock.PS, rcd clock.PS) []Violation {
 	case CmdREF:
 		c.lastREF = t
 	}
-	return c.viol
+	return n
 }

@@ -162,6 +162,13 @@ func (m *Model) Strong(bank, row int) bool {
 	return m.MinTRCDRow(bank, row) <= StrongThreshold
 }
 
+// MaxMinTRCD reports the largest minimum-reliable tRCD any line in the
+// module can have (the top of the quantization grid). Reads issued at or
+// above it are reliable everywhere — the chip model's fast path for
+// nominal-timing reads, which skips the spatial noise-field evaluation on
+// the hot path.
+func (m *Model) MaxMinTRCD() clock.PS { return rcdLevels[len(rcdLevels)-1] }
+
 // ReadReliable reports whether a read of (bank,row,col) issued with the
 // given effective tRCD returns correct data.
 func (m *Model) ReadReliable(bank, row, col int, rcd clock.PS) bool {

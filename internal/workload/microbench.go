@@ -59,6 +59,31 @@ func SubstrateMisses(n int) Kernel {
 	}}
 }
 
+// RowBurstDepth is the group size of SubstrateRowBurst: the number of
+// same-row misses outstanding together, which is also the row-hit burst
+// length an SMC with a sufficient burst cap serves per step.
+const RowBurstDepth = 8
+
+// SubstrateRowBurst is the row-locality companion of SubstrateMisses: n
+// line-granularity loads in groups of RowBurstDepth independent loads to
+// consecutive lines of one DRAM row, each group closed by a barrier. With a
+// core whose MLP covers the group, all of a group's misses are outstanding
+// together, so the controller's request table holds a full same-row run —
+// the traffic shape the row-hit burst service path (BenchmarkSubstrateRow-
+// HitBurst, core.Config.BurstCap) exists for. Lines are touched once each,
+// so every access misses the caches.
+func SubstrateRowBurst(n int) Kernel {
+	return Kernel{Name: "substrate-rowburst", Body: func(g *Gen) {
+		const span = uint64(1) << 31
+		for i := 0; i < n; i++ {
+			g.Load(uint64(i) * 64 % span)
+			if i%RowBurstDepth == RowBurstDepth-1 {
+				g.Barrier()
+			}
+		}
+	}}
+}
+
 // CPUCopy copies n bytes from src to dst with 8-byte loads and stores — the
 // baseline the RowClone case study normalises against.
 func CPUCopy(src, dst uint64, n int) Kernel {
