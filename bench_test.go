@@ -394,6 +394,34 @@ func BenchmarkSubstrateRowHitBurst(b *testing.B) {
 	b.ReportMetric(burst.Ctl.Stats().AvgBurstLen(), "avg-burst-len")
 }
 
+// BenchmarkSubstrateMultiChannel measures the per-channel service fan-out
+// through the SMC layer itself: consecutive cache lines spread round-robin
+// over a 4-channel line-interleaved topology, each channel served by its
+// own controller instance. The ns/op is the host cost of the fan-out
+// (gated by benchtrend alongside the other substrate loops, 0 allocs/op);
+// the chan-overlap-x metric is the modeled-time service overlap — the sum
+// of per-channel busy time over its maximum, ~4 for balanced traffic on 4
+// channels, and a pure property of the service model (machine-independent,
+// gated by benchtrend: a drop means channels stopped overlapping).
+func BenchmarkSubstrateMultiChannel(b *testing.B) {
+	const channels = 4
+	h, err := smc.NewMultiBenchHarness(channels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm buffers outside the timer (slab, FIFO, and chip table growth).
+	if err := h.ServeInterleaved(50000, 2*channels); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := h.ServeInterleaved(b.N, 2*channels); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(h.Overlap(), "chan-overlap-x")
+}
+
 // BenchmarkEnergyExtension measures RowClone's DRAM-energy advantage for
 // bulk copy (the RowClone paper's second headline; extension experiment).
 func BenchmarkEnergyExtension(b *testing.B) {

@@ -370,6 +370,48 @@ func substrateMetrics(snap *snapshot) error {
 		burstSpeedup = serialSecs / s
 	}
 
+	// Multi-channel fan-out, via the same SMC-level harness as
+	// BenchmarkSubstrateMultiChannel: ns/op of the per-channel service
+	// loops (gated), allocs/op (gated at zero), and the modeled-time
+	// service overlap (machine-independent, gated — a drop means the
+	// channels stopped overlapping).
+	const benchChannels = 4
+	var multiOverlap float64
+	multiRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		h, err := smc.NewMultiBenchHarness(benchChannels)
+		if err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		if err := h.ServeInterleaved(50000, 2*benchChannels); err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		b.ResetTimer()
+		if err := h.ServeInterleaved(b.N, 2*benchChannels); err != nil {
+			benchErr = err
+		}
+		b.StopTimer()
+		multiOverlap = h.Overlap()
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+
+	// Worker-pool scaling: the same fixed batch of independent system runs
+	// at 1 and 4 workers. On the 4-core CI runners the ratio approaches 4;
+	// recorded per merge (warn-only in cmd/benchtrend) so the parallel
+	// harness's real scaling finally has a trajectory.
+	scaling, err := experiments.ParallelScalingProbe(experiments.Quick(), []int{1, 4})
+	if err != nil {
+		return err
+	}
+	workersSpeedup := 0.0
+	if scaling[1] > 0 {
+		workersSpeedup = scaling[0] / scaling[1]
+	}
+
 	cfg := core.TimeScalingA57()
 	cfg.DRAM = core.TechniqueDRAM()
 	sys, err := core.NewSystem(cfg)
@@ -392,11 +434,16 @@ func substrateMetrics(snap *snapshot) error {
 	snap.Metrics["substrate/burst_ns_op"] = float64(burstRes.NsPerOp())
 	snap.Metrics["substrate/burst_allocs_op"] = float64(burstRes.AllocsPerOp())
 	snap.Metrics["substrate/burst_vs_serial_x"] = burstSpeedup
+	snap.Metrics["substrate/multichan_ns_op"] = float64(multiRes.NsPerOp())
+	snap.Metrics["substrate/multichan_allocs_op"] = float64(multiRes.AllocsPerOp())
+	snap.Metrics["substrate/multichan_overlap_x"] = multiOverlap
+	snap.Metrics["experiments/workers_speedup_4x"] = workersSpeedup
 	snap.Metrics["smc/avg_burst_len"] = burstStats.AvgBurstLen()
 	snap.Metrics["characterization/rows_per_sec"] = rowsPerSec
 	snap.Metrics["characterization/roundtrips_per_row"] = tripsPerRow
-	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), burst %d ns/op (%.2fx vs serial, avg len %.1f), characterization %.0f rows/s (%.2f round-trips/row)\n",
+	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), burst %d ns/op (%.2fx vs serial, avg len %.1f), multichan %d ns/op (%.2fx overlap), workers 1->4 %.2fx, characterization %.0f rows/s (%.2f round-trips/row)\n",
 		cacheRes.NsPerOp(), cacheRes.AllocsPerOp(), missRes.NsPerOp(), missRes.AllocsPerOp(),
-		burstRes.NsPerOp(), burstSpeedup, burstStats.AvgBurstLen(), rowsPerSec, tripsPerRow)
+		burstRes.NsPerOp(), burstSpeedup, burstStats.AvgBurstLen(),
+		multiRes.NsPerOp(), multiOverlap, workersSpeedup, rowsPerSec, tripsPerRow)
 	return nil
 }

@@ -22,8 +22,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use unit-test-scale parameters")
 	seed := flag.Uint64("seed", 1, "DRAM variation seed")
 	burstCap := flag.Int("burst-cap", 0, "row-hit burst service cap (0 = serial; emulated results are identical either way)")
+	channels := flag.Int("channels", 0, "memory channels (power of two; 0 = the paper's single channel). Topology is a workload axis: multi-channel runs overlap service and change emulated timing")
+	ranks := flag.Int("ranks", 0, "ranks per channel bus (power of two; 0 = the paper's single rank; rank switches pay the tRTRS turnaround)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,6 +41,8 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.BurstCap = *burstCap
+	opt.Channels = *channels
+	opt.Ranks = *ranks
 
 	if err := run(flag.Arg(0), opt); err != nil {
 		fmt.Fprintf(os.Stderr, "easydram: %v\n", err)

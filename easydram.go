@@ -160,6 +160,38 @@ func WithRefresh(on bool) Option {
 	return func(cfg *core.Config) { cfg.RefreshEnabled = on }
 }
 
+// WithTopology selects the module organisation: `channels` independent
+// memory channels (each with its own software-memory-controller instance,
+// request table, and DRAM Bender pipeline) and `ranks` ranks sharing each
+// channel's bus (consecutive CAS commands to different ranks pay the
+// rank-to-rank turnaround). Both must be powers of two; 1/1 — the default —
+// is bit-identical to the paper's single-rank module. Physical addresses
+// spread across channels at cache-line granularity unless WithInterleave
+// overrides it.
+func WithTopology(channels, ranks int) Option {
+	return func(cfg *core.Config) {
+		cfg.Topology.Channels = channels
+		cfg.Topology.Ranks = ranks
+	}
+}
+
+// WithInterleave selects the channel-interleaving granularity: "line"
+// (default; consecutive cache lines rotate across channels) or "row" (each
+// DRAM row's lines stay on one channel; consecutive rows rotate). Only
+// meaningful with WithTopology channels > 1. An unknown name makes
+// NewSystem fail (options cannot return errors, so the invalid value is
+// carried into the topology and rejected by its validation).
+func WithInterleave(name string) Option {
+	return func(cfg *core.Config) {
+		il, err := dram.ParseInterleave(name)
+		if err != nil {
+			cfg.Topology.Interleave = dram.Interleave(0xFF)
+			return
+		}
+		cfg.Topology.Interleave = il
+	}
+}
+
 // WithReducedTRCD installs a per-row tRCD provider built from the weak-row
 // set (see System.ProfileWeakRows); rows outside the set activate with the
 // reduced tRCD.

@@ -34,6 +34,34 @@ func TestOptionsCompose(t *testing.T) {
 	}
 }
 
+func TestWithTopologyOption(t *testing.T) {
+	sys, err := NewSystem(TimeScaled(), WithTopology(2, 2), WithInterleave("row"))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	cfg := sys.Config()
+	if cfg.Topology.Channels != 2 || cfg.Topology.Ranks != 2 {
+		t.Fatalf("topology not applied: %+v", cfg.Topology)
+	}
+	res, err := sys.Run(NewKernel("spread", func(g *Gen) {
+		for i := 0; i < 1024; i++ {
+			g.Load(uint64(i) * 64)
+		}
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.CPU.Loads != 1024 || res.Ctrl.Served == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := NewSystem(WithTopology(3, 1)); err == nil {
+		t.Fatalf("non-power-of-two channel count must fail")
+	}
+	if _, err := NewSystem(WithTopology(2, 1), WithInterleave("diagonal")); err == nil {
+		t.Fatalf("unknown interleave name must fail")
+	}
+}
+
 func TestNoTimeScalingOption(t *testing.T) {
 	sys, err := NewSystem(NoTimeScaling())
 	if err != nil {

@@ -84,9 +84,10 @@ type Result struct {
 	CloneSuccesses int
 }
 
-// Engine executes Bender programs against a chip.
+// Engine executes Bender programs against a DRAM device (a single-rank
+// Chip or a multi-rank Module; bank operands are device-global).
 type Engine struct {
-	chip *dram.Chip
+	chip dram.Device
 	bus  clock.Clock
 
 	readback []ReadLine
@@ -102,17 +103,24 @@ type Engine struct {
 // against this bound.
 const ReadbackLines = 8192
 
-// NewEngine returns an Engine bound to chip. maxReadback bounds the readback
+// NewEngine returns an Engine bound to dev. maxReadback bounds the readback
 // buffer (0 selects the default ReadbackLines).
-func NewEngine(chip *dram.Chip, maxReadback int) *Engine {
+func NewEngine(dev dram.Device, maxReadback int) *Engine {
 	if maxReadback <= 0 {
 		maxReadback = ReadbackLines
 	}
-	return &Engine{chip: chip, bus: chip.Timing().Bus, maxRead: maxReadback}
+	return &Engine{chip: dev, bus: dev.Timing().Bus, maxRead: maxReadback}
 }
 
-// Chip returns the attached DRAM model.
-func (e *Engine) Chip() *dram.Chip { return e.chip }
+// Device returns the attached DRAM device.
+func (e *Engine) Device() dram.Device { return e.chip }
+
+// Chip returns the attached DRAM model when the device is a single-rank
+// Chip, and nil for a multi-rank Module.
+func (e *Engine) Chip() *dram.Chip {
+	c, _ := e.chip.(*dram.Chip)
+	return c
+}
 
 // Readback returns the readback buffer contents accumulated since the last
 // DrainReadback.

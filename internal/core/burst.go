@@ -35,11 +35,18 @@ import (
 // burst must stop before its service chain's completion reaches the next
 // staged arrival (burstLimit).
 //
-// Refresh is the one interaction not replicated mid-burst: serial service
-// re-checks the refresh horizon before every step. Rather than approximate,
-// the engine grants no burst budget when refresh is enabled (see
-// Config.BurstCap); the golden workload configurations therefore exercise
-// bursting through dedicated refresh-free tests.
+// Refresh: serial service re-checks the refresh horizon before every step
+// (settleRefreshes*: a REF fires iff it is due by max(service point,
+// earliest live arrival)). The gates replay exactly that check against the
+// projected service chain and the earliest arrival still unserved mid-step,
+// and cut the burst before any REF would fall due — so refresh-on
+// configurations burst too, and the engine settles the REF between serial
+// steps exactly where serial service would have.
+//
+// All projections are per channel: a multi-channel engine steps one
+// channel's controller at a time — each channel's Env carries a gate
+// closure bound to its channel index — and each channel owns an
+// independent service chain.
 
 // burstPhase identifies the engine state an SMC step runs under.
 type burstPhase uint8
@@ -59,10 +66,11 @@ const (
 // burstBudget reports the burst budget for the current step.
 func (e *engine) burstBudget() int { return e.burstCap }
 
-// mayExtendBurstScaled is the scaled engine's burst gate: it is consulted
-// by the controller after each served request, before appending the next.
-func (e *engine) mayExtendBurstScaled() bool {
-	env := e.sys.env
+// mayExtendBurstScaled is the scaled engine's burst gate for channel ch: it
+// is consulted by the controller after each served request, before
+// appending the next.
+func (e *engine) mayExtendBurstScaled(ch int) bool {
+	env := e.sys.chans[ch].env
 	resp := env.Responses()
 	if len(resp) == 0 {
 		return false
@@ -75,19 +83,35 @@ func (e *engine) mayExtendBurstScaled() bool {
 		// The processor regains allowance as soon as MC exceeds Proc;
 		// serial service would let it run (and possibly issue requests that
 		// change the next step's table) before serving more.
-		if e.projectedMC() > e.ts.Proc() {
+		if e.projectedMC(ch) > e.ts.Proc() {
+			return false
+		}
+	}
+	if e.sys.chans[ch].ctl.RefreshEnabled() {
+		// Replay the next serial step's refresh-horizon check: a REF due by
+		// max(projected service point, earliest unserved arrival) would
+		// fire before that step, so the burst must cut here and let the
+		// engine settle it.
+		due := e.sys.chans[ch].ctl.NextRefreshDue()
+		horizon := e.cfg.CPU.Clock.ToTime(e.projectedMC(ch))
+		if arr, ok := e.earliestUnservedArrival(ch); ok {
+			if t := e.cfg.CPU.Clock.ToTime(clock.Cycles(arr)); t > horizon {
+				horizon = t
+			}
+		}
+		if due <= horizon {
 			return false
 		}
 	}
 	return true
 }
 
-// projectedMC replays the ServeModeled chain of the closed segments on top
-// of the live MC service point, without mutating the counters, and returns
-// the MC cycle the chain would reach.
-func (e *engine) projectedMC() clock.Cycles {
-	env := e.sys.env
-	chain := e.ts.MCTime()
+// projectedMC replays the ServeModeled chain of channel ch's closed
+// segments on top of its live MC service point, without mutating the
+// counters, and returns the MC cycle the chain would reach.
+func (e *engine) projectedMC(ch int) clock.Cycles {
+	env := e.sys.chans[ch].env
+	chain := e.mcTimeOf(ch)
 	resp := env.Responses()
 	var prevOcc clock.PS
 	prevResp := 0
@@ -107,9 +131,9 @@ func (e *engine) projectedMC() clock.Cycles {
 	return e.ts.ProcEmul.CyclesFloor(chain)
 }
 
-// mayExtendBurstUnscaled is the unscaled engine's burst gate.
-func (e *engine) mayExtendBurstUnscaled() bool {
-	env := e.sys.env
+// mayExtendBurstUnscaled is the unscaled engine's burst gate for channel ch.
+func (e *engine) mayExtendBurstUnscaled(ch int) bool {
+	env := e.sys.chans[ch].env
 	resp := env.Responses()
 	if len(resp) == 0 {
 		return false
@@ -117,23 +141,34 @@ func (e *engine) mayExtendBurstUnscaled() bool {
 	if e.blockedOn != 0 && resp[len(resp)-1].ReqID == e.blockedOn {
 		return false
 	}
+	if e.sys.chans[ch].ctl.RefreshEnabled() {
+		// Same refresh-horizon replay as the scaled gate, in wall time.
+		due := e.sys.chans[ch].ctl.NextRefreshDue()
+		horizon := e.projectedCompletion(ch)
+		if arr, ok := e.earliestUnservedArrival(ch); ok && clock.PS(arr) > horizon {
+			horizon = clock.PS(arr)
+		}
+		if due <= horizon {
+			return false
+		}
+	}
 	if e.burstLimit == math.MaxInt64 {
 		return true
 	}
 	// Serial service would ingest the next staged request before the step
 	// whose decision point reaches its arrival; the decision point after
 	// the closed segments is their chained completion.
-	return int64(e.projectedCompletion()) < e.burstLimit
+	return int64(e.projectedCompletion(ch)) < e.burstLimit
 }
 
-// projectedCompletion replays the unscaled service chain of the closed
-// segments: per segment, start at max(SMC free point, the served request's
-// arrival), occupy for the charged SMC cycles (zero under HardwareMC) plus
-// the modeled occupancy.
-func (e *engine) projectedCompletion() clock.PS {
-	env := e.sys.env
+// projectedCompletion replays the unscaled service chain of channel ch's
+// closed segments: per segment, start at max(the channel's SMC free point,
+// the served request's arrival), occupy for the charged SMC cycles (zero
+// under HardwareMC) plus the modeled occupancy.
+func (e *engine) projectedCompletion(ch int) clock.PS {
+	env := e.sys.chans[ch].env
 	resp := env.Responses()
-	free := e.smcFreeAt
+	free := e.chanFree[ch]
 	var prevCharged int64
 	var prevOcc clock.PS
 	prevResp := 0

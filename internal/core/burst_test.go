@@ -10,9 +10,9 @@ import (
 
 // Burst-service equivalence tests. Row-hit burst service (Config.BurstCap)
 // must be invisible to the emulated system: every cycle count and every
-// semantic statistic must be bit-identical to serial service. Bursting
-// engages only with refresh off (see burst.go), so these tests run the
-// golden configurations with RefreshEnabled=false.
+// semantic statistic must be bit-identical to serial service — with
+// refresh off AND on (the burst gates replay the serial refresh-horizon
+// check and cut the burst before any REF falls due; see burst.go).
 
 // burstCfg returns cfg with refresh off and the given burst cap.
 func burstCfg(cfg Config, cap int) Config {
@@ -43,14 +43,18 @@ func normalizeCtrl(s smc.ControllerStats) smc.ControllerStats {
 	return s
 }
 
-// assertBurstIdentical runs k under cfg with bursting off and on and
-// requires bit-identical emulated results. It returns the burst run's
-// controller stats so callers can additionally require that bursts
-// actually happened (a vacuously passing equivalence test proves nothing).
+// assertBurstIdentical runs k under cfg with bursting off and on (leaving
+// cfg's refresh setting as given) and requires bit-identical emulated
+// results. It returns the burst run's controller stats so callers can
+// additionally require that bursts actually happened (a vacuously passing
+// equivalence test proves nothing).
 func assertBurstIdentical(t *testing.T, cfg Config, k workload.Kernel) smc.ControllerStats {
 	t.Helper()
-	serial := runBurst(t, burstCfg(cfg, 0), k)
-	burst := runBurst(t, burstCfg(cfg, 8), k)
+	serialCfg, burstOnCfg := cfg, cfg
+	serialCfg.BurstCap = 0
+	burstOnCfg.BurstCap = 8
+	serial := runBurst(t, serialCfg, k)
+	burst := runBurst(t, burstOnCfg, k)
 
 	if serial.ProcCycles != burst.ProcCycles || serial.GlobalCycles != burst.GlobalCycles {
 		t.Fatalf("cycle counts diverge: serial %d/%d vs burst %d/%d",
@@ -143,12 +147,54 @@ func TestBurstServiceBitIdentical(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			ctrl := assertBurstIdentical(t, c.cfg, c.k)
+			ctrl := assertBurstIdentical(t, burstCfg(c.cfg, 0), c.k)
 			if c.wantBurst && ctrl.BurstsServed == 0 {
 				t.Fatalf("equivalence is vacuous: no bursts served (%+v)", ctrl)
 			}
 			if c.wantBurst && ctrl.AvgBurstLen() < 2 {
 				t.Fatalf("avg burst len %.2f implausibly low", ctrl.AvgBurstLen())
+			}
+		})
+	}
+}
+
+// TestBurstRefreshOnBitIdentical pins the refresh-horizon replay inside the
+// burst gates: with periodic refresh ENABLED, burst service must still be
+// bit-identical to serial service — every REF settles between serial steps
+// exactly where serial accounting puts it — and bursts must actually engage
+// (the pre-fix engine fell back to serial under refresh).
+func TestBurstRefreshOnBitIdentical(t *testing.T) {
+	rowBurst := workload.SubstrateRowBurst(1024)
+	wbRows := wbRowKernel(4)
+	latmem := workload.LatMemRd(256<<10, 2000)
+
+	cases := []struct {
+		name      string
+		cfg       Config
+		k         workload.Kernel
+		wantBurst bool
+	}{
+		// Presets keep RefreshEnabled=true; long runs cross many tREFI.
+		{"scaled/rowburst", burstMLP8(TimeScalingA57()), rowBurst, true},
+		{"unscaled/rowburst", unscaledOoO(), rowBurst, true},
+		{"ts1ghz/rowburst", burstMLP8(TimeScaling1GHz()), rowBurst, true},
+		{"ref1ghz/rowburst", burstMLP8(Reference1GHz()), rowBurst, true},
+		{"scaled/wbrows", TimeScalingA57(), wbRows, true},
+		{"unscaled/wbrows", NoTimeScaling(), wbRows, true},
+		{"scaled/latmem", TimeScalingA57(), latmem, false},
+		{"unscaled/latmem", NoTimeScaling(), latmem, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if !c.cfg.RefreshEnabled {
+				t.Fatalf("test misconfigured: refresh must be on")
+			}
+			ctrl := assertBurstIdentical(t, c.cfg, c.k)
+			if ctrl.Refreshes == 0 {
+				t.Fatalf("equivalence is vacuous: no refreshes fired (%+v)", ctrl)
+			}
+			if c.wantBurst && ctrl.BurstsServed == 0 {
+				t.Fatalf("refresh-on run served no bursts (%+v)", ctrl)
 			}
 		})
 	}
@@ -185,17 +231,5 @@ func TestBurstGoldenCycleCounts(t *testing.T) {
 				t.Fatalf("burst golden drifted:\n got %+v\nwant %+v", got, c.want)
 			}
 		})
-	}
-}
-
-// TestBurstDisabledUnderRefresh pins the refresh gate: with refresh on, a
-// burst cap must be ignored (results equal the refresh-on serial golden
-// numbers in determinism_test.go, and no bursts are recorded).
-func TestBurstDisabledUnderRefresh(t *testing.T) {
-	cfg := burstMLP8(TimeScalingA57())
-	cfg.BurstCap = 8 // RefreshEnabled stays true
-	res := runBurst(t, cfg, workload.SubstrateRowBurst(256))
-	if res.Ctrl.BurstsServed != 0 {
-		t.Fatalf("bursts served despite refresh: %d", res.Ctrl.BurstsServed)
 	}
 }

@@ -85,10 +85,17 @@ type Config struct {
 	// engine only grants a burst when serving it is provably bit-identical
 	// to serial service (and per-request modeled costs are charged exactly
 	// as the serial path charges them), so this knob trades nothing but
-	// host time. It currently engages only when RefreshEnabled is false —
-	// mid-burst refresh accounting is not replicated, and the engine falls
-	// back to serial service rather than approximate.
+	// host time. With refresh enabled the burst gates additionally replay
+	// the per-step refresh-horizon check and cut the burst before any REF
+	// would fall due, so refresh-on configurations burst too (see burst.go).
 	BurstCap int
+
+	// Topology selects the module organisation: independent channels, each
+	// with its own controller instance and Bender pipeline, and ranks
+	// sharing each channel's bus. The zero value normalises to the paper's
+	// single-channel, single-rank module, which is bit-identical to the
+	// pre-topology engine (pinned by the golden cycle-count tests).
+	Topology dram.Topology
 
 	RefreshEnabled bool
 
@@ -114,6 +121,9 @@ func (c Config) Validate() error {
 	}
 	if c.BurstCap < 0 {
 		return fmt.Errorf("core: burst cap must be non-negative, got %d", c.BurstCap)
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -166,14 +176,24 @@ func (r Result) MPKI() float64 {
 	return 1000 * float64(misses) / float64(r.CPU.Instructions)
 }
 
-// System is a fully assembled emulated system. Build one per run.
-type System struct {
-	cfg  Config
-	hier *cache.Hierarchy
+// sysChannel is one memory channel's stack: the module (per-rank chips on a
+// shared bus), the EasyTile driving it, the channel's own software memory
+// controller (its request table and scheduler instance), and the execution
+// environment the engine steps it with.
+type sysChannel struct {
+	mod  *dram.Module
 	tile *tile.Tile
 	ctl  *smc.BaseController
 	env  *smc.Env
-	chip *dram.Chip
+}
+
+// System is a fully assembled emulated system. Build one per run.
+type System struct {
+	cfg    Config
+	topo   dram.Topology
+	hier   *cache.Hierarchy
+	chans  []sysChannel
+	mapper *smc.TopologyMapper
 
 	// hostReqID numbers host-driven characterization requests (see host.go).
 	// Per-system so concurrently running systems stay independent.
@@ -185,52 +205,108 @@ type System struct {
 // never collide.
 const hostReqIDBase = 1 << 48
 
+// channelScheduler resolves the scheduler instance channel ch runs:
+// channel 0 uses cfg.Scheduler as configured; further channels clone
+// stateful policies (smc.ChannelScheduler) and share stateless ones.
+func channelScheduler(s smc.Scheduler, ch int) (smc.Scheduler, error) {
+	if ch == 0 || s == nil {
+		return s, nil
+	}
+	if sc, ok := s.(smc.ChannelScheduler); ok {
+		return sc.CloneForChannel(), nil
+	}
+	if smc.Stateless(s) {
+		return s, nil // safe to share across channels
+	}
+	return nil, fmt.Errorf("core: scheduler %q is stateful and must implement smc.ChannelScheduler for multi-channel topologies", s.Name())
+}
+
 // NewSystem assembles a system from cfg.
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	chip, err := dram.New(cfg.DRAM)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
+	topo := cfg.Topology.Normalize()
 	hier, err := cache.NewHierarchy(cfg.Hier)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	t := tile.New(chip, cfg.Costs)
-	mapper, err := smc.NewRowBankCol(chip.Geometry().Banks, cfg.DRAM.ColsPerRow)
+	banksPerRank := cfg.DRAM.BankGroups * cfg.DRAM.BanksPerGroup
+	mapper, err := smc.NewTopologyMapper(topo, banksPerRank, cfg.DRAM.ColsPerRow)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	ctl, err := smc.NewBaseController(smc.Config{
-		Mapper:         mapper,
-		Scheduler:      cfg.Scheduler,
-		TRCD:           cfg.TRCD,
-		RefreshEnabled: cfg.RefreshEnabled,
-		Policy:         cfg.Policy,
-	}, chip.Timing(), chip.Geometry().Banks)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return &System{
+	s := &System{
 		cfg:       cfg,
+		topo:      topo,
 		hier:      hier,
-		tile:      t,
-		ctl:       ctl,
-		env:       smc.NewEnv(t),
-		chip:      chip,
+		mapper:    mapper,
 		hostReqID: hostReqIDBase,
-	}, nil
+	}
+	for c := 0; c < topo.Channels; c++ {
+		mod, err := dram.NewModule(cfg.DRAM, topo.Ranks, c*topo.Ranks)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		sched, err := channelScheduler(cfg.Scheduler, c)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := smc.NewBaseController(smc.Config{
+			Mapper:         mapper,
+			Scheduler:      sched,
+			TRCD:           cfg.TRCD,
+			RefreshEnabled: cfg.RefreshEnabled,
+			Policy:         cfg.Policy,
+			Ranks:          topo.Ranks,
+		}, mod.Timing(), mod.Banks())
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		t := tile.NewDevice(mod, cfg.Costs)
+		s.chans = append(s.chans, sysChannel{mod: mod, tile: t, ctl: ctl, env: smc.NewEnv(t)})
+	}
+	return s, nil
 }
 
-// Chip exposes the DRAM model (profiling tools use it read-only).
-func (s *System) Chip() *dram.Chip { return s.chip }
+// Topology reports the normalised module topology the system models.
+func (s *System) Topology() dram.Topology { return s.topo }
+
+// Chip exposes the DRAM model of channel 0, rank 0 (profiling tools use it
+// read-only; the characterization helpers target the default topology).
+func (s *System) Chip() *dram.Chip { return s.chans[0].mod.Rank(0) }
+
+// Module exposes channel ch's module (per-rank chip models).
+func (s *System) Module(ch int) *dram.Module { return s.chans[ch].mod }
+
+// PeekLine copies the stored contents of a (as decoded by Mapper) into dst
+// without issuing any command, routing to the owning channel and rank.
+// False when data tracking is off. Host-side test/debug helper.
+func (s *System) PeekLine(a dram.Addr, dst []byte) bool {
+	return s.chans[a.Chan].mod.PeekLine(a, dst)
+}
+
+// PokeLine stores src at a without issuing any command, routing to the
+// owning channel and rank. Host-side test/debug helper.
+func (s *System) PokeLine(a dram.Addr, src []byte) bool {
+	return s.chans[a.Chan].mod.PokeLine(a, src)
+}
 
 // Mapper exposes the physical-to-DRAM address mapping in use.
-func (s *System) Mapper() smc.Mapper { return s.ctl.Mapper() }
+func (s *System) Mapper() smc.Mapper { return s.mapper }
 
-// pending tracks one in-flight request.
+// chanIndex routes a physical address to its owning channel.
+func (s *System) chanIndex(pa uint64) int {
+	if len(s.chans) == 1 {
+		return 0
+	}
+	return s.mapper.Map(pa).Chan
+}
+
+// pending tracks one in-flight request. The owning channel is not stored:
+// channel routing is resolved at issue time (per-channel staged lists,
+// arrival rings, and tile FIFOs), and settle paths read responses from the
+// channel env they stepped.
 type pending struct {
 	posted bool
 	// arrival is the wall time of issue (non-scaled modes).
@@ -255,18 +331,24 @@ func (s *System) Run(strm workload.Stream) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %w", err)
 	}
+	nch := len(s.chans)
 	e := &engine{
 		cfg:           s.cfg,
 		sys:           s,
 		core:          core,
 		inflight:      newSlotRing(),
 		ready:         newReleaseQueue(),
-		trackArrivals: s.ctl.RefreshEnabled(),
+		trackArrivals: s.cfg.RefreshEnabled,
 		burstCap:      1,
+		chanFree:      make([]clock.PS, nch),
+		chanMC:        make([]clock.PS, nch),
+		arrivals:      make([]arrivalRing, nch),
+		staged:        make([][]stagedReq, nch),
 	}
-	if s.cfg.BurstCap > 1 && !s.ctl.RefreshEnabled() {
-		// Mid-burst refresh accounting is not replicated (see burst.go);
-		// with refresh on, bursting stays off rather than approximate.
+	if s.cfg.BurstCap > 1 {
+		// With refresh enabled the burst gates replay the per-step
+		// refresh-horizon check and cut the burst before a REF falls due
+		// (see burst.go), so the cap engages in every configuration.
 		e.burstCap = s.cfg.BurstCap
 	}
 	if s.cfg.Scaling {
@@ -287,28 +369,37 @@ type engine struct {
 
 	ts *timescale.Counters
 
-	// Non-scaled mode wall clocks (picoseconds).
-	wallNow   clock.PS
-	smcFreeAt clock.PS
+	// Non-scaled mode wall clock (picoseconds).
+	wallNow clock.PS
+	// chanFree is each channel's SMC-free point (non-scaled modes): the
+	// channels are independent serial resources, so their busy chains
+	// advance separately and service overlaps in wall time.
+	chanFree []clock.PS
+	// chanMC is each channel's modeled-MC service chain (scaled mode,
+	// multi-channel only; with one channel the ts counters carry it). The
+	// global MC counter is kept at the maximum over channels.
+	chanMC []clock.PS
 
 	// inflight tracks outstanding requests in a dense slot ring indexed by
 	// request ID (IDs are sequential, so indexing replaces hashing).
 	inflight slotRing
-	// arrivals mirrors inflight in issue order (monotone arrival keys:
-	// processor-cycle tags when scaling, wall picoseconds otherwise); the
-	// head yields the earliest live arrival in amortised O(1). It feeds the
-	// refresh accounting horizon only, so it is maintained (trackArrivals)
-	// only when refresh is enabled.
-	arrivals      arrivalRing
+	// arrivals mirrors inflight in issue order, one ring per channel
+	// (monotone arrival keys: processor-cycle tags when scaling, wall
+	// picoseconds otherwise); the head yields the channel's earliest live
+	// arrival in amortised O(1). It feeds the refresh accounting horizon
+	// only, so it is maintained (trackArrivals) only when refresh is
+	// enabled.
+	arrivals      []arrivalRing
 	trackArrivals bool
 	// ready holds produced responses keyed by their release point:
 	// processor cycles when scaling, wall picoseconds otherwise.
 	ready releaseQueue
-	// staged holds issued requests not yet visible to the controller
-	// (non-scaled mode): the SMC only observes requests that have arrived
-	// by its next decision point, mirroring the scaled engine's gating.
-	// Request bytes already live in the tile's slab; staged carries slots.
-	staged []stagedReq
+	// staged holds issued requests not yet visible to their channel's
+	// controller (non-scaled mode): the SMC only observes requests that
+	// have arrived by its next decision point, mirroring the scaled
+	// engine's gating. Request bytes already live in the tile's slab;
+	// staged carries slots, one list per channel.
+	staged [][]stagedReq
 
 	blockedOn  uint64
 	fencing    bool
@@ -317,9 +408,10 @@ type engine struct {
 
 	// Burst service state: burstCap is the per-step budget granted to the
 	// controller (1 = serial); burstPhase records which engine state the
-	// current SMC step runs under, and burstLimit is the next staged
+	// current SMC step runs under; and burstLimit is the next staged
 	// arrival (unscaled mode) the burst's service chain must stay below.
-	// See burst.go.
+	// The gates learn the stepped channel through per-env closures bound
+	// at run start. See burst.go.
 	burstCap   int
 	burstPhase burstPhase
 	burstLimit int64
@@ -359,21 +451,53 @@ func (e *engine) result() Result {
 	r.CPU = e.core.Stats()
 	r.L1 = e.sys.hier.L1.Stats()
 	r.L2 = e.sys.hier.L2.Stats()
-	r.Ctrl = e.sys.ctl.Stats()
-	r.Chip = e.sys.chip.Stats()
-	r.Tile = e.sys.tile.Stats()
+	for i := range e.sys.chans {
+		c := &e.sys.chans[i]
+		r.Ctrl.Accumulate(c.ctl.Stats())
+		r.Chip.Accumulate(c.mod.Stats())
+		r.Tile.Accumulate(c.tile.Stats())
+	}
 	return r
 }
 
-// earliestArrival reports the smallest arrival key among unserved requests
-// (amortised O(1): completed heads are skipped off the issue-order ring).
-func (e *engine) earliestArrival() (int64, bool) {
-	for e.arrivals.head < len(e.arrivals.buf) {
-		ent := e.arrivals.buf[e.arrivals.head]
+// earliestArrival reports the smallest arrival key among channel ch's
+// unserved requests (amortised O(1): completed heads are skipped off the
+// issue-order ring).
+func (e *engine) earliestArrival(ch int) (int64, bool) {
+	ring := &e.arrivals[ch]
+	for ring.head < len(ring.buf) {
+		ent := ring.buf[ring.head]
 		if e.inflight.Contains(ent.id) {
 			return ent.key, true
 		}
-		e.arrivals.skipHead()
+		ring.skipHead()
+	}
+	return 0, false
+}
+
+// earliestUnservedArrival reports the smallest arrival key among channel
+// ch's requests that are in flight and NOT yet responded in the channel's
+// current (burst) step — the arrival the next serial step's refresh horizon
+// would see. Unlike earliestArrival it must not pop ring heads: responded
+// requests stay in the inflight table until the step settles.
+func (e *engine) earliestUnservedArrival(ch int) (int64, bool) {
+	resp := e.sys.chans[ch].env.Responses()
+	ring := &e.arrivals[ch]
+	for i := ring.head; i < len(ring.buf); i++ {
+		ent := ring.buf[i]
+		if !e.inflight.Contains(ent.id) {
+			continue
+		}
+		responded := false
+		for _, r := range resp {
+			if r.ReqID == ent.id {
+				responded = true
+				break
+			}
+		}
+		if !responded {
+			return ent.key, true
+		}
 	}
 	return 0, false
 }

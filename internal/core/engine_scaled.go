@@ -10,13 +10,21 @@ import (
 )
 
 // runScaled executes the workload under time scaling (Figure 5 mechanics).
+// With a multi-channel topology each channel is its own modeled-MC service
+// chain (chanMC); the global MC counter — what gates the processor's
+// allowance in critical mode — is kept at the maximum over channels, so
+// channels that serve in parallel overlap in emulated time exactly as
+// independent controllers would.
 func (e *engine) runScaled() error {
 	ts, err := timescale.New(e.cfg.FPGA, e.cfg.ProcPhys, e.cfg.CPU.Clock, true)
 	if err != nil {
 		return err
 	}
 	e.ts = ts
-	e.sys.env.SetBurst(1, e.mayExtendBurstScaled)
+	for c := range e.sys.chans {
+		ch := c
+		e.sys.chans[c].env.SetBurst(1, func() bool { return e.mayExtendBurstScaled(ch) })
+	}
 
 	for {
 		e.deliverMaturedScaled()
@@ -134,16 +142,17 @@ func (e *engine) consumeScaled(id uint64) {
 	e.maybeExitCritical()
 }
 
-// issueScaled places a new request into the EasyTile FIFO, tagging it with
-// the current processor cycle and gating the processor domain. The request
-// is copied into the tile's slab here, once; every later stage carries its
-// slot.
+// issueScaled places a new request into its channel's EasyTile FIFO,
+// tagging it with the current processor cycle and gating the processor
+// domain. The request is copied into the tile's slab here, once; every
+// later stage carries its slot.
 func (e *engine) issueScaled(req *mem.Request) {
 	req.Tag = e.ts.Proc()
-	e.sys.tile.PushRequest(req)
+	ch := e.sys.chanIndex(req.Addr)
+	e.sys.chans[ch].tile.PushRequest(req)
 	e.inflight.Put(req.ID, pending{posted: req.Posted, tag: req.Tag})
 	if e.trackArrivals {
-		e.arrivals.Push(req.ID, int64(req.Tag))
+		e.arrivals[ch].Push(req.ID, int64(req.Tag))
 	}
 	if !e.ts.Critical() {
 		e.ts.EnterCritical()
@@ -156,30 +165,92 @@ func (e *engine) maybeExitCritical() {
 	}
 }
 
-// settleRefreshesScaled deterministically accounts every REF due before the
-// next request service starts: a refresh fires iff it is due by
-// max(service point, next arrival). Refreshes falling in idle periods chain
-// off the stale service point and so cost the emulated timeline nothing.
-func (e *engine) settleRefreshesScaled() error {
-	if !e.sys.ctl.RefreshEnabled() {
+// mcTimeOf reports channel ch's modeled-MC service point: with one channel
+// it is the ts counters' exact MC time; with several it is the channel's
+// own chain.
+func (e *engine) mcTimeOf(ch int) clock.PS {
+	if len(e.sys.chans) == 1 {
+		return e.ts.MCTime()
+	}
+	return e.chanMC[ch]
+}
+
+// serveModeledChan is the multi-channel counterpart of
+// timescale.Counters.ServeModeled: one service on channel ch's own MC
+// chain, with the global MC counter lifted to the maximum over channels so
+// processor allowance sees the memory system's overall progress.
+func (e *engine) serveModeledChan(ch int, arrival clock.Cycles, occupancy, latency clock.PS) clock.Cycles {
+	start := e.chanMC[ch]
+	if t := e.ts.ProcEmul.ToTime(arrival); t > start {
+		start = t
+	}
+	e.chanMC[ch] = start + occupancy
+	e.ts.RaiseMCTime(e.chanMC[ch])
+	if latency < occupancy {
+		latency = occupancy
+	}
+	return e.ts.ProcEmul.CyclesCeil(start + latency)
+}
+
+// channelHasWorkScaled reports whether channel ch's controller has arrived
+// requests to serve (scaled mode has no staging: issues are visible at
+// once).
+func (e *engine) channelHasWorkScaled(ch int) bool {
+	c := &e.sys.chans[ch]
+	return !c.tile.IncomingEmpty() || c.ctl.Pending() > 0
+}
+
+// pickChannelScaled selects the channel with work whose MC service chain is
+// furthest behind (ties to the lower index): the channel a bank of real
+// parallel controllers would have made progress on first.
+func (e *engine) pickChannelScaled() (int, bool) {
+	best, ok := -1, false
+	var bestKey clock.PS
+	for ch := range e.sys.chans {
+		if !e.channelHasWorkScaled(ch) {
+			continue
+		}
+		key := e.mcTimeOf(ch)
+		if !ok || key < bestKey {
+			best, bestKey, ok = ch, key, true
+		}
+	}
+	return best, ok
+}
+
+// settleRefreshesScaled deterministically accounts every REF due on channel
+// ch before its next request service starts: a refresh fires iff it is due
+// by max(service point, next arrival). Refreshes falling in idle periods
+// chain off the stale service point and so cost the emulated timeline
+// nothing.
+func (e *engine) settleRefreshesScaled(ch int) error {
+	c := &e.sys.chans[ch]
+	if !c.ctl.RefreshEnabled() {
 		return nil
 	}
+	single := len(e.sys.chans) == 1
 	for {
-		arrival, ok := e.earliestArrival()
+		arrival, ok := e.earliestArrival(ch)
 		if !ok {
 			return nil
 		}
 		horizon := e.cfg.CPU.Clock.ToTime(clock.Cycles(arrival))
-		if mc := e.cfg.CPU.Clock.ToTime(e.ts.MC()); mc > horizon {
+		var mc clock.PS
+		if single {
+			mc = e.cfg.CPU.Clock.ToTime(e.ts.MC())
+		} else {
+			mc = e.cfg.CPU.Clock.ToTime(e.cfg.CPU.Clock.CyclesFloor(e.chanMC[ch]))
+		}
+		if mc > horizon {
 			horizon = mc
 		}
-		due := e.sys.ctl.NextRefreshDue()
+		due := c.ctl.NextRefreshDue()
 		if due > horizon {
 			return nil
 		}
-		env := e.sys.env
+		env := c.env
 		env.Reset(due)
-		if err := e.sys.ctl.ServeRefresh(env); err != nil {
+		if err := c.ctl.ServeRefresh(env); err != nil {
 			return err
 		}
 		charged := env.ChargedFPGA()
@@ -187,27 +258,23 @@ func (e *engine) settleRefreshesScaled() error {
 			charged = 0
 		}
 		e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + env.BenderWall())
-		e.ts.ServeModeled(e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
+		if single {
+			e.ts.ServeModeled(e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
+		} else {
+			e.serveModeledChan(ch, e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
+		}
 		if debugTrace {
-			tracef("S refresh due=%v occ=%v mc=%d", due, env.Occupancy(), e.ts.MC())
+			tracef("S refresh ch=%d due=%v occ=%v mc=%d", ch, due, env.Occupancy(), e.ts.MC())
 		}
 	}
 }
 
-// smcStepScaled runs one software-memory-controller iteration and settles
-// its cost into the time-scaling counters.
+// smcStepScaled runs one software-memory-controller iteration on the
+// furthest-behind channel with work and settles its cost into the
+// time-scaling counters.
 func (e *engine) smcStepScaled() error {
-	if err := e.settleRefreshesScaled(); err != nil {
-		return err
-	}
-	env := e.sys.env
-	env.Reset(e.cfg.CPU.Clock.ToTime(e.ts.MC()))
-	env.SetBurstBudget(e.burstBudget())
-	worked, err := e.sys.ctl.ServeOne(env)
-	if err != nil {
-		return err
-	}
-	if !worked {
+	ch, ok := e.pickChannelScaled()
+	if !ok {
 		// Nothing left to serve: every in-flight request has a ready
 		// response. Let the processor domain catch up to the earliest
 		// release so the responses mature.
@@ -217,9 +284,37 @@ func (e *engine) smcStepScaled() error {
 		}
 		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
 	}
+	return e.stepChannelScaled(ch)
+}
+
+// stepChannelScaled runs one controller iteration on channel ch.
+func (e *engine) stepChannelScaled(ch int) error {
+	if err := e.settleRefreshesScaled(ch); err != nil {
+		return err
+	}
+	c := &e.sys.chans[ch]
+	env := c.env
+	env.Reset(e.cfg.CPU.Clock.ToTime(e.cfg.CPU.Clock.CyclesFloor(e.mcTimeOf(ch))))
+	env.SetBurstBudget(e.burstBudget())
+	worked, err := c.ctl.ServeOne(env)
+	if err != nil {
+		return err
+	}
+	if !worked {
+		// Nothing left to serve on this channel: every in-flight request
+		// routed here has a ready response. Let the processor domain catch
+		// up to the earliest release so the responses mature.
+		if e.ready.Len() > 0 {
+			e.ts.JumpProcTo(clock.Cycles(e.ready.Min().release))
+			return nil
+		}
+		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+	}
+
+	single := len(e.sys.chans) == 1
 
 	if len(env.Segments()) > 0 {
-		return e.settleScaledSegments(env)
+		return e.settleScaledSegments(ch, env)
 	}
 
 	charged := env.ChargedFPGA()
@@ -229,10 +324,10 @@ func (e *engine) smcStepScaled() error {
 	e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + env.BenderWall())
 
 	responses := env.Responses()
-	// One service on the MC resource: start at max(service point, the
-	// served request's arrival tag), occupy for the step's occupancy, and
-	// tag the responses with the release point (start + latency, plus the
-	// modeled hardware-controller extra) — the exact mirror of the
+	// One service on the channel's MC resource: start at max(service point,
+	// the served request's arrival tag), occupy for the step's occupancy,
+	// and tag the responses with the release point (start + latency, plus
+	// the modeled hardware-controller extra) — the exact mirror of the
 	// reference engine's wall-clock service math.
 	arrival := clock.Cycles(0)
 	if len(responses) > 0 {
@@ -240,10 +335,15 @@ func (e *engine) smcStepScaled() error {
 			arrival = p.tag
 		}
 	}
-	release := e.ts.ServeModeled(arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
+	var release clock.Cycles
+	if single {
+		release = e.ts.ServeModeled(arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
+	} else {
+		release = e.serveModeledChan(ch, arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
+	}
 	if len(responses) > 0 {
 		if debugTrace {
-			tracef("S serve id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", responses[0].ReqID, arrival, env.Occupancy(), env.Latency(), e.ts.MC(), release, e.ts.Proc())
+			tracef("S serve ch=%d id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", ch, responses[0].ReqID, arrival, env.Occupancy(), env.Latency(), e.ts.MC(), release, e.ts.Proc())
 		}
 	}
 	for _, r := range responses {
@@ -266,11 +366,12 @@ func (e *engine) smcStepScaled() error {
 // settleScaledSegments settles a burst step segment by segment, applying to
 // each served request exactly the arithmetic its own serial step would have
 // received: one AdvanceWall per segment (per-call FPGA-cycle ceilings
-// included), one MC service chained through ServeModeled, and one release
-// tag per response — so responses enter the release queue with their
-// individual latencies and the counters advance bit-identically to serial
-// service.
-func (e *engine) settleScaledSegments(env *smc.Env) error {
+// included), one MC service chained through the channel's modeled-MC
+// resource, and one release tag per response — so responses enter the
+// release queue with their individual latencies and the counters advance
+// bit-identically to serial service.
+func (e *engine) settleScaledSegments(ch int, env *smc.Env) error {
+	single := len(e.sys.chans) == 1
 	responses := env.Responses()
 	var prev smc.Segment
 	for _, s := range env.Segments() {
@@ -288,10 +389,16 @@ func (e *engine) settleScaledSegments(env *smc.Env) error {
 		if ok {
 			arrival = p.tag
 		}
-		release := e.ts.ServeModeled(arrival, s.Occupancy-prev.Occupancy,
-			s.Latency-prev.Latency+e.extraModeled(1))
+		var release clock.Cycles
+		if single {
+			release = e.ts.ServeModeled(arrival, s.Occupancy-prev.Occupancy,
+				s.Latency-prev.Latency+e.extraModeled(1))
+		} else {
+			release = e.serveModeledChan(ch, arrival, s.Occupancy-prev.Occupancy,
+				s.Latency-prev.Latency+e.extraModeled(1))
+		}
 		if debugTrace {
-			tracef("S burst-serve id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", r.ReqID, arrival,
+			tracef("S burst-serve ch=%d id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", ch, r.ReqID, arrival,
 				s.Occupancy-prev.Occupancy, s.Latency-prev.Latency, e.ts.MC(), release, e.ts.Proc())
 		}
 		if _, ok := e.inflight.Take(r.ReqID); !ok {

@@ -9,9 +9,11 @@ import (
 )
 
 // runUnscaled executes the workload without time scaling. The processor
-// follows the wall clock at its own frequency; the SMC is a concurrently
-// running serial resource whose busy time is tracked by smcFreeAt. Two
-// sub-modes share this path:
+// follows the wall clock at its own frequency; each memory channel's SMC is
+// a concurrently running serial resource whose busy time is tracked by
+// chanFree[ch] — with several channels their service chains advance
+// independently, which is exactly the wall-time overlap a multi-channel
+// module buys. Two sub-modes share this path:
 //
 //   - raw software MC (HardwareMC=false): the "EasyDRAM - No Time Scaling"
 //     configuration; the full programmable-core latency is visible;
@@ -22,7 +24,10 @@ func (e *engine) runUnscaled() error {
 	var maxWall clock.PS
 
 	proc := func() clock.Cycles { return clock.Cycles(e.wallNow / procPeriod) }
-	e.sys.env.SetBurst(1, e.mayExtendBurstUnscaled)
+	for c := range e.sys.chans {
+		ch := c
+		e.sys.chans[c].env.SetBurst(1, func() bool { return e.mayExtendBurstUnscaled(ch) })
+	}
 
 	for {
 		// Deliver responses whose wall release time has passed (in release
@@ -110,14 +115,16 @@ func (e *engine) runUnscaled() error {
 		for i := range out.Reqs {
 			req := &out.Reqs[i]
 			req.Tag = proc()
+			ch := e.sys.chanIndex(req.Addr)
 			if debugTrace {
-				tracef("U issue id=%d kind=%v wall=%d proc=%d", req.ID, req.Kind, e.wallNow, proc())
+				tracef("U issue id=%d kind=%v ch=%d wall=%d proc=%d", req.ID, req.Kind, ch, e.wallNow, proc())
 			}
-			// Copy into the tile slab once; stage the slot until arrival.
-			e.staged = append(e.staged, stagedReq{slot: e.sys.tile.Stage(req), id: req.ID})
+			// Copy into the owning channel's tile slab once; stage the slot
+			// until arrival.
+			e.staged[ch] = append(e.staged[ch], stagedReq{slot: e.sys.chans[ch].tile.Stage(req), id: req.ID})
 			e.inflight.Put(req.ID, pending{posted: req.Posted, arrival: e.wallNow})
 			if e.trackArrivals {
-				e.arrivals.Push(req.ID, int64(e.wallNow))
+				e.arrivals[ch].Push(req.ID, int64(e.wallNow))
 			}
 		}
 		if out.WaitID != 0 {
@@ -146,39 +153,76 @@ func (e *engine) runUnscaled() error {
 		}
 	}
 	final := e.wallNow
-	if e.smcFreeAt > final {
-		final = e.smcFreeAt
+	for _, free := range e.chanFree {
+		if free > final {
+			final = free
+		}
 	}
 	e.globalFinal = e.cfg.FPGA.CyclesCeil(final)
 	return nil
 }
 
-// settleRefreshesUnscaled mirrors settleRefreshesScaled: every REF due by
-// max(service point, next arrival) is accounted before the next request
-// service, chaining off the (possibly stale) service point.
-func (e *engine) settleRefreshesUnscaled() error {
-	if !e.sys.ctl.RefreshEnabled() {
+// channelHasWorkUnscaled reports whether channel ch has anything for its
+// controller: arrived requests in the tile FIFO, buffered table entries, or
+// staged (issued but not yet arrived) requests it would wait for.
+func (e *engine) channelHasWorkUnscaled(ch int) bool {
+	c := &e.sys.chans[ch]
+	return !c.tile.IncomingEmpty() || c.ctl.Pending() > 0 || len(e.staged[ch]) > 0
+}
+
+// pickChannelUnscaled selects the channel whose next controller decision
+// point is earliest: max(the channel's SMC-free point, its next staged
+// arrival when it is otherwise idle). Ties break to the lower index, so
+// runs are deterministic at any channel count. ok is false when no channel
+// has work.
+func (e *engine) pickChannelUnscaled() (int, bool) {
+	best, ok := -1, false
+	var bestKey clock.PS
+	for ch := range e.sys.chans {
+		if !e.channelHasWorkUnscaled(ch) {
+			continue
+		}
+		key := e.chanFree[ch]
+		c := &e.sys.chans[ch]
+		if len(e.staged[ch]) > 0 && c.tile.IncomingEmpty() && c.ctl.Pending() == 0 {
+			if p, found := e.inflight.Get(e.staged[ch][0].id); found && key < p.arrival {
+				key = p.arrival
+			}
+		}
+		if !ok || key < bestKey {
+			best, bestKey, ok = ch, key, true
+		}
+	}
+	return best, ok
+}
+
+// settleRefreshesUnscaled mirrors settleRefreshesScaled for channel ch:
+// every REF due by max(service point, next arrival) is accounted before the
+// next request service, chaining off the (possibly stale) service point.
+func (e *engine) settleRefreshesUnscaled(ch int) error {
+	c := &e.sys.chans[ch]
+	if !c.ctl.RefreshEnabled() {
 		return nil
 	}
 	for {
-		arrival, found := e.earliestArrival()
+		arrival, found := e.earliestArrival(ch)
 		if !found {
 			return nil
 		}
 		horizon := clock.PS(arrival)
-		if e.smcFreeAt > horizon {
-			horizon = e.smcFreeAt
+		if e.chanFree[ch] > horizon {
+			horizon = e.chanFree[ch]
 		}
-		due := e.sys.ctl.NextRefreshDue()
+		due := c.ctl.NextRefreshDue()
 		if due > horizon {
 			return nil
 		}
-		env := e.sys.env
+		env := c.env
 		env.Reset(due)
-		if err := e.sys.ctl.ServeRefresh(env); err != nil {
+		if err := c.ctl.ServeRefresh(env); err != nil {
 			return err
 		}
-		start := e.smcFreeAt
+		start := e.chanFree[ch]
 		if due > start {
 			start = due
 		}
@@ -186,64 +230,84 @@ func (e *engine) settleRefreshesUnscaled() error {
 		if !e.cfg.HardwareMC {
 			smcOcc = clock.PS(env.ChargedFPGA()) * e.cfg.FPGA.Period()
 		}
-		e.smcFreeAt = start + smcOcc + env.Occupancy()
+		e.chanFree[ch] = start + smcOcc + env.Occupancy()
 		if debugTrace {
-			tracef("U refresh due=%v occ=%v free=%d", due, env.Occupancy(), e.smcFreeAt)
+			tracef("U refresh ch=%d due=%v occ=%v free=%d", ch, due, env.Occupancy(), e.chanFree[ch])
 		}
 	}
 }
 
-// smcStepUnscaled runs one controller iteration and settles its cost onto
-// the SMC's wall-time resource. It returns the completion wall time of the
-// work done.
+// smcStepUnscaled runs one controller iteration on the channel with the
+// earliest pending decision and settles its cost onto that channel's
+// wall-time resource. It returns the completion wall time of the work done.
 func (e *engine) smcStepUnscaled() (clock.PS, error) {
-	if err := e.settleRefreshesUnscaled(); err != nil {
+	ch, ok := e.pickChannelUnscaled()
+	if !ok {
+		// Every in-flight request is already responded; nothing to step.
+		if e.ready.Len() > 0 {
+			var free clock.PS
+			for _, f := range e.chanFree {
+				if f > free {
+					free = f
+				}
+			}
+			return free, nil
+		}
+		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+	}
+	return e.stepChannelUnscaled(ch)
+}
+
+// stepChannelUnscaled runs one controller iteration on channel ch.
+func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
+	if err := e.settleRefreshesUnscaled(ch); err != nil {
 		return 0, err
 	}
-	env := e.sys.env
+	c := &e.sys.chans[ch]
+	env := c.env
 	// Make exactly the requests that have arrived by the controller's next
 	// decision point visible. If the controller is idle, the next decision
 	// happens when the earliest staged request arrives. Staged requests sit
 	// in issue order and arrivals are monotone, so the earliest is first.
-	decision := e.smcFreeAt
-	if len(e.staged) > 0 && e.sys.tile.IncomingEmpty() && e.sys.ctl.Pending() == 0 {
-		if p, ok := e.inflight.Get(e.staged[0].id); ok && decision < p.arrival {
+	decision := e.chanFree[ch]
+	if len(e.staged[ch]) > 0 && c.tile.IncomingEmpty() && c.ctl.Pending() == 0 {
+		if p, ok := e.inflight.Get(e.staged[ch][0].id); ok && decision < p.arrival {
 			decision = p.arrival
 		}
 	}
-	kept := e.staged[:0]
-	for _, sr := range e.staged {
+	kept := e.staged[ch][:0]
+	for _, sr := range e.staged[ch] {
 		if p, _ := e.inflight.Get(sr.id); p.arrival <= decision {
-			e.sys.tile.Enqueue(sr.slot)
+			c.tile.Enqueue(sr.slot)
 		} else {
 			kept = append(kept, sr)
 		}
 	}
-	e.staged = kept
+	e.staged[ch] = kept
 
 	// A burst's service chain must stop before the next staged arrival:
 	// serial stepping would ingest that request first (see burst.go).
 	e.burstLimit = math.MaxInt64
-	if len(e.staged) > 0 {
-		if p, ok := e.inflight.Get(e.staged[0].id); ok {
+	if len(e.staged[ch]) > 0 {
+		if p, ok := e.inflight.Get(e.staged[ch][0].id); ok {
 			e.burstLimit = int64(p.arrival)
 		}
 	}
 
 	now := e.wallNow
-	if e.smcFreeAt > now {
-		now = e.smcFreeAt
+	if e.chanFree[ch] > now {
+		now = e.chanFree[ch]
 	}
 	env.Reset(now)
 	env.SetBurstBudget(e.burstBudget())
-	worked, err := e.sys.ctl.ServeOne(env)
+	worked, err := c.ctl.ServeOne(env)
 	if err != nil {
 		return 0, err
 	}
 	if !worked {
 		if e.ready.Len() > 0 {
 			// Everything outstanding is already responded; nothing to do.
-			return e.smcFreeAt, nil
+			return e.chanFree[ch], nil
 		}
 		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
 	}
@@ -251,13 +315,13 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	responses := env.Responses()
 
 	if len(env.Segments()) > 0 {
-		return e.settleUnscaledSegments(env)
+		return e.settleUnscaledSegments(ch, env)
 	}
 
 	// Service start: the SMC must be free and the request must have
 	// arrived (the model serves one request per step, so the first
 	// response identifies the request being served).
-	start := e.smcFreeAt
+	start := e.chanFree[ch]
 	if len(responses) > 0 {
 		if p, ok := e.inflight.Get(responses[0].ReqID); ok && p.arrival > start {
 			start = p.arrival
@@ -282,10 +346,10 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 	if release < completion {
 		release = completion
 	}
-	e.smcFreeAt = completion
+	e.chanFree[ch] = completion
 	if len(responses) > 0 {
 		if debugTrace {
-			tracef("U serve id=%d start=%d occ=%v lat=%v completion=%d release=%d", responses[0].ReqID, start, env.Occupancy(), env.Latency(), completion, release)
+			tracef("U serve ch=%d id=%d start=%d occ=%v lat=%v completion=%d release=%d", ch, responses[0].ReqID, start, env.Occupancy(), env.Latency(), completion, release)
 		}
 	}
 
@@ -304,11 +368,11 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 
 // settleUnscaledSegments settles a burst step segment by segment with the
 // exact wall-clock service math of a serial step sequence: each segment
-// starts at max(SMC free point, its request's arrival), chains the serial
-// resource by its charged SMC cycles plus modeled occupancy, and releases
-// its response at its own latency. The returned completion is the last
-// segment's (the chain's maximum).
-func (e *engine) settleUnscaledSegments(env *smc.Env) (clock.PS, error) {
+// starts at max(the channel's SMC free point, its request's arrival),
+// chains the serial resource by its charged SMC cycles plus modeled
+// occupancy, and releases its response at its own latency. The returned
+// completion is the last segment's (the chain's maximum).
+func (e *engine) settleUnscaledSegments(ch int, env *smc.Env) (clock.PS, error) {
 	responses := env.Responses()
 	var prev smc.Segment
 	var completion clock.PS
@@ -321,7 +385,7 @@ func (e *engine) settleUnscaledSegments(env *smc.Env) (clock.PS, error) {
 		if !ok {
 			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
-		start := e.smcFreeAt
+		start := e.chanFree[ch]
 		if p.arrival > start {
 			start = p.arrival
 		}
@@ -338,9 +402,9 @@ func (e *engine) settleUnscaledSegments(env *smc.Env) (clock.PS, error) {
 		if release < completion {
 			release = completion
 		}
-		e.smcFreeAt = completion
+		e.chanFree[ch] = completion
 		if debugTrace {
-			tracef("U burst-serve id=%d start=%d completion=%d release=%d", r.ReqID, start, completion, release)
+			tracef("U burst-serve ch=%d id=%d start=%d completion=%d release=%d", ch, r.ReqID, start, completion, release)
 		}
 		e.inflight.Take(r.ReqID)
 		if !p.posted {

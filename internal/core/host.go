@@ -20,14 +20,15 @@ import (
 func (s *System) hostServe(req mem.Request) (mem.Response, error) {
 	s.hostReqID++
 	req.ID = s.hostReqID
-	s.tile.PushRequest(&req)
+	c := &s.chans[s.chanIndex(req.Addr)]
+	c.tile.PushRequest(&req)
 	for i := 0; i < 1024; i++ {
-		s.env.Reset(0)
-		worked, err := s.ctl.ServeOne(s.env)
+		c.env.Reset(0)
+		worked, err := c.ctl.ServeOne(c.env)
 		if err != nil {
 			return mem.Response{}, err
 		}
-		for _, r := range s.env.Responses() {
+		for _, r := range c.env.Responses() {
 			if r.ReqID == req.ID {
 				return r, nil
 			}
@@ -60,9 +61,19 @@ func (s *System) ProfileLine(pa uint64, rcd clock.PS) (bool, error) {
 // leading lines that read reliably and whether the entire row passed.
 // Per-line outcomes are identical to repeated ProfileLine calls.
 func (s *System) ProfileRow(pa uint64, rcd clock.PS) (okLines int, ok bool, err error) {
-	pa &^= uint64(s.Mapper().RowBytes() - 1)
-	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: pa, RCD: rcd})
+	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: s.rowBase(pa), RCD: rcd})
 	return r.Lines, r.OK, err
+}
+
+// rowBase returns the address of the first line of pa's DRAM row. A plain
+// low-bit mask is only correct for the default topology: under channel
+// interleaving the channel bits sit inside the row's byte span, so the
+// alignment goes through the mapper (decode, zero the column, re-encode),
+// which preserves the channel and rank coordinates for any interleave.
+func (s *System) rowBase(pa uint64) uint64 {
+	a := s.mapper.Map(pa)
+	a.Col = 0
+	return s.mapper.Unmap(a)
 }
 
 // ProfileRowStripe tests every cache line of `rows` consecutive DRAM rows
@@ -74,8 +85,7 @@ func (s *System) ProfileRow(pa uint64, rcd clock.PS) (okLines int, ok bool, err 
 // whether every line of every row passed. Per-line outcomes are identical
 // to ProfileRow and ProfileLine.
 func (s *System) ProfileRowStripe(pa uint64, rows int, rcd clock.PS) (rowLines []int, ok bool, err error) {
-	pa &^= uint64(s.Mapper().RowBytes() - 1)
-	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: pa, RCD: rcd, Rows: rows})
+	r, err := s.hostServe(mem.Request{Kind: mem.ProfileRow, Addr: s.rowBase(pa), RCD: rcd, Rows: rows})
 	return r.RowLines, r.OK, err
 }
 

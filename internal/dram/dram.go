@@ -25,14 +25,23 @@ import (
 // LineBytes is the cache-line (and DRAM burst) size in bytes.
 const LineBytes = 64
 
-// Addr identifies one cache-line-sized column in the rank.
+// Addr identifies one cache-line-sized column in the module. Chan and Rank
+// are the topology coordinates filled in by topology-aware mappers: Bank is
+// the channel-global bank index (ranks appear as consecutive bank groups,
+// so Rank always equals Bank / banksPerRank), Chan the owning channel. The
+// single-channel, single-rank module leaves both zero.
 type Addr struct {
+	Chan int
+	Rank int
 	Bank int
 	Row  int
 	Col  int
 }
 
 func (a Addr) String() string {
+	if a.Chan != 0 || a.Rank != 0 {
+		return fmt.Sprintf("<chan %d, rank %d, bank %d, row %d, col %d>", a.Chan, a.Rank, a.Bank, a.Row, a.Col)
+	}
 	return fmt.Sprintf("<bank %d, row %d, col %d>", a.Bank, a.Row, a.Col)
 }
 
@@ -49,6 +58,27 @@ type Stats struct {
 	BitwiseFails     int64
 	CorruptedReads   int64
 	TimingViolations int64
+	// RankSwitchViolations counts consecutive CAS commands to different
+	// ranks of one channel spaced closer than the shared bus's rank-to-rank
+	// turnaround (see timing.RankBus). Always zero for a single-rank Chip.
+	RankSwitchViolations int64
+}
+
+// Accumulate adds o's counters into s (multi-channel systems sum their
+// per-channel module statistics into one Result).
+func (s *Stats) Accumulate(o Stats) {
+	s.ACTs += o.ACTs
+	s.PREs += o.PREs
+	s.RDs += o.RDs
+	s.WRs += o.WRs
+	s.REFs += o.REFs
+	s.RowClones += o.RowClones
+	s.RowCloneFails += o.RowCloneFails
+	s.BitwiseOps += o.BitwiseOps
+	s.BitwiseFails += o.BitwiseFails
+	s.CorruptedReads += o.CorruptedReads
+	s.TimingViolations += o.TimingViolations
+	s.RankSwitchViolations += o.RankSwitchViolations
 }
 
 // Config describes the modelled rank.

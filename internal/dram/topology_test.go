@@ -1,0 +1,175 @@
+package dram
+
+import (
+	"testing"
+
+	"easydram/internal/clock"
+)
+
+func testModuleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RowsPerBank = 4096
+	return cfg
+}
+
+// TestModuleRoutesByGlobalBank pins the rank routing: device-global bank g
+// drives rank g/banksPerRank's local bank g%banksPerRank, and per-rank
+// state (open rows) stays independent.
+func TestModuleRoutesByGlobalBank(t *testing.T) {
+	cfg := testModuleConfig()
+	m, err := NewModule(cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpr := cfg.BankGroups * cfg.BanksPerGroup
+	if m.Banks() != 2*bpr || m.BanksPerRank() != bpr {
+		t.Fatalf("bank geometry: %d banks, %d per rank", m.Banks(), m.BanksPerRank())
+	}
+	// Activate one bank in each rank through the global index space.
+	m.Activate(3, 100, 0, 0)
+	m.Activate(bpr+3, 200, 10*clock.Nanosecond, 0)
+	if got := m.Rank(0).OpenRow(3); got != 100 {
+		t.Fatalf("rank 0 bank 3 open row = %d", got)
+	}
+	if got := m.Rank(1).OpenRow(3); got != 200 {
+		t.Fatalf("rank 1 bank 3 open row = %d", got)
+	}
+	if got := m.OpenRow(bpr + 3); got != 200 {
+		t.Fatalf("global open row = %d", got)
+	}
+	st := m.Stats()
+	if st.ACTs != 2 {
+		t.Fatalf("aggregated ACTs = %d", st.ACTs)
+	}
+}
+
+// TestModuleSingleRankMatchesChip pins the pass-through property: a 1-rank
+// module behaves exactly like the bare chip (same seed, same stats, no bus
+// tracking).
+func TestModuleSingleRankMatchesChip(t *testing.T) {
+	cfg := testModuleConfig()
+	m, err := NewModule(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(a interface {
+		Activate(bank, row int, t clock.PS, rcd clock.PS) (bool, bool)
+		Read(bank, col int, t clock.PS, dst []byte) (bool, error)
+		Precharge(bank int, t clock.PS)
+	}) {
+		tm := clock.PS(0)
+		for i := 0; i < 64; i++ {
+			bank, row := i%16, (i*37)%4096
+			a.Activate(bank, row, tm, 0)
+			tm += 13500
+			if _, err := a.Read(bank, i%128, tm, nil); err != nil {
+				t.Fatal(err)
+			}
+			tm += 50000
+			a.Precharge(bank, tm)
+			tm += 13500
+		}
+	}
+	drive(m)
+	drive(chip)
+	if m.Stats() != chip.Stats() {
+		t.Fatalf("1-rank module diverges from chip:\n%+v\n%+v", m.Stats(), chip.Stats())
+	}
+	if m.Stats().RankSwitchViolations != 0 {
+		t.Fatalf("single rank tracked bus violations")
+	}
+}
+
+// TestModulePerRankSeeds pins that ranks model distinct silicon: the same
+// (bank, row, col) coordinates differ in reliability profile across ranks
+// somewhere in a sample window.
+func TestModulePerRankSeeds(t *testing.T) {
+	cfg := testModuleConfig()
+	m, err := NewModule(cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rank(0).Config().Seed == m.Rank(1).Config().Seed {
+		t.Fatalf("ranks share a variation seed")
+	}
+	diff := false
+	for row := 0; row < 256 && !diff; row++ {
+		for col := 0; col < 8; col++ {
+			a := m.Rank(0).Variation().MinTRCDLine(0, row, col)
+			b := m.Rank(1).Variation().MinTRCDLine(0, row, col)
+			if a != b {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatalf("rank variation models identical over the sample window")
+	}
+}
+
+// TestModuleBusTurnaround pins the shared-bus check: CAS commands to
+// different ranks closer than tBL+tRTRS count violations; properly spaced
+// ones do not.
+func TestModuleBusTurnaround(t *testing.T) {
+	cfg := testModuleConfig()
+	m, err := NewModule(cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpr := m.BanksPerRank()
+	gap := cfg.Timing.TBL + cfg.Timing.RankSwitch()
+	tm := clock.PS(0)
+	m.Activate(0, 0, tm, 0)
+	m.Activate(bpr, 0, tm, 0)
+	tm += cfg.Timing.TRCD
+
+	// Same-rank back-to-back CAS: no rank-switch violation.
+	m.Read(0, 0, tm, nil)
+	m.Read(0, 1, tm+1500, nil)
+	if v := m.Stats().RankSwitchViolations; v != 0 {
+		t.Fatalf("same-rank CAS counted %d violations", v)
+	}
+	// Cross-rank CAS one bus cycle later: violation.
+	m.Read(bpr, 0, tm+3000, nil)
+	if v := m.Stats().RankSwitchViolations; v != 1 {
+		t.Fatalf("tight cross-rank CAS counted %d violations, want 1", v)
+	}
+	// Cross-rank CAS spaced by the full turnaround: clean.
+	m.Read(0, 2, tm+3000+gap, nil)
+	if v := m.Stats().RankSwitchViolations; v != 1 {
+		t.Fatalf("spaced cross-rank CAS counted %d violations, want 1", v)
+	}
+}
+
+// TestTopologyNormalizeValidate pins the topology helpers.
+func TestTopologyNormalizeValidate(t *testing.T) {
+	var zero Topology
+	n := zero.Normalize()
+	if n.Channels != 1 || n.Ranks != 1 || n.Interleave != InterleaveLine {
+		t.Fatalf("zero topology normalised to %+v", n)
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero topology must validate: %v", err)
+	}
+	if err := (Topology{Channels: 3}).Validate(); err == nil {
+		t.Fatalf("3 channels must fail")
+	}
+	if err := (Topology{Ranks: 6}).Validate(); err == nil {
+		t.Fatalf("6 ranks must fail")
+	}
+	if got := (Topology{Channels: 2, Ranks: 2}).String(); got != "2ch x 2rk (line)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if _, err := ParseInterleave("diagonal"); err == nil {
+		t.Fatalf("unknown interleave must fail")
+	}
+	il, err := ParseInterleave("row")
+	if err != nil || il != InterleaveRow {
+		t.Fatalf("ParseInterleave(row) = %v, %v", il, err)
+	}
+}

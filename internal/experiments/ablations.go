@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"easydram/internal/core"
+	"easydram/internal/dram"
 	"easydram/internal/smc"
 	"easydram/internal/stats"
 	"easydram/internal/timing"
@@ -151,10 +152,37 @@ func AblationDDR5(opt Options) (*AblationResult, error) {
 	return r, nil
 }
 
+// AblationTopology sweeps the module topology (channels x ranks) on
+// MLP-heavy row-burst traffic — the workload axis the multi-channel module
+// model opens. Unlike Workers or BurstCap, topology changes emulated
+// results: a second channel overlaps service, and a second rank pays
+// rank-to-rank turnarounds for wider banking.
+func AblationTopology(opt Options) (*AblationResult, error) {
+	r := &AblationResult{Axis: "module topology (channels x ranks, row-burst traffic)"}
+	k := workload.SubstrateRowBurst(8192)
+	for _, shape := range []struct {
+		label           string
+		channels, ranks int
+	}{
+		{"1ch x 1rk", 1, 1}, {"1ch x 2rk", 1, 2}, {"2ch x 1rk", 2, 1},
+		{"2ch x 2rk", 2, 2}, {"4ch x 1rk", 4, 1},
+	} {
+		cfg := core.TimeScalingA57()
+		cfg.DRAM.Seed = opt.Seed
+		cfg.CPU.MLP = 8
+		cfg.Topology = dram.Topology{Channels: shape.channels, Ranks: shape.ranks}
+		if err := r.ablationRun(shape.label, cfg, k, opt); err != nil {
+			return nil, err
+		}
+	}
+	r.finish()
+	return r, nil
+}
+
 // Ablations runs every sweep; the independent sweeps share the worker pool.
 func Ablations(opt Options) ([]*AblationResult, error) {
 	runs := []func(Options) (*AblationResult, error){
-		AblationScheduler, AblationPagePolicy, AblationPrefetcher, AblationDDR5,
+		AblationScheduler, AblationPagePolicy, AblationPrefetcher, AblationDDR5, AblationTopology,
 	}
 	out := make([]*AblationResult, len(runs))
 	err := forEach(opt.EffectiveWorkers(), len(runs), func(i int) error {

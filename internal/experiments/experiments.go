@@ -60,9 +60,19 @@ type Options struct {
 	// step may serve through a single Bender program. 0 leaves the presets'
 	// serial service. Burst service is bit-identical in emulated time, so
 	// every experiment result is unchanged by this knob; it only trades
-	// host time (and currently engages only in refresh-free
-	// configurations).
+	// host time (refresh-on configurations burst too: the engine replays
+	// the refresh-horizon check inside each burst).
 	BurstCap int
+	// Channels and Ranks select the module topology every kernel runs
+	// under (core.Config.Topology): independent channels and ranks per
+	// channel bus. 0 leaves the presets' single-channel, single-rank
+	// module, which is bit-identical to the legacy engine. Topology is a
+	// workload axis: multi-channel runs overlap service and change
+	// emulated timing (unlike Workers or BurstCap, which are
+	// result-neutral).
+	Channels int
+	// Ranks is the per-channel rank count (see Channels).
+	Ranks int
 }
 
 // EffectiveWorkers resolves the worker-pool size: Workers when positive,
@@ -112,6 +122,15 @@ func runKernel(cfg core.Config, k workload.Kernel, opt Options) (core.Result, er
 	}
 	if opt.BurstCap > 0 {
 		cfg.BurstCap = opt.BurstCap
+	}
+	// Option-level topology applies only where the experiment left the
+	// preset default: a sweep that sets its own per-cell topology (the
+	// AblationTopology axis) must not be trampled by the global knob.
+	if opt.Channels > 0 && cfg.Topology.Channels == 0 {
+		cfg.Topology.Channels = opt.Channels
+	}
+	if opt.Ranks > 0 && cfg.Topology.Ranks == 0 {
+		cfg.Topology.Ranks = opt.Ranks
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

@@ -126,6 +126,10 @@ func (s *BLISS) PickBurst(table []Entry, openRows []int, cap int, buf []int) []i
 	return buf
 }
 
+// CloneForChannel implements ChannelScheduler: each channel gets its own
+// streak state under the same threshold.
+func (s *BLISS) CloneForChannel() Scheduler { return &BLISS{MaxStreak: s.MaxStreak, streakBank: -1} }
+
 // NoteBurstServed rewinds the streak when only the first n entries of the
 // last PickBurst result were served.
 func (s *BLISS) NoteBurstServed(n int) {
@@ -136,6 +140,7 @@ func (s *BLISS) NoteBurstServed(n int) {
 }
 
 var (
-	_ Scheduler      = (*BLISS)(nil)
-	_ BurstScheduler = (*BLISS)(nil)
+	_ Scheduler        = (*BLISS)(nil)
+	_ BurstScheduler   = (*BLISS)(nil)
+	_ ChannelScheduler = (*BLISS)(nil)
 )

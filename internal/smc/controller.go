@@ -3,6 +3,7 @@ package smc
 import (
 	"bytes"
 	"fmt"
+	"math/bits"
 
 	"easydram/internal/bender"
 	"easydram/internal/clock"
@@ -51,6 +52,12 @@ type Config struct {
 	RefreshEnabled bool
 	// Policy selects open-page (default) or closed-page row management.
 	Policy PagePolicy
+	// Ranks is the number of ranks sharing this controller's channel bus
+	// (0 or 1 = single rank). With more than one, consecutive CAS commands
+	// to different ranks pay the shared bus's rank-to-rank turnaround
+	// (tBL + tRTRS), charged in modeled time and spaced on the Bender
+	// program.
+	Ranks int
 }
 
 // BaseController is the standard EasyDRAM software memory controller: a
@@ -86,6 +93,13 @@ type BaseController struct {
 	statelessSched bool
 	burstIdx       []int
 
+	// rankShift splits a channel-global bank index into its rank (bank >>
+	// rankShift); lastCASRank tracks the rank of the previous column
+	// command for the rank-to-rank turnaround. rankShift is 0 when the
+	// channel has a single rank, which disables the tracking entirely.
+	rankShift   uint
+	lastCASRank int
+
 	stats ControllerStats
 }
 
@@ -111,6 +125,28 @@ type ControllerStats struct {
 	// is bit-identical either way.
 	BurstsServed    int64
 	BurstedRequests int64
+	// RankSwitches counts column accesses that paid the shared bus's
+	// rank-to-rank turnaround (always zero on a single-rank channel).
+	RankSwitches int64
+}
+
+// Accumulate adds o's counters into s (multi-channel systems sum their
+// per-channel controller statistics into one Result).
+func (s *ControllerStats) Accumulate(o ControllerStats) {
+	s.Served += o.Served
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowClones += o.RowClones
+	s.BitwiseOps += o.BitwiseOps
+	s.Profiles += o.Profiles
+	s.ProfileRows += o.ProfileRows
+	s.ProfiledLines += o.ProfiledLines
+	s.Refreshes += o.Refreshes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.BurstsServed += o.BurstsServed
+	s.BurstedRequests += o.BurstedRequests
+	s.RankSwitches += o.RankSwitches
 }
 
 // AvgBurstLen reports the mean requests per multi-request step (0 when no
@@ -134,14 +170,17 @@ func NewBaseController(cfg Config, p timing.Params, banks int) (*BaseController,
 	for i := range open {
 		open[i] = -1
 	}
-	c := &BaseController{cfg: cfg, p: p, openRows: open, refreshDue: p.TREFI}
+	c := &BaseController{cfg: cfg, p: p, openRows: open, refreshDue: p.TREFI, lastCASRank: -1}
+	if cfg.Ranks > 1 {
+		if banks%cfg.Ranks != 0 || banks&(banks-1) != 0 {
+			return nil, fmt.Errorf("smc: %d banks across %d ranks must be a power-of-two split", banks, cfg.Ranks)
+		}
+		c.rankShift = uint(bits.TrailingZeros(uint(banks / cfg.Ranks)))
+	}
 	if bs, ok := cfg.Scheduler.(BurstScheduler); ok && cfg.Policy == OpenPage {
 		c.burstSched = bs
 	}
-	switch cfg.Scheduler.(type) {
-	case FCFS, FRFCFS:
-		c.statelessSched = true
-	}
+	c.statelessSched = Stateless(cfg.Scheduler)
 	for i := range c.profilePattern {
 		c.profilePattern[i] = 0xA5
 	}
@@ -324,6 +363,30 @@ func (c *BaseController) emitAccess(env *Env, b *bender.Builder, a dram.Addr, is
 		actLatency += rcd
 		c.openRows[a.Bank] = a.Row
 	}
+	if c.cfg.Ranks > 1 {
+		// Shared-bus rank-to-rank turnaround: a column command to a
+		// different rank than the previous one must trail it by the data
+		// burst plus tRTRS (CAS-to-CAS spacing).
+		rank := a.Bank >> c.rankShift
+		if c.lastCASRank >= 0 && rank != c.lastCASRank {
+			rtrs := c.p.RankSwitch()
+			// Bender program: programs chain with only a launch-gap cycle,
+			// so pad the bus timeline until this CAS sits tBL+tRTRS past
+			// the previous program's (the RankBus counts any shortfall).
+			if need := c.p.TBL + rtrs; actLatency < need {
+				b.Wait(need - actLatency - c.p.Bus.Period())
+			}
+			// Modeled time: the previous access's occupancy already ends
+			// after its own data burst, so the extra serialization a rank
+			// switch costs the channel is the turnaround alone — and row
+			// preparation overlaps it, so only the remainder is charged.
+			if actLatency < rtrs {
+				actLatency = rtrs
+			}
+			c.stats.RankSwitches++
+		}
+		c.lastCASRank = rank
+	}
 	if isWrite {
 		b.WR(a.Bank, a.Col, nil)
 		c.stats.Writes++
@@ -502,8 +565,10 @@ func (c *BaseController) serveRowClone(env *Env, ent Entry) error {
 	env.Charge(2 * costs.MapAddr)
 	src, dst := ent.Src, ent.Addr
 	c.stats.RowClones++
-	if src.Bank != dst.Bank {
-		// FPM RowClone cannot cross banks; the caller must fall back.
+	if src.Bank != dst.Bank || src.Chan != dst.Chan {
+		// FPM RowClone cannot cross banks — or channels: the request routed
+		// to the destination's controller, which cannot reach another
+		// channel's rows. The caller must fall back.
 		env.Respond(ent.ID, false)
 		env.Tile().Release(ent.Slot)
 		return nil
@@ -533,7 +598,7 @@ func (c *BaseController) serveBitwise(env *Env, ent Entry) error {
 	env.Charge(2 * costs.MapAddr)
 	r1, r2 := ent.Src, ent.Addr
 	c.stats.BitwiseOps++
-	if r1.Bank != r2.Bank {
+	if r1.Bank != r2.Bank || r1.Chan != r2.Chan {
 		env.Respond(ent.ID, false)
 		env.Tile().Release(ent.Slot)
 		return nil
@@ -611,7 +676,7 @@ func (c *BaseController) serveProfileRow(env *Env, ent Entry) error {
 	if rows < 1 {
 		rows = 1
 	}
-	cols := env.Tile().Chip().Config().ColsPerRow
+	cols := c.cfg.Mapper.RowBytes() / dram.LineBytes
 	if rows*cols > bender.ReadbackLines {
 		return fmt.Errorf("smc: profile stripe of %d rows x %d cols exceeds the %d-line readback buffer",
 			rows, cols, bender.ReadbackLines)

@@ -83,6 +83,32 @@ type BurstScheduler interface {
 	PickBurst(table []Entry, openRows []int, cap int, buf []int) []int
 }
 
+// Stateless reports whether s is one of the built-in stateless schedulers:
+// safe to share across channels, and — with a one-entry table — safe to
+// skip the Pick call for. Both the controller's single-entry fast path and
+// the multi-channel system assembly consult this one predicate, so a new
+// built-in policy only has to be classified here.
+func Stateless(s Scheduler) bool {
+	switch s.(type) {
+	case FCFS, FRFCFS:
+		return true
+	}
+	return false
+}
+
+// ChannelScheduler is implemented by stateful schedulers that can produce
+// an independent instance per channel. Multi-channel systems run one
+// request table and one scheduler per channel; a stateful policy (BLISS
+// streaks, custom history) must not share its state across channels, so
+// the system clones it once per extra channel. Stateless schedulers (FCFS,
+// FR-FCFS) need no clone and may be shared.
+type ChannelScheduler interface {
+	Scheduler
+	// CloneForChannel returns a fresh scheduler with the same policy
+	// parameters and pristine state.
+	CloneForChannel() Scheduler
+}
+
 // burstSortKey orders burst candidates into FR-FCFS service order: reads
 // before writes (the class packed into the Seq's top bit — Seq values are
 // dense counters, nowhere near 2^63), each class oldest-first.

@@ -1,0 +1,143 @@
+package smc
+
+import (
+	"testing"
+
+	"easydram/internal/dram"
+)
+
+// topologies exercised by the mapper tests: every supported shape class.
+var testTopologies = []dram.Topology{
+	{Channels: 1, Ranks: 1, Interleave: dram.InterleaveLine},
+	{Channels: 1, Ranks: 1, Interleave: dram.InterleaveRow},
+	{Channels: 2, Ranks: 1, Interleave: dram.InterleaveLine},
+	{Channels: 1, Ranks: 2, Interleave: dram.InterleaveLine},
+	{Channels: 2, Ranks: 2, Interleave: dram.InterleaveLine},
+	{Channels: 2, Ranks: 2, Interleave: dram.InterleaveRow},
+	{Channels: 4, Ranks: 2, Interleave: dram.InterleaveLine},
+	{Channels: 4, Ranks: 4, Interleave: dram.InterleaveRow},
+}
+
+// TestTopologyMapperRoundTrip pins address -> (channel, rank, bank, row,
+// col) -> address round-trips for every supported topology, in both
+// directions.
+func TestTopologyMapperRoundTrip(t *testing.T) {
+	const chipBanks, cols = 16, 128
+	for _, topo := range testTopologies {
+		m, err := NewTopologyMapper(topo, chipBanks, cols)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		// pa -> Addr -> pa over a pseudo-random address sample.
+		state := uint64(0x2545F4914F6CDD1D)
+		for i := 0; i < 4096; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			pa := (state % (1 << 34)) &^ 63 // line-aligned
+			a := m.Map(pa)
+			if got := m.Unmap(a); got != pa {
+				t.Fatalf("%v: Unmap(Map(%#x)) = %#x (addr %v)", topo, pa, got, a)
+			}
+			if a.Rank != a.Bank>>uintLog2(chipBanks) {
+				t.Fatalf("%v: rank %d inconsistent with bank %d", topo, a.Rank, a.Bank)
+			}
+			if a.Chan < 0 || a.Chan >= topo.Channels {
+				t.Fatalf("%v: channel %d out of range", topo, a.Chan)
+			}
+		}
+		// Addr -> pa -> Addr over the full coordinate grid (sampled rows).
+		for ch := 0; ch < topo.Channels; ch++ {
+			for gbank := 0; gbank < topo.Ranks*chipBanks; gbank++ {
+				for _, row := range []int{0, 1, 255, 32767} {
+					for _, col := range []int{0, 1, cols - 1} {
+						a := dram.Addr{Chan: ch, Rank: gbank / chipBanks, Bank: gbank, Row: row, Col: col}
+						got := m.Map(m.Unmap(a))
+						if got != a {
+							t.Fatalf("%v: Map(Unmap(%v)) = %v", topo, a, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func uintLog2(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// TestTopologyMapperSingleChannelMatchesRowBankCol pins the refactor's
+// safety net at the mapper level: the 1-channel/1-rank TopologyMapper must
+// decode every address exactly as the legacy RowBankCol mapper did.
+func TestTopologyMapperSingleChannelMatchesRowBankCol(t *testing.T) {
+	const chipBanks, cols = 16, 128
+	legacy, err := NewRowBankCol(chipBanks, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := NewTopologyMapper(dram.Topology{}, chipBanks, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pa := uint64(0); pa < 1<<22; pa += 64 * 7 {
+		want, got := legacy.Map(pa), topo.Map(pa)
+		if got != want {
+			t.Fatalf("decode diverges at %#x: %v vs %v", pa, got, want)
+		}
+		if topo.Unmap(got) != legacy.Unmap(want) {
+			t.Fatalf("encode diverges at %#x", pa)
+		}
+	}
+	if legacy.RowBytes() != topo.RowBytes() || legacy.Banks() != topo.Banks() {
+		t.Fatalf("geometry diverges")
+	}
+}
+
+// TestTopologyMapperInterleaveGranularity pins the two interleaving
+// functions' defining property: line interleave rotates consecutive cache
+// lines across channels; row interleave keeps a row's lines on one channel
+// and rotates consecutive rows.
+func TestTopologyMapperInterleaveGranularity(t *testing.T) {
+	const chipBanks, cols = 16, 128
+	line, err := NewTopologyMapper(dram.Topology{Channels: 4, Ranks: 2, Interleave: dram.InterleaveLine}, chipBanks, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if got := line.Map(uint64(i) * 64).Chan; got != i%4 {
+			t.Fatalf("line interleave: line %d on channel %d, want %d", i, got, i%4)
+		}
+	}
+	row, err := NewTopologyMapper(dram.Topology{Channels: 4, Ranks: 2, Interleave: dram.InterleaveRow}, chipBanks, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := uint64(row.RowBytes())
+	for r := 0; r < 16; r++ {
+		want := r % 4
+		for _, off := range []uint64{0, 64, rowBytes - 64} {
+			if got := row.Map(uint64(r)*rowBytes + off).Chan; got != want {
+				t.Fatalf("row interleave: row %d offset %d on channel %d, want %d", r, off, got, want)
+			}
+		}
+	}
+}
+
+// TestTopologyMapperRejectsBadShapes pins validation: non-power-of-two
+// topology dimensions fail.
+func TestTopologyMapperRejectsBadShapes(t *testing.T) {
+	for _, topo := range []dram.Topology{
+		{Channels: 3, Ranks: 1},
+		{Channels: 2, Ranks: 3},
+		{Channels: 2, Ranks: 2, Interleave: 99},
+	} {
+		if _, err := NewTopologyMapper(topo, 16, 128); err == nil {
+			t.Fatalf("%v: want error", topo)
+		}
+	}
+}

@@ -70,18 +70,20 @@ func BulkOR(sys *core.System, t BitwiseTriple) (bool, error) {
 // store (host-side setup; a production flow would stream WR commands).
 // Requires a data-tracking chip.
 func InitRowPattern(sys *core.System, rowBase uint64, pattern byte) error {
-	chip := sys.Chip()
-	if !chip.Config().TrackData {
+	if !sys.Chip().Config().TrackData {
 		return fmt.Errorf("techniques: bitwise setup needs a data-tracking chip")
 	}
 	line := make([]byte, dram.LineBytes)
 	for i := range line {
 		line[i] = pattern
 	}
-	rowBytes := uint64(chip.RowBytes())
+	rowBytes := uint64(sys.Mapper().RowBytes())
 	for off := uint64(0); off < rowBytes; off += dram.LineBytes {
+		// System.PokeLine routes by the decoded channel/rank coordinates,
+		// so the pattern lands on the module that will serve the bitwise
+		// request under any topology.
 		a := sys.Mapper().Map(rowBase + off)
-		if !chip.PokeLine(a, line) {
+		if !sys.PokeLine(a, line) {
 			return fmt.Errorf("techniques: poke failed at %v", a)
 		}
 	}
@@ -91,9 +93,8 @@ func InitRowPattern(sys *core.System, rowBase uint64, pattern byte) error {
 // ReadRowByte returns the first byte of the row's first line (result
 // checks in tests and examples).
 func ReadRowByte(sys *core.System, rowBase uint64) (byte, error) {
-	chip := sys.Chip()
 	buf := make([]byte, dram.LineBytes)
-	if !chip.PeekLine(sys.Mapper().Map(rowBase), buf) {
+	if !sys.PeekLine(sys.Mapper().Map(rowBase), buf) {
 		return 0, fmt.Errorf("techniques: peek needs a data-tracking chip")
 	}
 	return buf[0], nil

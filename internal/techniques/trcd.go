@@ -63,6 +63,9 @@ func (s ProfileStats) StrongFraction() float64 {
 func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
 	var stats ProfileStats
 	var weak []uint64
+	if err := requireSingleChannel(sys, "ProfileWeakRows"); err != nil {
+		return nil, stats, err
+	}
 	rowBytes := uint64(sys.Mapper().RowBytes())
 	lines := int(rowBytes / dram.LineBytes)
 	start &^= rowBytes - 1
@@ -120,6 +123,20 @@ func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint6
 	return weak, stats, nil
 }
 
+// requireSingleChannel rejects multi-channel systems: the weak-row
+// characterization walks rowBytes-aligned physical blocks and keys the
+// Bloom filter by channel-less row bases, which only correspond to whole
+// DRAM rows on a single-channel module (any rank count is fine — ranks
+// widen the channel-global bank field, which the walk handles). Failing
+// loudly here beats silently classifying one channel's rows from another
+// channel's silicon.
+func requireSingleChannel(sys *core.System, what string) error {
+	if t := sys.Topology(); t.Channels > 1 {
+		return fmt.Errorf("techniques: %s supports single-channel topologies only, got %v", what, t)
+	}
+	return nil
+}
+
 // ProfileWeakRowsPerLine is the original line-at-a-time characterization:
 // one profiling request round-trip per cache line, stopping at a row's
 // first failure. It survives as a compatibility shim and as the reference
@@ -127,6 +144,9 @@ func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint6
 func ProfileWeakRowsPerLine(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
 	var stats ProfileStats
 	var weak []uint64
+	if err := requireSingleChannel(sys, "ProfileWeakRowsPerLine"); err != nil {
+		return nil, stats, err
+	}
 	rowBytes := uint64(sys.Mapper().RowBytes())
 	start &^= rowBytes - 1
 	for row := start; row < end; row += rowBytes {

@@ -66,6 +66,18 @@ type Stats struct {
 	InstrsRun    int64
 }
 
+// Accumulate adds o's counters into s (multi-channel systems sum their
+// per-channel tile statistics; the queue high-water mark takes the max).
+func (s *Stats) Accumulate(o Stats) {
+	s.RequestsIn += o.RequestsIn
+	s.ResponsesOut += o.ResponsesOut
+	if o.MaxQueueLen > s.MaxQueueLen {
+		s.MaxQueueLen = o.MaxQueueLen
+	}
+	s.ProgramsRun += o.ProgramsRun
+	s.InstrsRun += o.InstrsRun
+}
+
 // ReqSlot is a dense index into a Tile's pooled request slab. Requests are
 // written into the slab once, at issue; every later stage (the incoming
 // FIFO, the controller's table entries) carries the 4-byte slot instead of
@@ -119,13 +131,17 @@ type Tile struct {
 }
 
 // New builds a tile over the given chip.
-func New(chip *dram.Chip, costs CostModel) *Tile {
-	eng := bender.NewEngine(chip, 0)
+func New(chip *dram.Chip, costs CostModel) *Tile { return NewDevice(chip, costs) }
+
+// NewDevice builds a tile over any DRAM device (a single-rank chip or a
+// multi-rank module; one tile drives one channel).
+func NewDevice(dev dram.Device, costs CostModel) *Tile {
+	eng := bender.NewEngine(dev, 0)
 	return &Tile{
 		costs:     costs,
 		engine:    eng,
-		builder:   bender.NewBuilder(chip.Timing()),
-		busPeriod: chip.Timing().Bus.Period(),
+		builder:   bender.NewBuilder(dev.Timing()),
+		busPeriod: dev.Timing().Bus.Period(),
 	}
 }
 
@@ -135,8 +151,12 @@ func New(chip *dram.Chip, costs CostModel) *Tile {
 // loop's duffcopy time.
 func (t *Tile) Costs() *CostModel { return &t.costs }
 
-// Chip returns the DRAM model behind Bender.
+// Chip returns the DRAM model behind Bender when it is a single-rank chip
+// (nil when the tile drives a multi-rank module; see Device).
 func (t *Tile) Chip() *dram.Chip { return t.engine.Chip() }
+
+// Device returns the DRAM device behind Bender.
+func (t *Tile) Device() dram.Device { return t.engine.Device() }
 
 // Builder returns the shared program builder (reset per program).
 func (t *Tile) Builder() *bender.Builder { return t.builder }

@@ -151,6 +151,17 @@ func (c *Counters) RaiseMC(target clock.Cycles) {
 	}
 }
 
+// RaiseMCTime lifts the MC service point to the given exact emulated time
+// if it is behind. Multi-channel engines keep one modeled-MC chain per
+// channel and reflect the maximum into the shared counter through this
+// method, so processor allowance tracks the memory system's overall
+// progress while per-channel chains overlap.
+func (c *Counters) RaiseMCTime(t clock.PS) {
+	if c.mcPS < t {
+		c.mcPS = t
+	}
+}
+
 // AdvanceMCModeled credits the MC service point with a modeled duration
 // (controller decision latency plus DRAM time) in picoseconds of emulated
 // time, exactly. Returns the new MC value in cycles.

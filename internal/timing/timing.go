@@ -35,6 +35,12 @@ type Params struct {
 	TRFC  clock.PS // refresh cycle time
 	TREFI clock.PS // refresh interval
 	TREFW clock.PS // refresh window (retention target)
+
+	// TRTRS is the rank-to-rank turnaround on a shared multi-rank bus
+	// (dead time between CAS bursts to different ranks). 0 selects the
+	// JEDEC-typical two bus clocks (see Params.RankSwitch); single-rank
+	// modules never consult it.
+	TRTRS clock.PS
 }
 
 // DDR41333 returns DDR4-1333-class timings matching the paper's evaluated
@@ -59,6 +65,7 @@ func DDR41333() Params {
 		TRFC:  350000,
 		TREFI: 7800 * clock.Nanosecond,
 		TREFW: 64 * clock.Millisecond,
+		TRTRS: 2 * 1500,
 	}
 }
 
@@ -83,6 +90,7 @@ func DDR42400() Params {
 		TRFC:  350000,
 		TREFI: 7800 * clock.Nanosecond,
 		TREFW: 64 * clock.Millisecond,
+		TRTRS: 2 * 833,
 	}
 }
 
@@ -109,6 +117,7 @@ func DDR54800() Params {
 		TRFC:  295000,
 		TREFI: 3900 * clock.Nanosecond,
 		TREFW: 32 * clock.Millisecond,
+		TRTRS: 2 * 417,
 	}
 }
 
