@@ -394,6 +394,29 @@ func BenchmarkSubstrateRowHitBurst(b *testing.B) {
 	b.ReportMetric(burst.Ctl.Stats().AvgBurstLen(), "avg-burst-len")
 }
 
+// BenchmarkSubstrateFaultFree measures what fault tolerance charges the SMC
+// service path when nothing goes wrong: every fault seam armed (chip
+// disturb counting with an unreachable threshold, the verify-and-retry
+// read path) and no fault ever firing. Shared with cmd/benchall's
+// substrate/fault_free_* snapshot metrics; its ns/op is benchtrend-gated
+// against regression and its allocs/op must stay exactly zero — recovery
+// must not put allocations on the fault-free hot path.
+func BenchmarkSubstrateFaultFree(b *testing.B) {
+	h, err := smc.NewFaultFreeBenchHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm buffers outside the timer (slab, FIFO, and chip table growth).
+	if err := h.ServeRowBursts(50000, workload.RowBurstDepth, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := h.ServeRowBursts(b.N, workload.RowBurstDepth, 1); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSubstrateMultiChannel measures the per-channel service fan-out
 // through the SMC layer itself: consecutive cache lines spread round-robin
 // over a 4-channel line-interleaved topology, each channel served by its

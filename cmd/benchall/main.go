@@ -89,13 +89,17 @@ func main() {
 // snapshot is the machine-readable performance record one benchall run
 // leaves behind (the perf trajectory's data points).
 type snapshot struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Workers    int     `json:"workers"`
-	Quick      bool    `json:"quick"`
-	Seed       uint64  `json:"seed"`
-	WallSecs   float64 `json:"wall_seconds"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// HostCPUs records the machine's logical CPU count, so trend gates on
+	// host-parallelism metrics (workers_speedup_4x) can skip hosts that
+	// cannot express the parallelism being measured.
+	HostCPUs int     `json:"host_cpus"`
+	Workers  int     `json:"workers"`
+	Quick    bool    `json:"quick"`
+	Seed     uint64  `json:"seed"`
+	WallSecs float64 `json:"wall_seconds"`
 	// Sections records per-experiment wall-clock seconds in run order.
 	Sections []sectionTiming `json:"sections"`
 	// Metrics holds the headline numeric results keyed experiment/metric.
@@ -112,6 +116,7 @@ func newSnapshot(opt experiments.Options, quick bool) *snapshot {
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
 		Workers:    opt.Workers,
 		Quick:      quick,
 		Seed:       opt.Seed,
@@ -264,6 +269,19 @@ func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 			}
 			return nil
 		}},
+		{"disturb", func() error {
+			section("Extension — RowHammer disturb sweep (escaped flips and mitigation overhead)")
+			ds, err := experiments.DisturbSweep(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, ds.Table())
+			snap.Metrics["faults/none_escaped_flips"] = float64(ds.Escaped("none"))
+			snap.Metrics["faults/para_escaped_flips"] = float64(ds.Escaped("para"))
+			snap.Metrics["faults/trr_escaped_flips"] = float64(ds.Escaped("trr"))
+			snap.Metrics["faults/trr_overhead_pct"] = ds.Overhead("trr")
+			return nil
+		}},
 		{"substrate", func() error { return substrateMetrics(snap) }},
 	}
 	for _, s := range sections {
@@ -320,6 +338,31 @@ func substrateMetrics(snap *snapshot) error {
 	}
 	cacheRes := substrate(workload.SubstrateStream)
 	missRes := substrate(workload.SubstrateMisses)
+	if benchErr != nil {
+		return benchErr
+	}
+
+	// Fault-tolerance tax on the hot path, via the same SMC-level harness
+	// as BenchmarkSubstrateFaultFree: every fault seam armed (disturb
+	// counting, verify-and-retry reads) with nothing ever firing. ns/op is
+	// gated against regression and allocs/op gates at exactly zero — fault
+	// tolerance must not put allocations on the fault-free service loop.
+	faultFreeRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		h, err := smc.NewFaultFreeBenchHarness()
+		if err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		if err := h.ServeRowBursts(50000, workload.RowBurstDepth, 1); err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		b.ResetTimer()
+		if err := h.ServeRowBursts(b.N, workload.RowBurstDepth, 1); err != nil {
+			benchErr = err
+		}
+	})
 	if benchErr != nil {
 		return benchErr
 	}
@@ -431,6 +474,8 @@ func substrateMetrics(snap *snapshot) error {
 	snap.Metrics["substrate/miss_ns_op"] = float64(missRes.NsPerOp())
 	snap.Metrics["substrate/cache_allocs_op"] = float64(cacheRes.AllocsPerOp())
 	snap.Metrics["substrate/miss_allocs_op"] = float64(missRes.AllocsPerOp())
+	snap.Metrics["substrate/fault_free_ns_op"] = float64(faultFreeRes.NsPerOp())
+	snap.Metrics["substrate/fault_free_allocs_op"] = float64(faultFreeRes.AllocsPerOp())
 	snap.Metrics["substrate/burst_ns_op"] = float64(burstRes.NsPerOp())
 	snap.Metrics["substrate/burst_allocs_op"] = float64(burstRes.AllocsPerOp())
 	snap.Metrics["substrate/burst_vs_serial_x"] = burstSpeedup
@@ -441,8 +486,9 @@ func substrateMetrics(snap *snapshot) error {
 	snap.Metrics["smc/avg_burst_len"] = burstStats.AvgBurstLen()
 	snap.Metrics["characterization/rows_per_sec"] = rowsPerSec
 	snap.Metrics["characterization/roundtrips_per_row"] = tripsPerRow
-	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), burst %d ns/op (%.2fx vs serial, avg len %.1f), multichan %d ns/op (%.2fx overlap), workers 1->4 %.2fx, characterization %.0f rows/s (%.2f round-trips/row)\n",
+	fmt.Fprintf(os.Stderr, "benchall: substrate: cache %d ns/op (%d allocs/op), miss %d ns/op (%d allocs/op), fault-free %d ns/op (%d allocs/op), burst %d ns/op (%.2fx vs serial, avg len %.1f), multichan %d ns/op (%.2fx overlap), workers 1->4 %.2fx, characterization %.0f rows/s (%.2f round-trips/row)\n",
 		cacheRes.NsPerOp(), cacheRes.AllocsPerOp(), missRes.NsPerOp(), missRes.AllocsPerOp(),
+		faultFreeRes.NsPerOp(), faultFreeRes.AllocsPerOp(),
 		burstRes.NsPerOp(), burstSpeedup, burstStats.AvgBurstLen(),
 		multiRes.NsPerOp(), multiOverlap, workersSpeedup, rowsPerSec, tripsPerRow)
 	return nil

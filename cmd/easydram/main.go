@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	easydram [-quick] [-seed N] [-burst-cap N] <experiment>
+//	easydram [-quick] [-seed N] [-burst-cap N] [-faults] [-mitigation P] [-v] <experiment>
 //
 // where experiment is one of: table1, fig2, validation, fig8, fig10,
-// fig11, fig12, fig13, fig14, all.
+// fig11, fig12, fig13, fig14, energy, ablations, disturb, all.
 package main
 
 import (
@@ -24,8 +24,11 @@ func main() {
 	burstCap := flag.Int("burst-cap", 0, "row-hit burst service cap (0 = serial; emulated results are identical either way)")
 	channels := flag.Int("channels", 0, "memory channels (power of two; 0 = the paper's single channel). Topology is a workload axis: multi-channel runs overlap service and change emulated timing")
 	ranks := flag.Int("ranks", 0, "ranks per channel bus (power of two; 0 = the paper's single rank; rank switches pay the tRTRS turnaround)")
+	faults := flag.Bool("faults", false, "arm default fault injection (chip disturb, transient/stuck-at reads, host-link failures) on every run; deterministic in -seed")
+	mitigation := flag.String("mitigation", "", "RowHammer mitigation policy on every run: para or trr (empty = none)")
+	verbose := flag.Bool("v", false, "print per-run health counters to stderr: DRAM timing/rank-switch violations, retries, quarantined/remapped rows, mitigation refreshes, link faults")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] [-faults] [-mitigation P] [-v] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|disturb|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,6 +46,9 @@ func main() {
 	opt.BurstCap = *burstCap
 	opt.Channels = *channels
 	opt.Ranks = *ranks
+	opt.Faults = *faults
+	opt.Mitigation = *mitigation
+	opt.Verbose = *verbose
 
 	if err := run(flag.Arg(0), opt); err != nil {
 		fmt.Fprintf(os.Stderr, "easydram: %v\n", err)
@@ -108,6 +114,12 @@ func run(name string, opt experiments.Options) error {
 		for _, r := range rs {
 			fmt.Println(r.Table())
 		}
+	case "disturb":
+		r, err := experiments.DisturbSweep(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
 	case "fig13", "fig14":
 		r, err := experiments.Figure13(opt)
 		if err != nil {
@@ -119,7 +131,7 @@ func run(name string, opt experiments.Options) error {
 			fmt.Println(r.SpeedTable())
 		}
 	case "all":
-		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations"} {
+		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations", "disturb"} {
 			fmt.Printf("==== %s ====\n", n)
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)

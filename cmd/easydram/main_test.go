@@ -15,7 +15,7 @@ func quickOpt() experiments.Options {
 }
 
 func TestRunDispatch(t *testing.T) {
-	for _, name := range []string{"table1", "fig2", "fig8", "fig10", "fig12"} {
+	for _, name := range []string{"table1", "fig2", "fig8", "fig10", "fig12", "disturb"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			if err := run(name, quickOpt()); err != nil {
@@ -28,5 +28,18 @@ func TestRunDispatch(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("nope", quickOpt()); err == nil {
 		t.Fatalf("unknown experiment must error")
+	}
+}
+
+// TestRunWithFaultFlags exercises the -faults/-mitigation/-v path: every
+// kernel runs under default injection with a mitigation policy armed, and
+// the verbose reporter fires without disturbing the run.
+func TestRunWithFaultFlags(t *testing.T) {
+	opt := quickOpt()
+	opt.Faults = true
+	opt.Mitigation = "trr"
+	opt.Verbose = true
+	if err := run("table1", opt); err != nil {
+		t.Fatalf("run(table1) with fault flags: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"easydram/internal/clock"
 	"easydram/internal/core"
 	"easydram/internal/dram"
+	"easydram/internal/fault"
 	"easydram/internal/mem"
 	"easydram/internal/ramulator"
 	"easydram/internal/smc"
@@ -225,6 +226,47 @@ func WithPrefetcher() Option {
 // WithMaxCycles caps runs at n emulated processor cycles.
 func WithMaxCycles(n Cycles) Option {
 	return func(cfg *core.Config) { cfg.MaxProcCycles = n }
+}
+
+// FaultConfig configures end-to-end fault injection: chip-level faults
+// (activation-disturb bit flips, transient read corruption, stuck-at lines),
+// host-link faults at the Bender seam (launch failures, corrupted or short
+// readbacks), and the controller's verify-and-retry recovery path (bounded
+// retries with exponential emulated-time backoff, quarantine + spare-row
+// remap on give-up). All faults are drawn deterministically from the system
+// seed: a fixed configuration reproduces the same fault sequence at any
+// worker, channel, or rank count. The zero value injects nothing and leaves
+// the system bit-identical to one without fault support.
+type FaultConfig = fault.Config
+
+// MitigationConfig selects the per-channel RowHammer mitigation policy the
+// software memory controller runs: "para" (probabilistic adjacent-row
+// refresh on every activation) or "trr" (per-row activation counters that
+// refresh a row's neighbours when it crosses the target threshold). The
+// zero value (or policy "none") runs no mitigation.
+type MitigationConfig = fault.MitigationConfig
+
+// DefaultFaults returns a moderate all-seams-on fault configuration
+// (disturb thresholds in the thousands, 1e-4-class transient rates,
+// recovery enabled) — a starting point for robustness studies.
+func DefaultFaults() FaultConfig { return fault.DefaultConfig() }
+
+// WithFaults installs a fault-injection configuration (see FaultConfig).
+func WithFaults(fc FaultConfig) Option {
+	return func(cfg *core.Config) { cfg.Faults = fc }
+}
+
+// WithMitigation installs a RowHammer mitigation policy by name: "none",
+// "para", or "trr" (each channel's controller gets its own seeded
+// instance). Unknown names are rejected by NewSystem.
+func WithMitigation(policy string) Option {
+	return func(cfg *core.Config) { cfg.Mitigation = fault.MitigationConfig{Policy: policy} }
+}
+
+// WithMitigationConfig installs a fully specified mitigation policy
+// (probability, threshold, seed — see MitigationConfig).
+func WithMitigationConfig(mc MitigationConfig) Option {
+	return func(cfg *core.Config) { cfg.Mitigation = mc }
 }
 
 // System is an assembled emulated system.

@@ -206,3 +206,32 @@ func TestRamulatorBaselineOption(t *testing.T) {
 		t.Fatalf("baseline must be ideal")
 	}
 }
+
+func TestWithFaultsOption(t *testing.T) {
+	fc := DefaultFaults()
+	sys, err := NewSystem(TimeScaled(), WithFaults(fc), WithMitigation("trr"))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	cfg := sys.Config()
+	if !cfg.Faults.Enabled() || !cfg.Faults.Recovery.Enabled || cfg.Mitigation.Policy != "trr" {
+		t.Fatalf("fault options not applied: %+v", cfg.Faults)
+	}
+	res, err := sys.Run(NewKernel("tiny", func(g *Gen) {
+		for i := 0; i < 512; i++ {
+			g.Load(uint64(i) * 64)
+		}
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ProcCycles == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if _, err := NewSystem(WithMitigation("bogus")); err == nil {
+		t.Fatal("unknown mitigation policy accepted")
+	}
+	if _, err := NewSystem(WithFaults(FaultConfig{Chip: fc.Chip, Link: fc.Link})); err == nil {
+		t.Fatal("link faults without recovery accepted")
+	}
+}

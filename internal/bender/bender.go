@@ -69,6 +69,9 @@ const maxSteps = 64 << 20
 type ReadLine struct {
 	Data     [dram.LineBytes]byte
 	Reliable bool
+	// LinkCorrupt marks a line the host link corrupted in flight (tile-level
+	// fault injection; the chip-side data was fine).
+	LinkCorrupt bool
 }
 
 // Result reports one program execution.
@@ -79,9 +82,18 @@ type Result struct {
 	Commands int
 	// Reads is the number of lines appended to the readback buffer.
 	Reads int
+	// UnreliableReads counts RDs the chip reported unreliable (early-tRCD
+	// corruption or injected read faults) — the signal the SMC's
+	// verify-and-retry path keys on, counted identically whether read data
+	// is buffered or discarded.
+	UnreliableReads int
 	// CloneAttempts / CloneSuccesses count RowClone activations observed.
 	CloneAttempts  int
 	CloneSuccesses int
+	// LaunchFailed marks an injected transient program-launch failure at
+	// the host link: nothing executed, and the program is still in the
+	// builder for a retry.
+	LaunchFailed bool
 }
 
 // Engine executes Bender programs against a DRAM device (a single-rank
@@ -189,8 +201,12 @@ func (e *Engine) Exec(prog []Instr, start clock.PS, wrbuf [][]byte) (Result, err
 				// building and buffering the 64-byte line entirely. Chip
 				// state, statistics, and timing checks advance exactly as a
 				// buffered read's would.
-				if _, err := e.chip.Read(in.A, in.B, t, nil); err != nil {
+				rel, err := e.chip.Read(in.A, in.B, t, nil)
+				if err != nil {
 					return res, fmt.Errorf("bender: pc=%d: %w", pc, err)
+				}
+				if !rel {
+					res.UnreliableReads++
 				}
 				res.Commands++
 				res.Reads++
@@ -206,6 +222,9 @@ func (e *Engine) Exec(prog []Instr, start clock.PS, wrbuf [][]byte) (Result, err
 				return res, fmt.Errorf("bender: pc=%d: %w", pc, err)
 			}
 			line.Reliable = rel
+			if !rel {
+				res.UnreliableReads++
+			}
 			e.readback = append(e.readback, line)
 			res.Commands++
 			res.Reads++

@@ -39,6 +39,7 @@ import (
 	"easydram/internal/clock"
 	"easydram/internal/cpu"
 	"easydram/internal/dram"
+	"easydram/internal/fault"
 	"easydram/internal/smc"
 	"easydram/internal/tile"
 	"easydram/internal/timescale"
@@ -99,6 +100,17 @@ type Config struct {
 
 	RefreshEnabled bool
 
+	// Faults configures fault injection across the stack: chip-level disturb
+	// /transient/stuck-at faults (wired into every rank's DRAM model), host-
+	// link corruption at the tile seam, and the SMC's verify-and-retry
+	// recovery path. The zero value injects nothing and leaves every hot path
+	// on its fault-free branch — such a system is bit-identical to one built
+	// before this knob existed (pinned by the golden cycle-count tests).
+	Faults fault.Config
+	// Mitigation selects the per-channel RowHammer mitigation policy the SMC
+	// runs (each channel gets its own instance, seeded per channel).
+	Mitigation fault.MitigationConfig
+
 	// MaxProcCycles aborts runs that exceed this many emulated processor
 	// cycles (safety net; 0 means no limit).
 	MaxProcCycles clock.Cycles
@@ -123,6 +135,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: burst cap must be non-negative, got %d", c.BurstCap)
 	}
 	if err := c.Topology.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Mitigation.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
@@ -243,14 +261,24 @@ func NewSystem(cfg Config) (*System, error) {
 		mapper:    mapper,
 		hostReqID: hostReqIDBase,
 	}
+	dramCfg := cfg.DRAM
+	dramCfg.Faults = cfg.Faults.Chip
 	for c := 0; c < topo.Channels; c++ {
-		mod, err := dram.NewModule(cfg.DRAM, topo.Ranks, c*topo.Ranks)
+		mod, err := dram.NewModule(dramCfg, topo.Ranks, c*topo.Ranks)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		sched, err := channelScheduler(cfg.Scheduler, c)
 		if err != nil {
 			return nil, err
+		}
+		// Fault seams are seeded per channel off the DRAM seed so a fixed
+		// config reproduces the same fault sequence at any worker count, and
+		// channels never mirror each other's faults.
+		chanSeed := cfg.DRAM.Seed + uint64(c)*0x9e3779b97f4a7c15
+		mit, err := fault.NewMitigator(cfg.Mitigation, cfg.DRAM.RowsPerBank, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
 		ctl, err := smc.NewBaseController(smc.Config{
 			Mapper:         mapper,
@@ -259,11 +287,18 @@ func NewSystem(cfg Config) (*System, error) {
 			RefreshEnabled: cfg.RefreshEnabled,
 			Policy:         cfg.Policy,
 			Ranks:          topo.Ranks,
+			Recovery:       cfg.Faults.Recovery,
+			Mitigation:     mit,
+			RowsPerBank:    cfg.DRAM.RowsPerBank,
+			QuarantineSeed: chanSeed,
 		}, mod.Timing(), mod.Banks())
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		t := tile.NewDevice(mod, cfg.Costs)
+		if cfg.Faults.Link.Enabled() {
+			t.SetFaultLink(fault.NewLinkModel(cfg.Faults.Link, chanSeed))
+		}
 		s.chans = append(s.chans, sysChannel{mod: mod, tile: t, ctl: ctl, env: smc.NewEnv(t)})
 	}
 	return s, nil

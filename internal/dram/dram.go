@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"easydram/internal/clock"
+	"easydram/internal/fault"
 	"easydram/internal/timing"
 	"easydram/internal/variation"
 )
@@ -62,6 +63,16 @@ type Stats struct {
 	// ranks of one channel spaced closer than the shared bus's rank-to-rank
 	// turnaround (see timing.RankBus). Always zero for a single-rank Chip.
 	RankSwitchViolations int64
+	// DisturbFlips counts read-disturb bit flips (a victim row's activation
+	// counter crossed its threshold) — silent data corruption: nothing at
+	// the command interface reports it, so any non-zero count under a
+	// mitigation policy is an escaped flip. TransientReads and StuckReads
+	// count injected fault-model read corruptions (detectable: the read
+	// reports unreliable, and the SMC's verify-and-retry path sees it).
+	// All stay zero without fault injection (see Config.Faults).
+	DisturbFlips   int64
+	TransientReads int64
+	StuckReads     int64
 }
 
 // Accumulate adds o's counters into s (multi-channel systems sum their
@@ -79,6 +90,9 @@ func (s *Stats) Accumulate(o Stats) {
 	s.CorruptedReads += o.CorruptedReads
 	s.TimingViolations += o.TimingViolations
 	s.RankSwitchViolations += o.RankSwitchViolations
+	s.DisturbFlips += o.DisturbFlips
+	s.TransientReads += o.TransientReads
+	s.StuckReads += o.StuckReads
 }
 
 // Config describes the modelled rank.
@@ -101,6 +115,10 @@ type Config struct {
 	// and destination row pairs can successfully perform RowClone
 	// operations in Ramulator 2.0 simulations").
 	Ideal bool
+	// Faults configures chip-level fault injection (read disturb, transient
+	// read corruption, stuck-at lines). The zero value injects nothing and
+	// keeps the command paths byte-identical to a fault-free build.
+	Faults fault.ChipConfig
 }
 
 // DefaultConfig mirrors the paper's module: 4 bank groups x 4 banks,
@@ -165,6 +183,12 @@ type Chip struct {
 	// actually touched rather than the full 32K-row geometry.
 	rows  [][][][]byte
 	stats Stats
+
+	// fm is the fault-injection model (nil without injection: every hook
+	// below is a single nil check on the disabled path). disturb holds the
+	// per-bank victim activation counters, allocated lazily per bank.
+	fm      *fault.ChipModel
+	disturb [][]int32
 }
 
 // rowChunkShift/rowChunkRows size the row-table chunks (a power of two:
@@ -197,7 +221,7 @@ func New(cfg Config) (*Chip, error) {
 	for i := range banks {
 		banks[i] = bankState{openRow: -1, lastActRow: -1, lastActTime: -1 << 60, lastPreTime: -1 << 60}
 	}
-	return &Chip{
+	c := &Chip{
 		cfg:       cfg,
 		geom:      geom,
 		vm:        vm,
@@ -205,7 +229,18 @@ func New(cfg Config) (*Chip, error) {
 		banks:     banks,
 		maxMinRCD: vm.MaxMinTRCD(),
 		rows:      make([][][][]byte, geom.Banks),
-	}, nil
+	}
+	if cfg.Faults.Enabled() {
+		// The rank's variation seed feeds the fault model too, so per-rank
+		// fault maps diversify exactly like per-rank variation maps.
+		fm, err := fault.NewChipModel(cfg.Faults, cfg.Seed, geom.ColsPerRow)
+		if err != nil {
+			return nil, fmt.Errorf("dram: %w", err)
+		}
+		c.fm = fm
+		c.disturb = make([][]int32, geom.Banks)
+	}
+	return c, nil
 }
 
 // Config returns the chip configuration.
@@ -264,6 +299,9 @@ func (c *Chip) Activate(bank, row int, t clock.PS, rcd clock.PS) (cloned, cloneO
 	b := &c.banks[bank]
 	c.stats.TimingViolations += int64(c.checker.ApplyCount(timing.CmdACT, bank, t, rcd))
 	c.stats.ACTs++
+	if c.fm != nil && c.fm.DisturbEnabled() {
+		c.noteActivate(bank, row)
+	}
 
 	if attempted, ok := c.tryBitwiseMAJ(bank, row, t); attempted {
 		b.openRow = row
@@ -336,17 +374,35 @@ func (c *Chip) Read(bank, col int, t clock.PS, dst []byte) (reliable bool, err e
 	}
 	// At or above the variation grid's top level every line is reliable;
 	// normal (nominal-timing) reads skip the noise-field evaluation.
-	reliable = c.cfg.Ideal || effRCD >= c.maxMinRCD || c.vm.ReadReliable(bank, b.openRow, col, effRCD)
-	if !reliable {
+	varReliable := c.cfg.Ideal || effRCD >= c.maxMinRCD || c.vm.ReadReliable(bank, b.openRow, col, effRCD)
+	if !varReliable {
 		c.stats.CorruptedReads++
+	}
+	reliable = varReliable
+	// Injected read faults are detectable (the modeled in-line ECC reports
+	// the read unreliable): a stuck line refails every retry, a transient
+	// draw does not repeat.
+	var faultMask uint64
+	if c.fm != nil {
+		if mask, stuck := c.fm.StuckAt(bank, b.openRow, col); stuck {
+			reliable = false
+			faultMask = mask
+			c.stats.StuckReads++
+		} else if mask, hit := c.fm.TransientRead(); hit {
+			reliable = false
+			faultMask = mask
+			c.stats.TransientReads++
+		}
 	}
 	if c.cfg.TrackData && dst != nil {
 		data := c.rowData(bank, b.openRow)
 		copy(dst[:LineBytes], data[col*LineBytes:])
-		if !reliable {
-			mask := c.vm.CorruptionMask(bank, b.openRow, col)
+		if !varReliable {
+			faultMask ^= c.vm.CorruptionMask(bank, b.openRow, col)
+		}
+		if faultMask != 0 {
 			v := binary.LittleEndian.Uint64(dst[:8])
-			binary.LittleEndian.PutUint64(dst[:8], v^mask)
+			binary.LittleEndian.PutUint64(dst[:8], v^faultMask)
 		}
 	}
 	return reliable, nil
@@ -381,6 +437,10 @@ func (c *Chip) Refresh(t clock.PS) {
 		c.banks[i].openRow = -1
 		c.banks[i].senseAmpsHold = false
 	}
+	// Refresh restores every cell, zeroing all disturb counters.
+	for _, d := range c.disturb {
+		clear(d)
+	}
 }
 
 // OpenRow reports the open row of bank, or -1 when precharged.
@@ -410,6 +470,55 @@ func (c *Chip) PokeLine(a Addr, src []byte) bool {
 	data := c.rowData(a.Bank, a.Row)
 	copy(data[a.Col*LineBytes:(a.Col+1)*LineBytes], src[:LineBytes])
 	return true
+}
+
+// noteActivate performs the disturb bookkeeping of one ACT: the activated
+// row's own cells are restored (its victim counter resets) while both
+// physically adjacent rows accumulate one disturb event each, flipping a
+// bit once their seeded threshold is crossed.
+func (c *Chip) noteActivate(bank, row int) {
+	d := c.disturb[bank]
+	if d == nil {
+		d = make([]int32, c.cfg.RowsPerBank)
+		c.disturb[bank] = d
+	}
+	d[row] = 0
+	if row > 0 {
+		c.bumpVictim(bank, row-1, d)
+	}
+	if row+1 < c.cfg.RowsPerBank {
+		c.bumpVictim(bank, row+1, d)
+	}
+}
+
+// bumpVictim charges one disturb event to a victim row. Crossing the
+// threshold flips one bit of the stored row (silent corruption: reads of
+// the flipped line stay "reliable" — only mitigation prevents it) and
+// restarts the victim's accumulation.
+func (c *Chip) bumpVictim(bank, victim int, d []int32) {
+	d[victim]++
+	if d[victim] < c.fm.DisturbThreshold(bank, victim) {
+		return
+	}
+	d[victim] = 0
+	c.stats.DisturbFlips++
+	if c.cfg.TrackData {
+		col, mask := c.fm.FlipMask(bank, victim, c.stats.DisturbFlips)
+		data := c.rowData(bank, victim)
+		off := col * LineBytes
+		v := binary.LittleEndian.Uint64(data[off:])
+		binary.LittleEndian.PutUint64(data[off:], v^mask)
+	}
+}
+
+// DisturbCounter reports the victim activation counter of (bank, row)
+// (0 without disturb injection). Test/debug helper.
+func (c *Chip) DisturbCounter(bank, row int) int {
+	c.boundsRow(bank, row)
+	if c.disturb == nil || c.disturb[bank] == nil {
+		return 0
+	}
+	return int(c.disturb[bank][row])
 }
 
 // scramble fills a row with deterministic garbage (failed RowClone target).

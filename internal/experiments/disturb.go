@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"easydram/internal/core"
+	"easydram/internal/dram"
+	"easydram/internal/fault"
+	"easydram/internal/smc"
+	"easydram/internal/stats"
+	"easydram/internal/workload"
+)
+
+// DisturbPolicies are the mitigation policies the disturb sweep compares:
+// no mitigation, PARA (probabilistic adjacent-row refresh), and a
+// counter-based TRR.
+var DisturbPolicies = []string{"none", "para", "trr"}
+
+// disturbSites is the number of double-sided hammer sites the sweep's
+// kernel attacks (distinct victim rows in one bank).
+const disturbSites = 4
+
+// disturbMinThreshold is the sweep's chip disturb floor. The TRR threshold
+// below is chosen so a victim row accrues strictly fewer than
+// disturbMinThreshold activations between two TRR victim refreshes
+// (< 2 x trrThreshold), which is what guarantees the TRR column of the
+// sweep reports zero escaped flips.
+const (
+	disturbMinThreshold = 64
+	disturbJitter       = 64
+	trrThreshold        = 16
+)
+
+// DisturbResult holds the RowHammer mitigation sweep: for each policy and
+// hammer intensity (double-sided activation pairs per victim site), the
+// silent bit flips that escaped, the recovery-path work, and the execution
+// time relative to the unmitigated run.
+type DisturbResult struct {
+	Policies    []string
+	Intensities []int
+	// All matrices are [policy][intensity].
+	EscapedFlips        [][]int64
+	Retries             [][]int64
+	MitigationRefreshes [][]int64
+	Cycles              [][]float64
+	// OverheadPct is the execution-time overhead versus the "none" policy
+	// at the same intensity (0 for the "none" row itself).
+	OverheadPct [][]float64
+}
+
+// Table renders the sweep.
+func (r *DisturbResult) Table() string {
+	t := stats.Table{
+		Title:  "RowHammer disturb sweep: escaped flips and mitigation overhead",
+		Header: []string{"policy", "intensity", "escaped flips", "retries", "victim refreshes", "cycles", "overhead"},
+	}
+	for p := range r.Policies {
+		for i := range r.Intensities {
+			t.AddRow(r.Policies[p],
+				fmt.Sprintf("%d", r.Intensities[i]),
+				fmt.Sprintf("%d", r.EscapedFlips[p][i]),
+				fmt.Sprintf("%d", r.Retries[p][i]),
+				fmt.Sprintf("%d", r.MitigationRefreshes[p][i]),
+				fmt.Sprintf("%.0f", r.Cycles[p][i]),
+				fmt.Sprintf("%+.2f%%", r.OverheadPct[p][i]))
+		}
+	}
+	return t.Render()
+}
+
+// disturbConfig assembles the sweep's system: disturb injection armed with a
+// hammer-reachable threshold, recovery on, refresh off (REF would clear the
+// disturb counters mid-run and mask the policy comparison), and the given
+// mitigation policy.
+func disturbConfig(opt Options, policy string) core.Config {
+	cfg := core.TimeScalingA57()
+	cfg.RefreshEnabled = false
+	cfg.DRAM.TrackData = false
+	cfg.DRAM.Seed = opt.Seed
+	cfg.Faults = fault.Config{
+		Chip: fault.ChipConfig{
+			DisturbEnabled:      true,
+			DisturbMinThreshold: disturbMinThreshold,
+			DisturbJitter:       disturbJitter,
+		},
+		Recovery: fault.RecoveryConfig{Enabled: true},
+	}
+	if policy != "none" {
+		cfg.Mitigation = fault.MitigationConfig{Policy: policy, TRRThreshold: trrThreshold, Seed: opt.Seed}
+	}
+	return cfg
+}
+
+// hammerKernel builds a double-sided RowHammer kernel: per repetition it
+// loads and flushes the two rows adjacent to each victim site, so every
+// access misses the caches and activates an aggressor row.
+func hammerKernel(cfg core.Config, reps int) (workload.Kernel, error) {
+	topo := cfg.Topology.Normalize()
+	banksPerRank := cfg.DRAM.BankGroups * cfg.DRAM.BanksPerGroup
+	m, err := smc.NewTopologyMapper(topo, banksPerRank, cfg.DRAM.ColsPerRow)
+	if err != nil {
+		return workload.Kernel{}, fmt.Errorf("experiments: %w", err)
+	}
+	type pair struct{ lo, hi uint64 }
+	var sites []pair
+	for s := 0; s < disturbSites; s++ {
+		victim := 101 + 200*s
+		sites = append(sites, pair{
+			m.Unmap(dram.Addr{Bank: 0, Row: victim - 1}),
+			m.Unmap(dram.Addr{Bank: 0, Row: victim + 1}),
+		})
+	}
+	return workload.Kernel{
+		Name: fmt.Sprintf("hammer_x%d", reps),
+		Body: func(g *workload.Gen) {
+			g.Mark()
+			for i := 0; i < reps; i++ {
+				for _, p := range sites {
+					g.Load(p.lo)
+					g.Flush(p.lo)
+					g.Load(p.hi)
+					g.Flush(p.hi)
+				}
+			}
+			g.Barrier()
+			g.Mark()
+		},
+	}, nil
+}
+
+// DisturbSweep runs the policy x intensity grid. Cells are independent
+// systems fanned across the worker pool; every number is a pure function of
+// the seed, so the table is byte-identical at any worker count.
+func DisturbSweep(opt Options) (*DisturbResult, error) {
+	intensities := opt.DisturbIntensities
+	if len(intensities) == 0 {
+		intensities = Default().DisturbIntensities
+	}
+	r := &DisturbResult{Policies: DisturbPolicies, Intensities: intensities}
+	np, ni := len(r.Policies), len(intensities)
+	for p := 0; p < np; p++ {
+		r.EscapedFlips = append(r.EscapedFlips, make([]int64, ni))
+		r.Retries = append(r.Retries, make([]int64, ni))
+		r.MitigationRefreshes = append(r.MitigationRefreshes, make([]int64, ni))
+		r.Cycles = append(r.Cycles, make([]float64, ni))
+		r.OverheadPct = append(r.OverheadPct, make([]float64, ni))
+	}
+	err := forEach(opt.EffectiveWorkers(), np*ni, func(i int) error {
+		p, ix := i/ni, i%ni
+		cfg := disturbConfig(opt, r.Policies[p])
+		k, err := hammerKernel(cfg, intensities[ix])
+		if err != nil {
+			return err
+		}
+		res, err := runKernel(cfg, k, opt)
+		if err != nil {
+			return err
+		}
+		r.EscapedFlips[p][ix] = res.Chip.DisturbFlips
+		r.Retries[p][ix] = res.Ctrl.Retries
+		r.MitigationRefreshes[p][ix] = res.Ctrl.MitigationRefreshes
+		r.Cycles[p][ix] = float64(res.ProcCycles)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < np; p++ {
+		for ix := 0; ix < ni; ix++ {
+			if base := r.Cycles[0][ix]; base > 0 {
+				r.OverheadPct[p][ix] = 100 * (r.Cycles[p][ix]/base - 1)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Escaped reports the escaped-flip count for a policy at the sweep's
+// highest intensity (-1 when the policy is unknown).
+func (r *DisturbResult) Escaped(policy string) int64 {
+	for p, name := range r.Policies {
+		if name == policy {
+			return r.EscapedFlips[p][len(r.Intensities)-1]
+		}
+	}
+	return -1
+}
+
+// Overhead reports a policy's execution-time overhead (percent) at the
+// sweep's highest intensity (0 when the policy is unknown).
+func (r *DisturbResult) Overhead(policy string) float64 {
+	for p, name := range r.Policies {
+		if name == policy {
+			return r.OverheadPct[p][len(r.Intensities)-1]
+		}
+	}
+	return 0
+}

@@ -22,10 +22,12 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 
 	"easydram/internal/clock"
 	"easydram/internal/core"
+	"easydram/internal/fault"
 	"easydram/internal/workload"
 )
 
@@ -73,6 +75,20 @@ type Options struct {
 	Channels int
 	// Ranks is the per-channel rank count (see Channels).
 	Ranks int
+	// DisturbIntensities are the RowHammer sweep's hammer counts: double-
+	// sided activation pairs per victim site (see DisturbSweep).
+	DisturbIntensities []int
+	// Faults arms the default fault-injection configuration
+	// (fault.DefaultConfig) on every kernel run that does not already
+	// configure its own faults. Injection is deterministic in Seed.
+	Faults bool
+	// Mitigation selects a RowHammer mitigation policy ("para" or "trr")
+	// for every kernel run that does not already configure one.
+	Mitigation string
+	// Verbose prints per-run health counters to stderr after each kernel:
+	// DRAM protocol violations and the fault-recovery path's work
+	// (cmd/easydram's -v flag).
+	Verbose bool
 }
 
 // EffectiveWorkers resolves the worker-pool size: Workers when positive,
@@ -92,14 +108,15 @@ func Default() Options {
 			8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10,
 			512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20,
 		},
-		KernelSize:    workload.Eval,
-		LatSizesKiB:   []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
-		LatAccesses:   20000,
-		HeatRows:      4096,
-		Trials:        3,
-		FPRate:        0.001,
-		Seed:          1,
-		MaxProcCycles: 1 << 44,
+		KernelSize:         workload.Eval,
+		LatSizesKiB:        []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384},
+		LatAccesses:        20000,
+		HeatRows:           4096,
+		Trials:             3,
+		FPRate:             0.001,
+		Seed:               1,
+		MaxProcCycles:      1 << 44,
+		DisturbIntensities: []int{64, 256, 1024},
 	}
 }
 
@@ -111,6 +128,7 @@ func Quick() Options {
 	o.LatSizesKiB = []int{4, 64, 2048}
 	o.LatAccesses = 2000
 	o.HeatRows = 192
+	o.DisturbIntensities = []int{24, 96}
 	return o
 }
 
@@ -132,6 +150,14 @@ func runKernel(cfg core.Config, k workload.Kernel, opt Options) (core.Result, er
 	if opt.Ranks > 0 && cfg.Topology.Ranks == 0 {
 		cfg.Topology.Ranks = opt.Ranks
 	}
+	// Option-level fault injection likewise yields to per-experiment fault
+	// configs (the disturb sweep arms its own seams).
+	if opt.Faults && !cfg.Faults.Enabled() {
+		cfg.Faults = fault.DefaultConfig()
+	}
+	if opt.Mitigation != "" && opt.Mitigation != "none" && cfg.Mitigation.Policy == "" {
+		cfg.Mitigation = fault.MitigationConfig{Policy: opt.Mitigation, Seed: opt.Seed}
+	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("experiments: %s: %w", k.Name, err)
@@ -140,7 +166,24 @@ func runKernel(cfg core.Config, k workload.Kernel, opt Options) (core.Result, er
 	if err != nil {
 		return core.Result{}, fmt.Errorf("experiments: %s: %w", k.Name, err)
 	}
+	if opt.Verbose {
+		reportRun(k.Name, res)
+	}
 	return res, nil
+}
+
+// reportRun emits the per-run health line behind cmd/easydram's -v flag.
+// Lines are written atomically (one Fprintf), so parallel cells interleave
+// whole lines, never fragments; their order follows pool scheduling.
+func reportRun(name string, res core.Result) {
+	fmt.Fprintf(os.Stderr,
+		"easydram: %s: timing_violations=%d rank_switch_violations=%d"+
+			" retries=%d retry_give_ups=%d quarantined_rows=%d remapped_accesses=%d"+
+			" mitigation_refreshes=%d launch_fails=%d corrupt_lines=%d short_readbacks=%d\n",
+		name, res.Chip.TimingViolations, res.Chip.RankSwitchViolations,
+		res.Ctrl.Retries, res.Ctrl.RetryGiveUps, res.Ctrl.QuarantinedRows,
+		res.Ctrl.RemappedAccesses, res.Ctrl.MitigationRefreshes,
+		res.Tile.LaunchFails, res.Tile.CorruptLines, res.Tile.ShortReadbacks)
 }
 
 // Config names used across experiment outputs (the paper's legend).

@@ -483,3 +483,52 @@ func TestForEachErrorContract(t *testing.T) {
 		t.Fatalf("serial pool: want cell 5's error, got %v", err)
 	}
 }
+
+func TestDisturbSweep(t *testing.T) {
+	opt := Quick()
+	opt.Workers = 2
+	r, err := DisturbSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table())
+	if r.Escaped("none") == 0 {
+		t.Fatal("unmitigated hammer escaped no flips at the top intensity")
+	}
+	for i := range r.Intensities {
+		if trr := r.EscapedFlips[2][i]; trr != 0 {
+			t.Fatalf("TRR leaked %d flips at intensity %d (threshold contract: < 2x%d aggressor ACTs between victim refreshes)",
+				trr, r.Intensities[i], trrThreshold)
+		}
+	}
+	if r.Escaped("para") > r.Escaped("none") {
+		t.Fatalf("PARA escaped more flips (%d) than no mitigation (%d)", r.Escaped("para"), r.Escaped("none"))
+	}
+	if v := r.Overhead("trr"); v <= 0 {
+		t.Fatalf("TRR reported non-positive overhead %.2f%% despite inserting refreshes", v)
+	}
+	// Mitigation must actually have fired where it claims to.
+	if r.MitigationRefreshes[2][len(r.Intensities)-1] == 0 {
+		t.Fatal("TRR row reports zero victim refreshes")
+	}
+}
+
+// TestDisturbSweepWorkerIndependence pins the determinism contract the
+// benchall snapshot relies on: the rendered table is byte-identical whether
+// cells run serially or fanned across four workers.
+func TestDisturbSweepWorkerIndependence(t *testing.T) {
+	opt := Quick()
+	opt.DisturbIntensities = []int{24, 48}
+	run := func(workers int) string {
+		o := opt
+		o.Workers = workers
+		r, err := DisturbSweep(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Table()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("sweep diverged across worker counts:\n%s\nvs\n%s", a, b)
+	}
+}

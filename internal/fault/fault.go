@@ -1,0 +1,396 @@
+// Package fault models silicon and host-link failures for the EasyDRAM
+// stack, plus the controller-side recovery contract used to survive them.
+//
+// Injection is split by layer, mirroring where real failures originate:
+//
+//   - ChipModel: cell-level faults observed through DRAM commands — read
+//     disturb (RowHammer-style bit flips in rows physically adjacent to a
+//     heavily activated aggressor), transient read corruption, and stuck-at
+//     lines that never read back correctly;
+//   - LinkModel: host-interface faults at the EasyTile/DRAM Bender seam —
+//     transient program-launch failures, corrupted readback lines, and
+//     short (truncated) readbacks;
+//   - RecoveryConfig: the SMC's verify-and-retry parameters (bounded
+//     attempts, exponential emulated-time backoff, quarantine spares);
+//   - MitigationConfig / Mitigator (mitigate.go): pluggable RowHammer
+//     mitigation policies consulted on every row activation.
+//
+// Like internal/variation, every draw is a pure function of (seed, salt,
+// coordinates or a monotone event counter) hashed with SplitMix64, so a
+// fault trace is reproducible bit-for-bit for a fixed seed regardless of
+// host parallelism — the property all fault-determinism tests pin.
+package fault
+
+import (
+	"fmt"
+
+	"easydram/internal/clock"
+)
+
+// Per-property salts, following internal/variation's salt-per-property
+// idiom so no two draws ever share a hash stream.
+const (
+	saltDisturb   = 0xd1577b
+	saltTransient = 0x7a9e57
+	saltStuck     = 0x57ac4a
+	saltFlip      = 0xf11b17
+	saltLaunch    = 0x1a07c4
+	saltCorrupt   = 0xc0a2b7
+	saltDrop      = 0x0d20b5
+	saltPARA      = 0x00ba2a
+	saltModel     = 0xfa1700
+)
+
+// ChipConfig configures chip-level fault injection. The zero value injects
+// nothing.
+type ChipConfig struct {
+	// DisturbEnabled turns on per-row activation disturb counting: every
+	// ACT increments a victim counter on the two physically adjacent rows
+	// (and restores the activated row's own cells); a victim whose counter
+	// crosses its seeded threshold suffers a bit flip.
+	DisturbEnabled bool
+	// DisturbMinThreshold is the smallest disturb threshold any row can
+	// have. A mitigation policy that refreshes victims before any counter
+	// reaches it is structurally flip-free.
+	DisturbMinThreshold int
+	// DisturbJitter spreads per-row thresholds over
+	// [DisturbMinThreshold, DisturbMinThreshold+DisturbJitter) with a
+	// seeded per-row draw (0 = uniform thresholds).
+	DisturbJitter int
+	// TransientReadRate is the per-read probability of a transient
+	// (retry-correctable) corruption.
+	TransientReadRate float64
+	// StuckAtRate is the per-line probability that a (bank, row, column)
+	// cell group is stuck: its reads are always corrupt, and retrying
+	// never helps.
+	StuckAtRate float64
+	// Seed is an extra user salt mixed into every draw (the chip's own
+	// variation seed is mixed in by the model constructor).
+	Seed uint64
+}
+
+// Enabled reports whether any chip-level injection is configured.
+func (c ChipConfig) Enabled() bool {
+	return c.DisturbEnabled || c.TransientReadRate > 0 || c.StuckAtRate > 0
+}
+
+// Validate reports configuration errors.
+func (c ChipConfig) Validate() error {
+	if c.DisturbEnabled && c.DisturbMinThreshold <= 0 {
+		return fmt.Errorf("fault: disturb threshold must be positive, got %d", c.DisturbMinThreshold)
+	}
+	if c.DisturbJitter < 0 {
+		return fmt.Errorf("fault: disturb jitter must be non-negative, got %d", c.DisturbJitter)
+	}
+	if err := checkRate("transient read", c.TransientReadRate); err != nil {
+		return err
+	}
+	return checkRate("stuck-at", c.StuckAtRate)
+}
+
+// ChipModel draws chip-level faults. One model serves one rank; per-rank
+// seed diversity comes from the rank's own variation seed, exactly as the
+// variation model gets it.
+type ChipModel struct {
+	cc   ChipConfig
+	seed uint64
+	cols int
+
+	transientP uint64 // TransientReadRate scaled to a 32-bit threshold
+	stuckP     uint64
+	// reads is the monotone read counter transient draws key on: the n-th
+	// read of a rank corrupts or not as a pure function of (seed, n), so a
+	// fixed command stream replays the identical fault trace.
+	reads uint64
+}
+
+// NewChipModel builds a model for a rank with the given columns per row.
+// seed is the rank's variation seed; cc.Seed is mixed in as a user salt.
+func NewChipModel(cc ChipConfig, seed uint64, colsPerRow int) (*ChipModel, error) {
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	if colsPerRow <= 0 {
+		return nil, fmt.Errorf("fault: columns per row must be positive, got %d", colsPerRow)
+	}
+	return &ChipModel{
+		cc:         cc,
+		seed:       splitmix(seed ^ cc.Seed ^ saltModel),
+		cols:       colsPerRow,
+		transientP: rateToThreshold(cc.TransientReadRate),
+		stuckP:     rateToThreshold(cc.StuckAtRate),
+	}, nil
+}
+
+// DisturbEnabled reports whether disturb counting is on.
+func (m *ChipModel) DisturbEnabled() bool { return m.cc.DisturbEnabled }
+
+// DisturbThreshold returns the activation count at which the given row
+// (as a victim) flips a bit. Stable per row.
+func (m *ChipModel) DisturbThreshold(bank, row int) int32 {
+	th := m.cc.DisturbMinThreshold
+	if m.cc.DisturbJitter > 0 {
+		th += int(splitmix(m.seed^saltDisturb^key(bank, row, 0)) % uint64(m.cc.DisturbJitter))
+	}
+	return int32(th)
+}
+
+// FlipMask picks the column and single-bit XOR mask of the nth disturb flip
+// in (bank, row). Keying on the flip ordinal makes repeated flips of one
+// victim land on varying cells.
+func (m *ChipModel) FlipMask(bank, row int, nth int64) (col int, mask uint64) {
+	h := splitmix(m.seed ^ saltFlip ^ key(bank, row, int(nth)))
+	return int(h % uint64(m.cols)), 1 << ((h >> 32) & 63)
+}
+
+// TransientRead draws the next read's transient corruption. It advances the
+// read counter, so call it exactly once per RD the chip serves.
+func (m *ChipModel) TransientRead() (mask uint64, corrupt bool) {
+	if m.transientP == 0 {
+		return 0, false
+	}
+	m.reads++
+	h := splitmix(m.seed ^ saltTransient ^ m.reads*0x9e3779b97f4a7c15)
+	if h>>32 >= m.transientP {
+		return 0, false
+	}
+	return nonzero(splitmix(h)), true
+}
+
+// StuckAt reports whether the (bank, row, col) line is stuck, with the XOR
+// mask its reads come back corrupted by. Stable per line.
+func (m *ChipModel) StuckAt(bank, row, col int) (mask uint64, stuck bool) {
+	if m.stuckP == 0 {
+		return 0, false
+	}
+	h := splitmix(m.seed ^ saltStuck ^ key(bank, row, col))
+	if h>>32 >= m.stuckP {
+		return 0, false
+	}
+	return nonzero(splitmix(h)), true
+}
+
+// LinkConfig configures host-link fault injection at the tile/Bender seam.
+// The zero value injects nothing.
+type LinkConfig struct {
+	// ExecFailRate is the per-program probability that launching a Bender
+	// program fails transiently (nothing executes; the SMC must re-flush).
+	ExecFailRate float64
+	// ReadbackCorruptRate is the per-drain probability that one readback
+	// line crosses the link corrupted.
+	ReadbackCorruptRate float64
+	// ReadbackDropRate is the per-drain probability that the readback
+	// arrives short by its final line.
+	ReadbackDropRate float64
+	// Seed is an extra user salt mixed into every draw.
+	Seed uint64
+}
+
+// Enabled reports whether any link-level injection is configured.
+func (c LinkConfig) Enabled() bool {
+	return c.ExecFailRate > 0 || c.ReadbackCorruptRate > 0 || c.ReadbackDropRate > 0
+}
+
+// Validate reports configuration errors.
+func (c LinkConfig) Validate() error {
+	if err := checkRate("exec fail", c.ExecFailRate); err != nil {
+		return err
+	}
+	if err := checkRate("readback corrupt", c.ReadbackCorruptRate); err != nil {
+		return err
+	}
+	return checkRate("readback drop", c.ReadbackDropRate)
+}
+
+// LinkModel draws host-link faults. One model serves one channel's tile;
+// draws key on monotone per-event counters, so a fixed program stream
+// replays the identical fault trace.
+type LinkModel struct {
+	seed     uint64
+	pFail    uint64
+	pCorrupt uint64
+	pDrop    uint64
+	launches uint64
+	corrupts uint64
+	drops    uint64
+}
+
+// NewLinkModel builds a link model; seed should already carry the channel
+// identity (cfg.Seed is mixed in as a user salt).
+func NewLinkModel(cfg LinkConfig, seed uint64) *LinkModel {
+	return &LinkModel{
+		seed:     splitmix(seed ^ cfg.Seed ^ saltModel),
+		pFail:    rateToThreshold(cfg.ExecFailRate),
+		pCorrupt: rateToThreshold(cfg.ReadbackCorruptRate),
+		pDrop:    rateToThreshold(cfg.ReadbackDropRate),
+	}
+}
+
+// FailLaunch draws the next program launch's transient failure.
+func (m *LinkModel) FailLaunch() bool {
+	if m.pFail == 0 {
+		return false
+	}
+	m.launches++
+	return splitmix(m.seed^saltLaunch^m.launches*0x9e3779b97f4a7c15)>>32 < m.pFail
+}
+
+// CorruptReadback draws corruption for a drained readback of n lines,
+// returning the victim index and XOR mask when it strikes.
+func (m *LinkModel) CorruptReadback(n int) (idx int, mask uint64, ok bool) {
+	if m.pCorrupt == 0 || n <= 0 {
+		return 0, 0, false
+	}
+	m.corrupts++
+	h := splitmix(m.seed ^ saltCorrupt ^ m.corrupts*0x9e3779b97f4a7c15)
+	if h>>32 >= m.pCorrupt {
+		return 0, 0, false
+	}
+	return int(splitmix(h) % uint64(n)), nonzero(splitmix(h ^ 1)), true
+}
+
+// DropTail draws whether a drained readback loses its final line.
+func (m *LinkModel) DropTail() bool {
+	if m.pDrop == 0 {
+		return false
+	}
+	m.drops++
+	return splitmix(m.seed^saltDrop^m.drops*0x9e3779b97f4a7c15)>>32 < m.pDrop
+}
+
+// RecoveryConfig parameterises the SMC's verify-and-retry path and its
+// graceful-degradation quarantine.
+type RecoveryConfig struct {
+	// Enabled turns on readback verification, bounded retries, and row
+	// quarantine. Required whenever link-level exec failures are injected
+	// (an unrecovered launch failure aborts the run).
+	Enabled bool
+	// MaxRetries bounds the re-read / re-launch attempts per request
+	// (0 selects the default, 3).
+	MaxRetries int
+	// Backoff is the emulated-time wait before the first retry; it doubles
+	// per attempt (0 selects the default, 100 ns).
+	Backoff clock.PS
+	// SpareRows is the per-bank spare region size quarantined rows remap
+	// into (0 selects the default, 64).
+	SpareRows int
+}
+
+// Normalize fills defaulted fields.
+func (c RecoveryConfig) Normalize() RecoveryConfig {
+	if !c.Enabled {
+		return c
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * clock.Nanosecond
+	}
+	if c.SpareRows <= 0 {
+		c.SpareRows = 64
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c RecoveryConfig) Validate() error {
+	if c.MaxRetries < 0 || c.SpareRows < 0 || c.Backoff < 0 {
+		return fmt.Errorf("fault: recovery parameters must be non-negative")
+	}
+	return nil
+}
+
+// Config bundles the full fault-injection setup a system runs under. The
+// zero value injects nothing and enables no recovery seam, keeping every
+// hot path byte-identical to a fault-free build.
+type Config struct {
+	Chip     ChipConfig
+	Link     LinkConfig
+	Recovery RecoveryConfig
+}
+
+// Enabled reports whether any injection or recovery seam is configured.
+func (c Config) Enabled() bool {
+	return c.Chip.Enabled() || c.Link.Enabled() || c.Recovery.Enabled
+}
+
+// Validate reports configuration errors, including cross-layer ones.
+func (c Config) Validate() error {
+	if err := c.Chip.Validate(); err != nil {
+		return err
+	}
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
+	if c.Link.ExecFailRate > 0 && !c.Recovery.Enabled {
+		return fmt.Errorf("fault: link exec failures require recovery (an unrecovered launch failure aborts the run)")
+	}
+	return nil
+}
+
+// DefaultConfig returns a representative all-layers injection setup for
+// demos (cmd/easydram -faults): light transient and link noise, rare
+// stuck-at lines, disturb thresholds low enough to matter under
+// deliberately hammering workloads, and recovery on.
+func DefaultConfig() Config {
+	return Config{
+		Chip: ChipConfig{
+			DisturbEnabled:      true,
+			DisturbMinThreshold: 4096,
+			DisturbJitter:       4096,
+			TransientReadRate:   1e-4,
+			StuckAtRate:         1e-5,
+		},
+		Link: LinkConfig{
+			ExecFailRate:        1e-4,
+			ReadbackCorruptRate: 1e-4,
+			ReadbackDropRate:    1e-4,
+		},
+		Recovery: RecoveryConfig{Enabled: true}.Normalize(),
+	}
+}
+
+// rateToThreshold scales a probability to the 32-bit compare threshold the
+// draw functions test hash high bits against.
+func rateToThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 32
+	}
+	return uint64(p * (1 << 32))
+}
+
+func checkRate(what string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("fault: %s rate must be in [0,1], got %g", what, p)
+	}
+	return nil
+}
+
+func nonzero(h uint64) uint64 {
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// key and splitmix mirror internal/variation's coordinate-hashing scheme
+// (the helpers are unexported there by design: each package owns its salt
+// space).
+func key(a, b, c int) uint64 {
+	return uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9 ^ uint64(c)*0x94d049bb133111eb
+}
+
+// splitmix is SplitMix64: a high-quality, allocation-free stateless hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,225 @@
+package fault
+
+import "testing"
+
+func TestChipModelDeterminism(t *testing.T) {
+	cc := ChipConfig{
+		DisturbEnabled:      true,
+		DisturbMinThreshold: 64,
+		DisturbJitter:       64,
+		TransientReadRate:   0.01,
+		StuckAtRate:         0.01,
+	}
+	a, err := NewChipModel(cc, 42, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChipModel(cc, 42, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if ta, tb := a.DisturbThreshold(i%16, i), b.DisturbThreshold(i%16, i); ta != tb {
+			t.Fatalf("threshold(%d) diverged: %d vs %d", i, ta, tb)
+		}
+		ma, oka := a.TransientRead()
+		mb, okb := b.TransientRead()
+		if ma != mb || oka != okb {
+			t.Fatalf("transient draw %d diverged", i)
+		}
+		sa, ska := a.StuckAt(i%16, i, i%128)
+		sb, skb := b.StuckAt(i%16, i, i%128)
+		if sa != sb || ska != skb {
+			t.Fatalf("stuck draw %d diverged", i)
+		}
+	}
+	c, _ := NewChipModel(cc, 43, 128)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.DisturbThreshold(0, i) == c.DisturbThreshold(0, i) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("different seeds produced identical threshold maps")
+	}
+}
+
+func TestDisturbThresholdRange(t *testing.T) {
+	cc := ChipConfig{DisturbEnabled: true, DisturbMinThreshold: 100, DisturbJitter: 50}
+	m, err := NewChipModel(cc, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4096; r++ {
+		th := m.DisturbThreshold(3, r)
+		if th < 100 || th >= 150 {
+			t.Fatalf("row %d threshold %d outside [100,150)", r, th)
+		}
+	}
+	// No jitter: uniform.
+	u, _ := NewChipModel(ChipConfig{DisturbEnabled: true, DisturbMinThreshold: 100}, 7, 64)
+	if th := u.DisturbThreshold(0, 123); th != 100 {
+		t.Fatalf("jitter-free threshold = %d, want 100", th)
+	}
+}
+
+func TestTransientRateCalibration(t *testing.T) {
+	m, err := NewChipModel(ChipConfig{TransientReadRate: 0.02}, 99, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if mask, ok := m.TransientRead(); ok {
+			hits++
+			if mask == 0 {
+				t.Fatal("corrupting draw returned a zero mask")
+			}
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.015 || got > 0.025 {
+		t.Fatalf("transient rate = %f, want ~0.02", got)
+	}
+}
+
+func TestStuckAtStable(t *testing.T) {
+	m, err := NewChipModel(ChipConfig{StuckAtRate: 0.05}, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a stuck line, then verify the draw is stable.
+	for r := 0; r < 10000; r++ {
+		mask, stuck := m.StuckAt(1, r, 3)
+		for i := 0; i < 3; i++ {
+			m2, s2 := m.StuckAt(1, r, 3)
+			if m2 != mask || s2 != stuck {
+				t.Fatalf("stuck-at draw for row %d not stable", r)
+			}
+		}
+		if stuck {
+			return
+		}
+	}
+	t.Fatal("no stuck line found at rate 0.05 over 10000 rows")
+}
+
+func TestLinkModelDeterminism(t *testing.T) {
+	lc := LinkConfig{ExecFailRate: 0.05, ReadbackCorruptRate: 0.05, ReadbackDropRate: 0.05}
+	a := NewLinkModel(lc, 11)
+	b := NewLinkModel(lc, 11)
+	fails := 0
+	for i := 0; i < 2000; i++ {
+		fa, fb := a.FailLaunch(), b.FailLaunch()
+		if fa != fb {
+			t.Fatalf("launch draw %d diverged", i)
+		}
+		if fa {
+			fails++
+		}
+		ia, ma, oa := a.CorruptReadback(8)
+		ib, mb, ob := b.CorruptReadback(8)
+		if ia != ib || ma != mb || oa != ob {
+			t.Fatalf("corrupt draw %d diverged", i)
+		}
+		if da, db := a.DropTail(), b.DropTail(); da != db {
+			t.Fatalf("drop draw %d diverged", i)
+		}
+	}
+	if fails == 0 {
+		t.Fatal("no launch failures at rate 0.05 over 2000 draws")
+	}
+}
+
+func TestTRRMitigator(t *testing.T) {
+	m, err := NewMitigator(MitigationConfig{Policy: "trr", TRRThreshold: 4}, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refreshes int
+	for i := 1; i <= 12; i++ {
+		v := m.OnActivate(0, 100, nil)
+		if i%4 == 0 {
+			if len(v) != 2 || v[0] != 99 || v[1] != 101 {
+				t.Fatalf("ACT %d: victims = %v, want [99 101]", i, v)
+			}
+			refreshes++
+		} else if len(v) != 0 {
+			t.Fatalf("ACT %d: unexpected victims %v", i, v)
+		}
+	}
+	if refreshes != 3 {
+		t.Fatalf("refreshes = %d, want 3", refreshes)
+	}
+	// Edge rows clip their out-of-range neighbour.
+	for i := 0; i < 4; i++ {
+		if v := m.OnActivate(1, 0, nil); i == 3 && (len(v) != 1 || v[0] != 1) {
+			t.Fatalf("edge victims = %v, want [1]", v)
+		}
+	}
+}
+
+func TestPARAMitigatorDeterministic(t *testing.T) {
+	cfg := MitigationConfig{Policy: "para", PARAProb: 0.25, Seed: 3}
+	a, err := NewMitigator(cfg, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewMitigator(cfg, 1024, 0)
+	other, _ := NewMitigator(cfg, 1024, 1)
+	sameAsOther := true
+	hits := 0
+	for i := 0; i < 4000; i++ {
+		va := a.OnActivate(0, 500, nil)
+		vb := b.OnActivate(0, 500, nil)
+		if len(va) != len(vb) {
+			t.Fatalf("ACT %d: PARA draws diverged for one seed", i)
+		}
+		if len(va) != len(other.OnActivate(0, 500, nil)) {
+			sameAsOther = false
+		}
+		if len(va) > 0 {
+			hits++
+			if va[0] != 499 || va[1] != 501 {
+				t.Fatalf("victims = %v, want [499 501]", va)
+			}
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Fatalf("PARA refreshed on %d/4000 ACTs, want ~1000", hits)
+	}
+	if sameAsOther {
+		t.Fatal("per-channel PARA instances drew identically")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Chip: ChipConfig{DisturbEnabled: true}},                                             // threshold missing
+		{Chip: ChipConfig{TransientReadRate: 1.5}},                                           // rate out of range
+		{Link: LinkConfig{ExecFailRate: 0.1}},                                                // exec fail without recovery
+		{Chip: ChipConfig{DisturbEnabled: true, DisturbJitter: -1, DisturbMinThreshold: 10}}, // negative jitter
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d validated but should not have", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	if DefaultConfig().Enabled() != true {
+		t.Fatal("DefaultConfig not enabled")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports enabled")
+	}
+	if _, err := NewMitigator(MitigationConfig{Policy: "blah"}, 1024, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if m, err := NewMitigator(MitigationConfig{}, 1024, 0); err != nil || m != nil {
+		t.Fatalf("none policy: got %v, %v; want nil, nil", m, err)
+	}
+}

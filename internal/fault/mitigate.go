@@ -1,0 +1,146 @@
+package fault
+
+import "fmt"
+
+// Mitigator is a RowHammer mitigation policy plugged into the software
+// memory controller, the same way BLISS plugs in as a scheduler: the SMC
+// consults it on every row activation (the only command that disturbs
+// neighbours) and refreshes whatever victim rows it nominates before
+// opening the target row. Implementations are per-channel (the controller
+// owns one instance each, like cloned schedulers) and must be
+// deterministic: draws key on seeded counters, never on host state.
+type Mitigator interface {
+	// Name identifies the policy ("para", "trr").
+	Name() string
+	// OnActivate observes an ACT of (bank, row) and appends the victim
+	// rows to refresh before it to victims, returning the extended slice.
+	// Most calls return it unchanged.
+	OnActivate(bank, row int, victims []int) []int
+}
+
+// MitigationConfig selects and parameterises a mitigation policy.
+type MitigationConfig struct {
+	// Policy names the mitigation: "" or "none" disables it, "para" is
+	// probabilistic adjacent-row refresh, "trr" is counter-overflow
+	// target-row-refresh.
+	Policy string
+	// PARAProb is PARA's per-activation refresh probability (0 selects the
+	// default, 1/16).
+	PARAProb float64
+	// TRRThreshold is TRR's per-row activation budget before its
+	// neighbours are refreshed (0 selects the default, 16). Choosing it so
+	// 2*TRRThreshold stays below the chip's minimum disturb threshold makes
+	// the policy structurally flip-free.
+	TRRThreshold int
+	// Seed salts PARA's draws.
+	Seed uint64
+}
+
+// Enabled reports whether a policy is selected.
+func (c MitigationConfig) Enabled() bool { return c.Policy != "" && c.Policy != "none" }
+
+// Validate reports configuration errors.
+func (c MitigationConfig) Validate() error {
+	switch c.Policy {
+	case "", "none", "para", "trr":
+	default:
+		return fmt.Errorf("fault: unknown mitigation policy %q (want none, para, or trr)", c.Policy)
+	}
+	if err := checkRate("PARA refresh", c.PARAProb); err != nil {
+		return err
+	}
+	if c.TRRThreshold < 0 {
+		return fmt.Errorf("fault: TRR threshold must be non-negative, got %d", c.TRRThreshold)
+	}
+	return nil
+}
+
+// NewMitigator constructs the policy instance for one channel (nil when no
+// policy is selected). rowsPerBank bounds victim addresses; channel
+// diversifies PARA's seed the way per-rank seeds diversify the chip models.
+func NewMitigator(cfg MitigationConfig, rowsPerBank, channel int) (Mitigator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	if rowsPerBank <= 0 {
+		return nil, fmt.Errorf("fault: mitigation needs a positive rows-per-bank, got %d", rowsPerBank)
+	}
+	switch cfg.Policy {
+	case "para":
+		p := cfg.PARAProb
+		if p == 0 {
+			p = 1.0 / 16
+		}
+		return &para{
+			rows: rowsPerBank,
+			seed: splitmix(cfg.Seed ^ saltPARA ^ uint64(channel)*0x9e3779b97f4a7c15),
+			p:    rateToThreshold(p),
+		}, nil
+	case "trr":
+		th := cfg.TRRThreshold
+		if th == 0 {
+			th = 16
+		}
+		return &trr{rows: rowsPerBank, threshold: int32(th), counts: map[uint64]int32{}}, nil
+	}
+	panic("unreachable")
+}
+
+// para is PARA (Kim et al., ISCA 2014): on every activation, refresh the
+// target's neighbours with a small probability. Stateless beyond a draw
+// counter, so its protection is probabilistic — a long enough unlucky gap
+// can still let a flip escape, which the disturb sweep makes visible.
+type para struct {
+	rows int
+	seed uint64
+	acts uint64
+	p    uint64
+}
+
+func (m *para) Name() string { return "para" }
+
+func (m *para) OnActivate(bank, row int, victims []int) []int {
+	m.acts++
+	if splitmix(m.seed^m.acts*0x9e3779b97f4a7c15)>>32 >= m.p {
+		return victims
+	}
+	return appendVictims(victims, row, m.rows)
+}
+
+// trr is counter-overflow target-row-refresh: an exact per-row activation
+// counter (the modeled SMC has ordinary memory, so unlike in-DRAM TRR it
+// needs no sampling); when a row's count crosses the threshold, its
+// neighbours are refreshed and the count resets. Victim counters therefore
+// never exceed 2*threshold between refreshes, so a threshold below half the
+// chip's minimum disturb threshold guarantees zero escaped flips.
+type trr struct {
+	rows      int
+	threshold int32
+	counts    map[uint64]int32
+}
+
+func (m *trr) Name() string { return "trr" }
+
+func (m *trr) OnActivate(bank, row int, victims []int) []int {
+	k := uint64(bank)<<40 | uint64(uint32(row))
+	n := m.counts[k] + 1
+	if n < m.threshold {
+		m.counts[k] = n
+		return victims
+	}
+	m.counts[k] = 0
+	return appendVictims(victims, row, m.rows)
+}
+
+func appendVictims(victims []int, row, rows int) []int {
+	if row > 0 {
+		victims = append(victims, row-1)
+	}
+	if row+1 < rows {
+		victims = append(victims, row+1)
+	}
+	return victims
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"easydram/internal/dram"
+	"easydram/internal/fault"
 	"easydram/internal/mem"
 	"easydram/internal/tile"
 )
@@ -38,6 +39,41 @@ func NewBenchHarness() (*BenchHarness, error) {
 		return nil, err
 	}
 	ctl, err := NewBaseController(Config{Mapper: m, Scheduler: FRFCFS{}}, chip.Timing(), chip.Geometry().Banks)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchHarness{Ctl: ctl, Env: NewEnv(tl)}, nil
+}
+
+// NewFaultFreeBenchHarness builds the harness with every fault seam armed
+// but no fault ever firing: chip disturb counting enabled with an
+// unreachable threshold, and the controller's verify-and-retry recovery
+// path on (so reads take the verify branch and find nothing to retry).
+// BenchmarkSubstrateFaultFree gates this configuration's cost: it measures
+// what fault tolerance charges the hot path when nothing goes wrong, and it
+// must stay allocation-free.
+func NewFaultFreeBenchHarness() (*BenchHarness, error) {
+	cfg := dram.DefaultConfig()
+	cfg.TrackData = false
+	cfg.Faults = fault.ChipConfig{
+		DisturbEnabled:      true,
+		DisturbMinThreshold: 1 << 30, // counters run; no flip is ever reachable
+	}
+	chip, err := dram.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tl := tile.New(chip, tile.DefaultCostModel())
+	m, err := NewRowBankCol(chip.Geometry().Banks, cfg.ColsPerRow)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := NewBaseController(Config{
+		Mapper:      m,
+		Scheduler:   FRFCFS{},
+		Recovery:    fault.RecoveryConfig{Enabled: true},
+		RowsPerBank: cfg.RowsPerBank,
+	}, chip.Timing(), chip.Geometry().Banks)
 	if err != nil {
 		return nil, err
 	}

@@ -6,8 +6,10 @@ import (
 	"math/bits"
 
 	"easydram/internal/bender"
+	"easydram/internal/bloom"
 	"easydram/internal/clock"
 	"easydram/internal/dram"
+	"easydram/internal/fault"
 	"easydram/internal/mem"
 	"easydram/internal/timing"
 )
@@ -58,6 +60,22 @@ type Config struct {
 	// (tBL + tRTRS), charged in modeled time and spaced on the Bender
 	// program.
 	Ranks int
+	// Recovery enables the verify-and-retry read path: unreliable readbacks
+	// are re-read with bounded attempts and exponential emulated-time
+	// backoff, failed Bender launches are re-flushed the same way, and rows
+	// that exhaust their retries are quarantined into a Bloom filter and
+	// remapped to a per-bank spare region on every later access.
+	Recovery fault.RecoveryConfig
+	// Mitigation, when non-nil, is the channel's RowHammer mitigation
+	// policy: it observes every row activation and nominates victim rows
+	// the controller refreshes (ACT + tRAS + PRE + tRP, charged as
+	// occupancy) before opening the target row.
+	Mitigation fault.Mitigator
+	// RowsPerBank tells the quarantine remapper where the spare-row region
+	// sits (required when Recovery.Enabled).
+	RowsPerBank int
+	// QuarantineSeed seeds the quarantine Bloom filter's hash functions.
+	QuarantineSeed uint64
 }
 
 // BaseController is the standard EasyDRAM software memory controller: a
@@ -100,6 +118,17 @@ type BaseController struct {
 	rankShift   uint
 	lastCASRank int
 
+	// recov is the normalized recovery config; mit the channel's mitigation
+	// policy (nil = none) with mitBuf its reused victim buffer; quarantine
+	// the Bloom filter of given-up rows (lazily created on first
+	// quarantine, so fault-free runs never pay its lookup charge) with
+	// spareBase the first spare-region row quarantined rows remap into.
+	recov      fault.RecoveryConfig
+	mit        fault.Mitigator
+	mitBuf     []int
+	quarantine *bloom.Filter
+	spareBase  int
+
 	stats ControllerStats
 }
 
@@ -128,6 +157,18 @@ type ControllerStats struct {
 	// RankSwitches counts column accesses that paid the shared bus's
 	// rank-to-rank turnaround (always zero on a single-rank channel).
 	RankSwitches int64
+	// Retries counts verify-and-retry re-reads plus re-flushed Bender
+	// launches; RetryGiveUps counts requests that exhausted their retry
+	// budget. QuarantinedRows counts rows retired into the quarantine
+	// filter after giving up, RemappedAccesses the accesses redirected to
+	// the spare region, and MitigationRefreshes the victim-row refreshes
+	// the mitigation policy inserted. All stay zero without fault
+	// injection.
+	Retries             int64
+	RetryGiveUps        int64
+	QuarantinedRows     int64
+	RemappedAccesses    int64
+	MitigationRefreshes int64
 }
 
 // Accumulate adds o's counters into s (multi-channel systems sum their
@@ -147,6 +188,11 @@ func (s *ControllerStats) Accumulate(o ControllerStats) {
 	s.BurstsServed += o.BurstsServed
 	s.BurstedRequests += o.BurstedRequests
 	s.RankSwitches += o.RankSwitches
+	s.Retries += o.Retries
+	s.RetryGiveUps += o.RetryGiveUps
+	s.QuarantinedRows += o.QuarantinedRows
+	s.RemappedAccesses += o.RemappedAccesses
+	s.MitigationRefreshes += o.MitigationRefreshes
 }
 
 // AvgBurstLen reports the mean requests per multi-request step (0 when no
@@ -177,7 +223,19 @@ func NewBaseController(cfg Config, p timing.Params, banks int) (*BaseController,
 		}
 		c.rankShift = uint(bits.TrailingZeros(uint(banks / cfg.Ranks)))
 	}
-	if bs, ok := cfg.Scheduler.(BurstScheduler); ok && cfg.Policy == OpenPage {
+	c.recov = cfg.Recovery.Normalize()
+	c.mit = cfg.Mitigation
+	if c.recov.Enabled {
+		if cfg.RowsPerBank <= c.recov.SpareRows {
+			return nil, fmt.Errorf("smc: recovery needs RowsPerBank (%d) above its %d spare rows", cfg.RowsPerBank, c.recov.SpareRows)
+		}
+		c.spareBase = cfg.RowsPerBank - c.recov.SpareRows
+	}
+	// Burst coalescing is disabled under recovery or mitigation: verify
+	// re-reads and victim refreshes extend a request's program after the
+	// fact, which the burst segment arithmetic does not model. Zero-
+	// injection configs keep bursting untouched.
+	if bs, ok := cfg.Scheduler.(BurstScheduler); ok && cfg.Policy == OpenPage && !c.recov.Enabled && c.mit == nil {
 		c.burstSched = bs
 	}
 	c.statelessSched = Stateless(cfg.Scheduler)
@@ -219,7 +277,7 @@ func (c *BaseController) ServeRefresh(env *Env) error {
 	}
 	b.Wait(c.p.TRP)
 	b.REF()
-	if _, err := env.Exec(); err != nil {
+	if _, err := c.exec(env); err != nil {
 		return err
 	}
 	env.AddService(c.p.TRP+c.p.TRFC, c.p.TRP+c.p.TRFC)
@@ -342,6 +400,17 @@ func (c *BaseController) serveIndex(env *Env, idx int) (bool, error) {
 // by construction.
 func (c *BaseController) emitAccess(env *Env, b *bender.Builder, a dram.Addr, isWrite bool) clock.PS {
 	var actLatency clock.PS
+	if c.quarantine != nil {
+		// Graceful degradation: accesses to quarantined rows (plus the
+		// filter's false positives) are redirected into the bank's spare
+		// region. The lookup exists only once a row has been quarantined,
+		// so fault-free service never pays it.
+		env.Charge(env.Tile().Costs().BloomCheck)
+		if c.quarantine.Contains(rowKey(a.Bank, a.Row)) {
+			a.Row = c.spareBase + a.Row%c.recov.SpareRows
+			c.stats.RemappedAccesses++
+		}
+	}
 	if c.openRows[a.Bank] == a.Row {
 		c.stats.RowHits++
 	} else {
@@ -350,6 +419,9 @@ func (c *BaseController) emitAccess(env *Env, b *bender.Builder, a dram.Addr, is
 			b.PRE(a.Bank)
 			b.Wait(c.p.TRP - c.p.Bus.Period())
 			actLatency += c.p.TRP
+		}
+		if c.mit != nil {
+			actLatency += c.emitMitigation(env, b, a.Bank, a.Row)
 		}
 		rcd := c.p.TRCD
 		if c.cfg.TRCD != nil {
@@ -397,6 +469,128 @@ func (c *BaseController) emitAccess(env *Env, b *bender.Builder, a dram.Addr, is
 	return actLatency
 }
 
+// Quarantine filter sizing: a handful of hard-failed rows per channel is
+// the design point; 256 rows at 0.1% false positives keeps the filter a few
+// hundred bytes, and a false positive merely remaps a healthy row.
+const (
+	quarantineCapacity = 256
+	quarantineFPRate   = 0.001
+)
+
+// rowKey packs a (bank, row) pair into the quarantine filter's key space.
+func rowKey(bank, row int) uint64 {
+	return uint64(bank)<<40 | uint64(uint32(row))
+}
+
+// quarantineRow retires a row that exhausted its retry budget. The Bloom
+// filter is created lazily on the first quarantine, so injection-free runs
+// never pay its per-access lookup.
+func (c *BaseController) quarantineRow(a dram.Addr) error {
+	if c.quarantine == nil {
+		f, err := bloom.NewForCapacity(quarantineCapacity, quarantineFPRate, c.cfg.QuarantineSeed^0x9aa7)
+		if err != nil {
+			return fmt.Errorf("smc: quarantine filter: %w", err)
+		}
+		c.quarantine = f
+	}
+	if !c.quarantine.Contains(rowKey(a.Bank, a.Row)) {
+		c.quarantine.Add(rowKey(a.Bank, a.Row))
+		c.stats.QuarantinedRows++
+	}
+	return nil
+}
+
+// emitMitigation feeds an activation to the mitigation policy and refreshes
+// each nominated victim row by activation (ACT, tRAS, PRE, tRP) ahead of the
+// target row's own ACT. The returned latency joins the access's activation
+// latency: mitigation delays the row open, which is exactly its cost.
+func (c *BaseController) emitMitigation(env *Env, b *bender.Builder, bank, row int) clock.PS {
+	c.mitBuf = c.mit.OnActivate(bank, row, c.mitBuf[:0])
+	var lat clock.PS
+	for _, v := range c.mitBuf {
+		b.ACT(bank, v)
+		b.Wait(c.p.TRAS - c.p.Bus.Period())
+		b.PRE(bank)
+		b.Wait(c.p.TRP - c.p.Bus.Period())
+		lat += c.p.TRAS + c.p.TRP
+		c.stats.MitigationRefreshes++
+	}
+	return lat
+}
+
+// execAccess runs the built access program, re-flushing it on injected
+// transient launch failures (the builder still holds the program — see
+// Tile.Exec). The fault-free path is a single nil-latency branch.
+func (c *BaseController) execAccess(env *Env) (bender.Result, error) {
+	res, err := env.ExecAccess()
+	if err != nil || !res.LaunchFailed {
+		return res, err
+	}
+	return c.retryLaunch(env, env.ExecAccess)
+}
+
+// exec is execAccess for programs whose readback is consumed (profiling).
+func (c *BaseController) exec(env *Env) (bender.Result, error) {
+	res, err := env.Exec()
+	if err != nil || !res.LaunchFailed {
+		return res, err
+	}
+	return c.retryLaunch(env, env.Exec)
+}
+
+// retryLaunch re-flushes a program whose launch transiently failed, with
+// exponential emulated-time backoff. Exhausting the budget is a hard error:
+// a host link that fails MaxRetries+1 consecutive launches is dead, and the
+// emulation cannot meaningfully continue past it (at the default 1e-4 fail
+// rate the chance is ~1e-16 per program).
+func (c *BaseController) retryLaunch(env *Env, exec func() (bender.Result, error)) (bender.Result, error) {
+	if !c.recov.Enabled {
+		return bender.Result{}, fmt.Errorf("smc: Bender launch failed with recovery disabled")
+	}
+	backoff := c.recov.Backoff
+	for attempt := 0; attempt < c.recov.MaxRetries; attempt++ {
+		c.stats.Retries++
+		env.AddService(backoff, backoff)
+		res, err := exec()
+		if err != nil || !res.LaunchFailed {
+			return res, err
+		}
+		backoff *= 2
+	}
+	c.stats.RetryGiveUps++
+	return bender.Result{}, fmt.Errorf("smc: Bender launch failed %d times; giving up", c.recov.MaxRetries+1)
+}
+
+// retryRead is the verify-and-retry read path: the chip flagged this access's
+// readback unreliable, so re-read the line after an exponential emulated-time
+// backoff, up to the configured attempt budget. Transient faults clear on a
+// retry; a stuck-at line never does and runs the budget out into a give-up
+// (the caller then quarantines the row). The re-read RDs the bank's open row,
+// so it targets the remapped row when quarantine redirected the access.
+func (c *BaseController) retryRead(env *Env, a dram.Addr, occ, lat *clock.PS) (bool, error) {
+	costs := env.Tile().Costs()
+	b := env.Tile().Builder()
+	backoff := c.recov.Backoff
+	for attempt := 0; attempt < c.recov.MaxRetries; attempt++ {
+		c.stats.Retries++
+		b.Wait(backoff)
+		b.RD(a.Bank, a.Col)
+		res, err := c.execAccess(env)
+		if err != nil {
+			return false, err
+		}
+		env.Charge(costs.ReadbackPerLine)
+		*occ += backoff + c.p.TBL
+		*lat += backoff + c.p.TCL + c.p.TBL
+		if res.UnreliableReads == 0 {
+			return true, nil
+		}
+		backoff *= 2
+	}
+	c.stats.RetryGiveUps++
+	return false, nil
+}
+
 // serveAccess serves a cache-line read or write with an open-row policy.
 func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 	costs := env.Tile().Costs()
@@ -405,19 +599,38 @@ func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 	b := env.Tile().Builder()
 
 	actLatency := c.emitAccess(env, b, a, isWrite)
-	if _, err := env.ExecAccess(); err != nil {
+	res, err := c.execAccess(env)
+	if err != nil {
 		return err
 	}
 	// Occupancy: row preparation (when needed) plus the data burst. The
 	// CAS pipeline tail overlaps other requests, so it contributes to the
 	// response latency only.
 	occ := actLatency + c.p.TBL
+	lat := actLatency
+	ok := true
 	if isWrite {
-		env.AddService(occ, actLatency+c.p.TCWL+c.p.TBL)
+		lat += c.p.TCWL + c.p.TBL
 	} else {
 		env.Charge(costs.ReadbackPerLine)
-		env.AddService(occ, actLatency+c.p.TCL+c.p.TBL)
+		lat += c.p.TCL + c.p.TBL
+		if c.recov.Enabled && res.UnreliableReads > 0 {
+			// Verify-and-retry: the chip flagged the readback. On give-up the
+			// quarantine keys on the request's own row — the coordinate future
+			// accesses arrive under — not the spare row a remap may have
+			// redirected this access to (emitAccess remaps its own copy).
+			ok, err = c.retryRead(env, a, &occ, &lat)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				if err := c.quarantineRow(a); err != nil {
+					return err
+				}
+			}
+		}
 	}
+	env.AddService(occ, lat)
 	if c.cfg.Policy == ClosedPage {
 		// Auto-precharge: close the row right after the column access.
 		// The precharge overlaps subsequent commands to other banks, so it
@@ -426,12 +639,12 @@ func (c *BaseController) serveAccess(env *Env, ent Entry, isWrite bool) error {
 		pb := env.Tile().Builder()
 		pb.Wait(c.p.TRTP)
 		pb.PRE(a.Bank)
-		if _, err := env.ExecAccess(); err != nil {
+		if _, err := c.execAccess(env); err != nil {
 			return err
 		}
 		c.openRows[a.Bank] = -1
 	}
-	env.Respond(ent.ID, true)
+	env.Respond(ent.ID, ok)
 	env.Tile().Release(ent.Slot)
 	return nil
 }
@@ -579,7 +792,7 @@ func (c *BaseController) serveRowClone(env *Env, ent Entry) error {
 		b.Wait(c.p.TRP - c.p.Bus.Period())
 	}
 	b.RowClone(src.Bank, src.Row, dst.Row)
-	res, err := env.Exec()
+	res, err := c.exec(env)
 	if err != nil {
 		return err
 	}
@@ -609,7 +822,7 @@ func (c *BaseController) serveBitwise(env *Env, ent Entry) error {
 		b.Wait(c.p.TRP - c.p.Bus.Period())
 	}
 	b.BitwiseMAJ(r1.Bank, r1.Row, r2.Row)
-	res, err := env.Exec()
+	res, err := c.exec(env)
 	if err != nil {
 		return err
 	}
@@ -630,28 +843,47 @@ func (c *BaseController) serveProfile(env *Env, ent Entry) error {
 	rcd := env.Tile().Req(ent.Slot).RCD
 	c.stats.Profiles++
 	b := env.Tile().Builder()
-	if c.openRows[a.Bank] >= 0 {
-		b.PRE(a.Bank)
-		b.Wait(c.p.TRP - c.p.Bus.Period())
-	}
-	// Initialize the target cache line with the known pattern, then access
-	// it with the requested (reduced) tRCD.
-	b.ProfileLine(a, c.profilePattern[:], rcd)
-
-	res, err := env.Exec()
-	if err != nil {
-		return err
-	}
-	c.openRows[a.Bank] = -1
-	env.Charge(costs.ReadbackPerLine + costs.ProfileCompare)
-	env.AddService(res.Elapsed, res.Elapsed)
-
-	// Compare the readback against the pattern.
-	rb := env.Readback()
+	backoff := c.recov.Backoff
 	ok := false
-	if len(rb) > 0 {
-		last := rb[len(rb)-1]
-		ok = last.Reliable && bytes.Equal(last.Data[:], c.profilePattern[:])
+	for attempt := 0; ; attempt++ {
+		if c.openRows[a.Bank] >= 0 {
+			b.PRE(a.Bank)
+			b.Wait(c.p.TRP - c.p.Bus.Period())
+		}
+		// Initialize the target cache line with the known pattern, then
+		// access it with the requested (reduced) tRCD.
+		b.ProfileLine(a, c.profilePattern[:], rcd)
+
+		prev := len(env.Readback())
+		res, err := c.exec(env)
+		if err != nil {
+			return err
+		}
+		c.openRows[a.Bank] = -1
+		env.Charge(costs.ReadbackPerLine + costs.ProfileCompare)
+		env.AddService(res.Elapsed, res.Elapsed)
+
+		// Compare the readback against the pattern.
+		rb := env.Readback()
+		if len(rb) > prev {
+			last := rb[len(rb)-1]
+			if !last.LinkCorrupt {
+				ok = last.Reliable && bytes.Equal(last.Data[:], c.profilePattern[:])
+				break
+			}
+		}
+		// The host link dropped or corrupted the probe's readback: the
+		// profiling verdict would be meaningless, so re-probe after a backoff.
+		if !c.recov.Enabled {
+			break
+		}
+		if attempt >= c.recov.MaxRetries {
+			c.stats.RetryGiveUps++
+			break
+		}
+		c.stats.Retries++
+		env.AddService(backoff, backoff)
+		backoff *= 2
 	}
 	env.Respond(ent.ID, ok)
 	env.Tile().Release(ent.Slot)
@@ -683,35 +915,55 @@ func (c *BaseController) serveProfileRow(env *Env, ent Entry) error {
 	}
 	c.stats.ProfileRows += int64(rows)
 	c.stats.ProfiledLines += int64(rows * cols)
-	b := env.Tile().Builder()
-	if c.openRows[a.Bank] >= 0 {
-		b.PRE(a.Bank)
-		b.Wait(c.p.TRP - c.p.Bus.Period())
-	}
-	b.ProfileRowStripe(a.Bank, a.Row, rows, cols, c.profilePattern[:], rcd)
+	total := rows * cols
 
 	// Execute via the tile directly and scan its readback in place: a
 	// 64-row stripe reads back half a megabyte, and the Env's usual
 	// buffer-the-readback copy would double the cache traffic for lines
 	// this routine consumes immediately. Exec costs are charged as Env.Exec
-	// charges them.
-	n := b.Len()
-	env.Charge(costs.BuildPerInstr*n + costs.FlushLaunch + costs.FlushPerInstr*n)
-	res, rb, err := env.Tile().Exec()
-	if err != nil {
-		return fmt.Errorf("smc: %w", err)
+	// charges them. A stripe whose readback the host link mangled (short or
+	// carrying a corrupt line) is re-profiled whole after a backoff: per-line
+	// verdicts from a damaged transfer are meaningless.
+	var rb []bender.ReadLine
+	backoff := c.recov.Backoff
+	for attempt := 0; ; attempt++ {
+		b := env.Tile().Builder()
+		if c.openRows[a.Bank] >= 0 {
+			b.PRE(a.Bank)
+			b.Wait(c.p.TRP - c.p.Bus.Period())
+		}
+		b.ProfileRowStripe(a.Bank, a.Row, rows, cols, c.profilePattern[:], rcd)
+
+		n := b.Len()
+		env.Charge(costs.BuildPerInstr*n + costs.FlushLaunch + costs.FlushPerInstr*n)
+		var res bender.Result
+		var err error
+		res, rb, err = c.tileExec(env)
+		if err != nil {
+			return err
+		}
+		env.AddBenderWall(res.Elapsed)
+		c.openRows[a.Bank] = -1
+		env.Charge((costs.ReadbackPerLine + costs.ProfileCompare) * rows * cols)
+		env.AddService(res.Elapsed, res.Elapsed)
+
+		if !c.recov.Enabled || !stripeCorrupt(rb, total) {
+			break
+		}
+		if attempt >= c.recov.MaxRetries {
+			c.stats.RetryGiveUps++
+			break
+		}
+		c.stats.Retries++
+		env.AddService(backoff, backoff)
+		backoff *= 2
 	}
-	env.AddBenderWall(res.Elapsed)
-	c.openRows[a.Bank] = -1
-	env.Charge((costs.ReadbackPerLine + costs.ProfileCompare) * rows * cols)
-	env.AddService(res.Elapsed, res.Elapsed)
 
 	// The program's only reads are the per-column test reads, in (row,
 	// column) order. Per covered row, count its leading reliable lines (the
 	// per-line path's stop-at-first-failure accounting); the request passes
 	// when every line of every row is reliable. Lines reports the leading
 	// reliable lines of the whole stripe for single-row compatibility.
-	total := rows * cols
 	okLines := 0
 	rowLines := make([]int, rows)
 	if len(rb) >= total {
@@ -737,6 +989,56 @@ func (c *BaseController) serveProfileRow(env *Env, ent Entry) error {
 	env.RespondLines(ent.ID, okLines == total, okLines, rowLines)
 	env.Tile().Release(ent.Slot)
 	return nil
+}
+
+// tileExec runs the built program via the tile directly (bulk profiling
+// consumes the tile's readback in place instead of buffering it through the
+// Env), re-flushing on injected transient launch failures like retryLaunch.
+func (c *BaseController) tileExec(env *Env) (bender.Result, []bender.ReadLine, error) {
+	res, rb, err := env.Tile().Exec()
+	if err != nil {
+		return res, rb, fmt.Errorf("smc: %w", err)
+	}
+	if !res.LaunchFailed {
+		return res, rb, nil
+	}
+	if !c.recov.Enabled {
+		return res, rb, fmt.Errorf("smc: Bender launch failed with recovery disabled")
+	}
+	costs := env.Tile().Costs()
+	backoff := c.recov.Backoff
+	for attempt := 0; attempt < c.recov.MaxRetries; attempt++ {
+		c.stats.Retries++
+		env.AddService(backoff, backoff)
+		// The program is still in the builder; charge the re-flush alone.
+		n := env.Tile().Builder().Len()
+		env.Charge(costs.FlushLaunch + costs.FlushPerInstr*n)
+		res, rb, err = env.Tile().Exec()
+		if err != nil {
+			return res, rb, fmt.Errorf("smc: %w", err)
+		}
+		if !res.LaunchFailed {
+			return res, rb, nil
+		}
+		backoff *= 2
+	}
+	c.stats.RetryGiveUps++
+	return res, rb, fmt.Errorf("smc: Bender launch failed %d times; giving up", c.recov.MaxRetries+1)
+}
+
+// stripeCorrupt reports whether the host link mangled a bulk-profiling
+// readback: the stripe came back short, or a surviving line carries the
+// link-corruption mark.
+func stripeCorrupt(rb []bender.ReadLine, total int) bool {
+	if len(rb) < total {
+		return true
+	}
+	for i := len(rb) - total; i < len(rb); i++ {
+		if rb[i].LinkCorrupt {
+			return true
+		}
+	}
+	return false
 }
 
 var _ Controller = (*BaseController)(nil)

@@ -8,11 +8,13 @@
 package tile
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"easydram/internal/bender"
 	"easydram/internal/clock"
 	"easydram/internal/dram"
+	"easydram/internal/fault"
 	"easydram/internal/mem"
 )
 
@@ -64,6 +66,13 @@ type Stats struct {
 	MaxQueueLen  int
 	ProgramsRun  int64
 	InstrsRun    int64
+	// Host-link fault injection counters (zero without a link model):
+	// LaunchFails counts transiently failed Bender launches, CorruptLines
+	// readback lines corrupted in flight, ShortReadbacks drains truncated
+	// by their final line.
+	LaunchFails    int64
+	CorruptLines   int64
+	ShortReadbacks int64
 }
 
 // Accumulate adds o's counters into s (multi-channel systems sum their
@@ -76,6 +85,9 @@ func (s *Stats) Accumulate(o Stats) {
 	}
 	s.ProgramsRun += o.ProgramsRun
 	s.InstrsRun += o.InstrsRun
+	s.LaunchFails += o.LaunchFails
+	s.CorruptLines += o.CorruptLines
+	s.ShortReadbacks += o.ShortReadbacks
 }
 
 // ReqSlot is a dense index into a Tile's pooled request slab. Requests are
@@ -128,6 +140,10 @@ type Tile struct {
 	// Chip().Timing() copies the whole Params struct — measurable per
 	// program on the service hot path).
 	busPeriod clock.PS
+
+	// link is the host-link fault model (nil without injection — the exec
+	// path then pays a single nil check).
+	link *fault.LinkModel
 }
 
 // New builds a tile over the given chip.
@@ -209,14 +225,35 @@ func (t *Tile) PopRequest() (ReqSlot, bool) {
 	return idx, true
 }
 
+// SetFaultLink installs a host-link fault model (nil disables injection).
+func (t *Tile) SetFaultLink(m *fault.LinkModel) { t.link = m }
+
 // Exec runs the builder's current program on DRAM Bender, advancing the
 // DRAM-bus cursor, and returns the result plus drained readback lines.
+// With a link model installed, the drained readback may come back short by
+// its final line or with one line corrupted (marked LinkCorrupt).
 func (t *Tile) Exec() (bender.Result, []bender.ReadLine, error) {
 	res, err := t.exec(false)
-	if err != nil {
+	if err != nil || res.LaunchFailed {
 		return res, nil, err
 	}
-	return res, t.engine.DrainReadback(), nil
+	rb := t.engine.DrainReadback()
+	if t.link != nil && len(rb) > 0 {
+		if t.link.DropTail() {
+			rb = rb[:len(rb)-1]
+			t.stats.ShortReadbacks++
+		}
+	}
+	if t.link != nil && len(rb) > 0 {
+		if idx, mask, ok := t.link.CorruptReadback(len(rb)); ok {
+			line := &rb[idx]
+			v := binary.LittleEndian.Uint64(line.Data[:8])
+			binary.LittleEndian.PutUint64(line.Data[:8], v^mask)
+			line.LinkCorrupt = true
+			t.stats.CorruptLines++
+		}
+	}
+	return res, rb, nil
 }
 
 // ExecDiscardReads runs the builder's current program like Exec but drops
@@ -227,6 +264,14 @@ func (t *Tile) ExecDiscardReads() (bender.Result, error) {
 }
 
 func (t *Tile) exec(discard bool) (bender.Result, error) {
+	if t.link != nil && t.link.FailLaunch() {
+		// Transient launch failure: the program never reaches Bender. The
+		// builder is NOT reset and the cursor does not advance, so the
+		// controller can re-flush the identical program; the modeled retry
+		// backoff is the controller's to charge.
+		t.stats.LaunchFails++
+		return bender.Result{LaunchFailed: true}, nil
+	}
 	prog := t.builder.Program()
 	var res bender.Result
 	var err error
