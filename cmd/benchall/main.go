@@ -19,6 +19,7 @@ import (
 
 	"easydram"
 	"easydram/internal/core"
+	"easydram/internal/difffuzz"
 	"easydram/internal/experiments"
 	"easydram/internal/smc"
 	"easydram/internal/stats"
@@ -283,6 +284,23 @@ func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 			return nil
 		}},
 		{"substrate", func() error { return substrateMetrics(snap) }},
+		// Last on purpose: the sweep churns through hundreds of full system
+		// runs, and the heap it grows would inflate the substrate
+		// microbenchmarks' GC share if it ran before them.
+		{"difffuzz", func() error {
+			section("Extension — differential fuzz sweep (seeded config space vs direct simulation)")
+			res := difffuzz.Sweep(difffuzz.SweepOptions{Seed: difffuzz.DefaultSeed, Workers: opt.Workers})
+			fmt.Fprintln(w, res.Summary())
+			if len(res.Failures) > 0 {
+				r := res.Reports[res.Failures[0]]
+				return fmt.Errorf("difffuzz: %d of %d cases failed (first: seed %#x %s: %s)",
+					len(res.Failures), len(res.Reports), r.Case.Seed, r.Failure.Check, r.Failure.Detail)
+			}
+			snap.Metrics["difffuzz/configs_checked"] = float64(len(res.Reports))
+			snap.Metrics["difffuzz/max_err_pct"] = res.MaxErrPct
+			snap.Metrics["difffuzz/avg_err_pct"] = res.AvgErrPct
+			return nil
+		}},
 	}
 	for _, s := range sections {
 		if err := timed(s.name, s.run); err != nil {

@@ -15,7 +15,9 @@
 // exactly zero: the service loops are zero-alloc by construction and any
 // nonzero value is a code regression regardless of host or baseline. The
 // same absolute gate guards faults/trr_escaped_flips — the TRR mitigation's
-// zero-flip guarantee is structural, not statistical. Host-parallelism
+// zero-flip guarantee is structural, not statistical — and, as a fixed
+// ceiling rather than a zero check, difffuzz/max_err_pct, which must stay
+// under the paper's 1% validation envelope. Host-parallelism
 // metrics (experiments/workers_speedup_4x) additionally require both
 // snapshots to record enough host CPUs (host_cpus) to express the measured
 // parallelism; otherwise they warn.
@@ -60,6 +62,12 @@ type gatedMetric struct {
 	// 1-core runner cannot express a 4-worker speedup, so judging it there
 	// would fail every merge on hardware grounds.
 	minHostCPUs int
+	// mustBeBelow, when nonzero, gates the fresh value against that
+	// absolute ceiling, baseline or not, on any machine shape. Paper-bound
+	// accuracy metrics use this: the differential sweep is a pure function
+	// of its seed, so a cycle error at or past the published envelope is a
+	// fidelity regression on any host.
+	mustBeBelow float64
 }
 
 // trendMetrics is the set of gated substrate metrics.
@@ -99,6 +107,11 @@ var trendMetrics = map[string]gatedMetric{
 	"smc/avg_burst_len":                   {lowerIsBetter: false},
 	"characterization/rows_per_sec":       {lowerIsBetter: false, machineDependent: true},
 	"characterization/roundtrips_per_row": {lowerIsBetter: true},
+	// The differential sweep's worst fault-free cycle error across the
+	// tier-1 config slice must stay inside the paper's <1% validation
+	// envelope (§6). The sweep is deterministic (fixed seed, modeled time
+	// only), so the bound holds machine-independently.
+	"difffuzz/max_err_pct": {mustBeBelow: 1.0},
 }
 
 type snapshot struct {
@@ -207,6 +220,25 @@ func main() {
 				baseStr = fmt.Sprintf("%.1f", bv)
 			}
 			fmt.Printf("  %-40s %14s -> %14.1f  (gate: == 0)  %s\n", m, baseStr, nv, status)
+			continue
+		}
+		if gm.mustBeBelow > 0 {
+			// Absolute ceiling: judged against the threshold, with or
+			// without a baseline value, on any machine shape.
+			if !inNew {
+				continue
+			}
+			compared++
+			status := "ok"
+			if nv >= gm.mustBeBelow {
+				status = "REGRESSION (over ceiling)"
+				regressions = append(regressions, m)
+			}
+			baseStr := "n/a"
+			if inBase {
+				baseStr = fmt.Sprintf("%.4f", bv)
+			}
+			fmt.Printf("  %-40s %14s -> %14.4f  (gate: < %g)  %s\n", m, baseStr, nv, gm.mustBeBelow, status)
 			continue
 		}
 		if !inBase || !inNew || bv == 0 {

@@ -64,6 +64,69 @@ func TestFalsePositiveRateApprox(t *testing.T) {
 	}
 }
 
+// splitmix64 generates the deterministic, well-spread key streams the
+// design-load tests fill filters with (arbitrary uint64 keys, unlike the
+// stride patterns above).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TestFalsePositiveRateAtDesignLoad fills filters to EXACTLY their design
+// capacity — the load NewForCapacity sized them for — and requires the
+// measured false-positive rate to stay near each design target. The 3x
+// slack covers sampling noise and the integer rounding of m and k; an
+// implementation error (bad mixing, wrong k, off-by-one sizing) blows past
+// it immediately.
+func TestFalsePositiveRateAtDesignLoad(t *testing.T) {
+	const n = 5000
+	const probes = 100000
+	for _, target := range []float64{0.05, 0.01, 0.001} {
+		flt, err := NewForCapacity(n, target, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			flt.Add(splitmix64(uint64(i)))
+		}
+		fp := 0
+		for i := 0; i < probes; i++ {
+			// Disjoint key stream: the insert stream hashes i, this hashes a
+			// salted counter far outside it.
+			if flt.Contains(splitmix64(uint64(i) ^ 0xabcdef0000000000)) {
+				fp++
+			}
+		}
+		rate := float64(fp) / probes
+		t.Logf("target %.3f: measured %.5f (%d/%d)", target, rate, fp, probes)
+		if rate > 3*target {
+			t.Errorf("false-positive rate %.5f at design load exceeds 3x the %.3f target", rate, target)
+		}
+	}
+}
+
+// TestNoFalseNegativesAtDesignLoad is the deterministic large-set
+// companion to the quick.Check property above: a filter filled to design
+// capacity must report every inserted key present — the guarantee the
+// SMC's quarantine path (a quarantined row MUST keep remapping) rests on.
+func TestNoFalseNegativesAtDesignLoad(t *testing.T) {
+	const n = 10000
+	flt, err := NewForCapacity(n, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		flt.Add(splitmix64(uint64(i) * 0x10001))
+	}
+	for i := 0; i < n; i++ {
+		if k := splitmix64(uint64(i) * 0x10001); !flt.Contains(k) {
+			t.Fatalf("false negative: inserted key %d (%#x) reported absent", i, k)
+		}
+	}
+}
+
 func TestSizingScalesWithCapacity(t *testing.T) {
 	small, err := NewForCapacity(10, 0.01, 1)
 	if err != nil {

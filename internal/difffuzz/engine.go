@@ -1,0 +1,331 @@
+package difffuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"easydram/internal/clock"
+	"easydram/internal/core"
+	"easydram/internal/fault"
+	"easydram/internal/ramulator"
+)
+
+// EnvelopeMaxPct is the paper's per-config cycle-error bound (Figure 13:
+// every kernel under 1%); EnvelopeAvgPct the sweep-average bound (§6).
+const (
+	EnvelopeMaxPct = 1.0
+	EnvelopeAvgPct = 0.1
+)
+
+// EnvelopeMinCycles floors envelope judgment: a baseline run shorter than
+// this cannot amortize the engines' constant ~20-cycle startup/drain
+// difference, so its relative error measures quantization, not fidelity
+// (the paper validates on full kernels for the same reason). Shorter
+// comparable runs are demoted to invariants-only.
+const EnvelopeMinCycles = 4096
+
+// maxProcCycles aborts runaway cases (a broken mutation can livelock a
+// scheduler); two billion emulated cycles is ~4 orders of magnitude above
+// the largest pool kernel.
+const maxProcCycles = clock.Cycles(2_000_000_000)
+
+// Failure describes one failed check, named so a minimized case can be
+// required to reproduce the SAME failure (minimize.go) and a regression
+// file records what it once broke.
+type Failure struct {
+	// Check identifies the oracle: "decode", "run", "conservation",
+	// "rank-bus", "fault-counters", "trr-escape", "determinism",
+	// "burst-identity", "armed-idle", "envelope".
+	Check string `json:"check"`
+	// Detail is the human-readable mismatch.
+	Detail string `json:"detail"`
+}
+
+func failf(check, format string, args ...any) *Failure {
+	return &Failure{Check: check, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Report is one case's verdict.
+type Report struct {
+	Case Case `json:"case"`
+	// Comparable marks cases judged against the baseline envelope
+	// (time-scaled, zero injection).
+	Comparable bool `json:"comparable"`
+	// ErrPct is the EasyDRAM-vs-baseline cycle error (comparable cases).
+	ErrPct float64 `json:"err_pct"`
+	// ProcCycles / BaselineCycles are the two stacks' primary metrics.
+	ProcCycles     int64 `json:"proc_cycles"`
+	BaselineCycles int64 `json:"baseline_cycles,omitempty"`
+	// Runs counts full system runs the case consumed.
+	Runs int `json:"runs"`
+	// Failure is nil when every applicable check passed.
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// Comparable reports whether the case is judged against the cycle-error
+// envelope: time scaling on (the paper's mode; the baseline direct
+// simulation is its reference) and no fault injection (faults perturb the
+// two stacks differently by design — retry backoff is emulated time).
+func (c Case) Comparable() bool {
+	return c.TimeScaling && !c.Faults.Enabled()
+}
+
+// runOnce assembles a fresh system for the case and runs its kernel.
+// mutate is the test-only breakage hook (applied to the EasyDRAM side
+// only, never the baseline); transform derives the run variant (burst-off,
+// armed-idle, baseline). A fresh core.Config per run is load-bearing:
+// stateful schedulers (BLISS) must never be shared between runs.
+func runOnce(c Case, mutate, transform func(*core.Config)) (core.Result, error) {
+	k, err := c.Workload()
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg, err := c.SystemConfig()
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg.MaxProcCycles = maxProcCycles
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if transform != nil {
+		transform(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.Run(k.Stream())
+}
+
+// resultDigest canonicalizes a result for bit-identity comparison. JSON is
+// fine here: every field is integer or a float computed identically on
+// both sides, so equal runs produce equal bytes.
+func resultDigest(r core.Result) string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "unencodable: " + err.Error()
+	}
+	return string(b)
+}
+
+// emulatedIdentity projects a result onto the fields burst-on/off service
+// must agree on: everything in emulated time plus every counter except the
+// burst bookkeeping itself and the host-side program/instruction counts
+// (one burst program replaces several serial ones by design).
+type emulatedIdentity struct {
+	ProcCycles   clock.Cycles
+	EmulatedTime clock.PS
+	Marks        []clock.Cycles
+	CPU          any
+	L1, L2       any
+	Served       int64
+	Reads        int64
+	Writes       int64
+	RowClones    int64
+	Refreshes    int64
+	RowHits      int64
+	RowMisses    int64
+	RankSwitches int64
+	Retries      int64
+	RetryGiveUps int64
+	Quarantined  int64
+	Remapped     int64
+	MitRefreshes int64
+	Chip         any
+	RequestsIn   int64
+	ResponsesOut int64
+}
+
+func projectEmulated(r core.Result) string {
+	p := emulatedIdentity{
+		ProcCycles:   r.ProcCycles,
+		EmulatedTime: r.EmulatedTime,
+		Marks:        r.Marks,
+		CPU:          r.CPU,
+		L1:           r.L1,
+		L2:           r.L2,
+		Served:       r.Ctrl.Served,
+		Reads:        r.Ctrl.Reads,
+		Writes:       r.Ctrl.Writes,
+		RowClones:    r.Ctrl.RowClones,
+		Refreshes:    r.Ctrl.Refreshes,
+		RowHits:      r.Ctrl.RowHits,
+		RowMisses:    r.Ctrl.RowMisses,
+		RankSwitches: r.Ctrl.RankSwitches,
+		Retries:      r.Ctrl.Retries,
+		RetryGiveUps: r.Ctrl.RetryGiveUps,
+		Quarantined:  r.Ctrl.QuarantinedRows,
+		Remapped:     r.Ctrl.RemappedAccesses,
+		MitRefreshes: r.Ctrl.MitigationRefreshes,
+		Chip:         r.Chip,
+		RequestsIn:   r.Tile.RequestsIn,
+		ResponsesOut: r.Tile.ResponsesOut,
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return "unencodable: " + err.Error()
+	}
+	return string(b)
+}
+
+// checkInvariants runs the oracle-free checks every config must satisfy.
+func checkInvariants(c Case, r core.Result) *Failure {
+	// Request conservation across the three seams: every request the CPU
+	// issued entered a tile, was served by a controller, and produced a
+	// response that released its slot.
+	issued := r.CPU.MemReads + r.CPU.MemFills + r.CPU.Writebacks +
+		r.CPU.Flushes + r.CPU.RowClones + r.CPU.Prefetches
+	if issued != r.Tile.RequestsIn || r.Tile.RequestsIn != r.Tile.ResponsesOut ||
+		r.Ctrl.Served != r.Tile.RequestsIn {
+		return failf("conservation",
+			"cpu issued %d, tile in %d, tile out %d, ctrl served %d — requests leaked or duplicated",
+			issued, r.Tile.RequestsIn, r.Tile.ResponsesOut, r.Ctrl.Served)
+	}
+	// The shared rank bus never admits a CAS inside the rank-to-rank
+	// turnaround window.
+	if r.Chip.RankSwitchViolations != 0 {
+		return failf("rank-bus", "%d rank-switch violations on a %d-rank channel",
+			r.Chip.RankSwitchViolations, c.Ranks)
+	}
+	// Fault counters stay zero when their injection axis is off.
+	if c.Faults.DisturbThreshold == 0 && r.Chip.DisturbFlips != 0 {
+		return failf("fault-counters", "disturb disabled but %d flips recorded", r.Chip.DisturbFlips)
+	}
+	if !c.Faults.Enabled() {
+		if n := r.Ctrl.Retries + r.Ctrl.RetryGiveUps + r.Ctrl.QuarantinedRows + r.Ctrl.RemappedAccesses; n != 0 {
+			return failf("fault-counters", "fault-free run recorded recovery activity (%d events)", n)
+		}
+		if n := r.Tile.LaunchFails + r.Tile.CorruptLines + r.Tile.ShortReadbacks; n != 0 {
+			return failf("fault-counters", "fault-free run recorded %d link faults", n)
+		}
+	}
+	// TRR's structural guarantee: its counter policy refreshes every victim
+	// before 2*threshold activations, so with the chip's minimum disturb
+	// threshold above that (the decoder and minimizer preserve this), no
+	// flip can escape. PARA is probabilistic and gets no such check.
+	if c.Mitigation == "trr" && c.Faults.DisturbThreshold >= 64 && r.Chip.DisturbFlips != 0 {
+		return failf("trr-escape", "TRR let %d flips escape (disturb threshold %d)",
+			r.Chip.DisturbFlips, c.Faults.DisturbThreshold)
+	}
+	return nil
+}
+
+// armIdleFaults is the armed-but-idle transform: the full fault and
+// recovery machinery is wired into the system, but thresholds and rates
+// guarantee zero injections, so the run must be bit-identical in emulated
+// time to the fault-free build — the "fault seams cost nothing when idle"
+// contract PR 6 pinned on the golden configs, here fuzzed across the space.
+func armIdleFaults(cfg *core.Config) {
+	cfg.Faults = fault.Config{
+		Chip: fault.ChipConfig{
+			DisturbEnabled:      true,
+			DisturbMinThreshold: 1 << 30,
+		},
+		Recovery: fault.RecoveryConfig{Enabled: true},
+	}
+}
+
+// RunCase runs every applicable check for one case. mutate, when non-nil,
+// is applied to each EasyDRAM-side config (never the baseline): the tests
+// use it to plant a deliberately broken scheduler and prove the harness
+// catches it.
+func RunCase(c Case, mutate func(*core.Config)) Report {
+	rep := Report{Case: c, Comparable: c.Comparable()}
+
+	main, err := runOnce(c, mutate, nil)
+	rep.Runs++
+	if err != nil {
+		rep.Failure = failf("run", "%v", err)
+		return rep
+	}
+	rep.ProcCycles = int64(main.ProcCycles)
+
+	if f := checkInvariants(c, main); f != nil {
+		rep.Failure = f
+		return rep
+	}
+
+	// Run-to-run determinism. Every fault draw and schedule decision is a
+	// pure function of config and request stream, so a second identical run
+	// must reproduce the first bit-for-bit. Multi-channel fan-out and fault
+	// models carry the interesting state; restricting the double-run to
+	// those keeps the sweep's run budget flat.
+	if c.Channels > 1 || c.Faults.Enabled() {
+		again, err := runOnce(c, mutate, nil)
+		rep.Runs++
+		if err != nil {
+			rep.Failure = failf("determinism", "rerun failed: %v", err)
+			return rep
+		}
+		if a, b := resultDigest(main), resultDigest(again); a != b {
+			rep.Failure = failf("determinism", "identical config produced different results:\n  %s\nvs\n  %s", a, b)
+			return rep
+		}
+	}
+
+	// Burst-on ≡ burst-off: row-hit burst service is a host-time
+	// optimisation that must not move emulated time or any served-request
+	// counter. Link faults draw per Bender program and bursting changes the
+	// program count, so those cases legitimately diverge and are skipped.
+	if c.BurstCap > 1 && c.Faults.LinkFailRate == 0 && c.Faults.LinkCorruptRate == 0 && c.Faults.LinkDropRate == 0 {
+		serial, err := runOnce(c, mutate, func(cfg *core.Config) { cfg.BurstCap = 0 })
+		rep.Runs++
+		if err != nil {
+			rep.Failure = failf("burst-identity", "serial counterpart failed: %v", err)
+			return rep
+		}
+		if a, b := projectEmulated(main), projectEmulated(serial); a != b {
+			rep.Failure = failf("burst-identity", "burst cap %d changed emulated results:\n  burst:  %s\n  serial: %s",
+				c.BurstCap, a, b)
+			return rep
+		}
+	}
+
+	// Zero faults ≡ armed-but-idle: arming the full recovery + disturb
+	// machinery with unreachable thresholds must not change emulated time.
+	if !c.Faults.Enabled() {
+		armed, err := runOnce(c, mutate, armIdleFaults)
+		rep.Runs++
+		if err != nil {
+			rep.Failure = failf("armed-idle", "armed counterpart failed: %v", err)
+			return rep
+		}
+		if main.ProcCycles != armed.ProcCycles || main.GlobalCycles != armed.GlobalCycles ||
+			main.Ctrl.Served != armed.Ctrl.Served ||
+			main.Ctrl.RowHits != armed.Ctrl.RowHits || main.Ctrl.RowMisses != armed.Ctrl.RowMisses {
+			rep.Failure = failf("armed-idle",
+				"armed-but-idle faults changed the run: cycles %d vs %d, served %d vs %d, hits %d/%d vs %d/%d",
+				main.ProcCycles, armed.ProcCycles, main.Ctrl.Served, armed.Ctrl.Served,
+				main.Ctrl.RowHits, main.Ctrl.RowMisses, armed.Ctrl.RowHits, armed.Ctrl.RowMisses)
+			return rep
+		}
+	}
+
+	// The paper's envelope: EasyDRAM's time-scaled cycle count vs the same
+	// system simulated directly (the Ramulator role). Only the EasyDRAM
+	// side takes the mutate hook, so a planted bug shows up as divergence.
+	if rep.Comparable {
+		base, err := runOnce(c, nil, func(cfg *core.Config) { *cfg = ramulator.Baseline(*cfg) })
+		rep.Runs++
+		if err != nil {
+			rep.Failure = failf("envelope", "baseline run failed: %v", err)
+			return rep
+		}
+		rep.BaselineCycles = int64(base.ProcCycles)
+		if base.ProcCycles < EnvelopeMinCycles {
+			// Too little work to measure a relative envelope; the case keeps
+			// its invariant verdicts but is not envelope-judged.
+			rep.Comparable = false
+			return rep
+		}
+		rep.ErrPct = 100 * math.Abs(float64(main.ProcCycles)-float64(base.ProcCycles)) / float64(base.ProcCycles)
+		if rep.ErrPct >= EnvelopeMaxPct {
+			rep.Failure = failf("envelope", "cycle error %.4f%% >= %.1f%% (easydram %d vs baseline %d cycles)",
+				rep.ErrPct, EnvelopeMaxPct, main.ProcCycles, base.ProcCycles)
+			return rep
+		}
+	}
+	return rep
+}

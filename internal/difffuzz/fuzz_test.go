@@ -1,0 +1,31 @@
+package difffuzz
+
+import "testing"
+
+// FuzzDifferential is the native fuzz entry point: the fuzzer mutates a
+// raw uint64 seed and the decoder maps it into the config space, so corpus
+// entries, tier-1 sweep seeds, and cmd/difffuzz batches all replay through
+// the same Decode. Run with
+//
+//	go test -run '^$' -fuzz FuzzDifferential -fuzztime 30s ./internal/difffuzz
+//
+// A crasher's seed decodes (Decode) to the failing Case; feed it to
+// Minimize / cmd/difffuzz -seed to produce the committed JSON regression.
+// Without -fuzz the f.Add seeds below run as ordinary subtests.
+func FuzzDifferential(f *testing.F) {
+	for i := uint64(0); i < 8; i++ {
+		f.Add(DefaultSeed + i)
+	}
+	// A few far-away probes so the seed corpus is not one contiguous run.
+	f.Add(uint64(0))
+	f.Add(uint64(0xdeadbeef))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rep := RunCase(Decode(seed), nil)
+		if rep.Failure != nil {
+			js, _ := rep.Case.MarshalIndent()
+			t.Fatalf("seed %#x failed %s: %s\ncase:\n%s",
+				seed, rep.Failure.Check, rep.Failure.Detail, js)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package difffuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"easydram/internal/core"
+)
+
+// SweepOptions parameterises one deterministic sweep.
+type SweepOptions struct {
+	// Seed is the base seed; case i decodes from Seed + i.
+	Seed uint64
+	// Cases is the number of cases (0 selects DefaultCases).
+	Cases int
+	// Workers sizes the worker pool (0 = GOMAXPROCS). The sweep's output is
+	// byte-identical at any worker count: results land in index-addressed
+	// slots and the digest folds them in index order.
+	Workers int
+	// Mutate, when non-nil, is applied to every EasyDRAM-side system config
+	// (test-only: plant a bug and prove the sweep catches it).
+	Mutate func(*core.Config)
+}
+
+// DefaultCases is the tier-1 sweep size: large enough to hit every axis
+// combination class, small enough for go test ./...
+const DefaultCases = 64
+
+// DefaultSeed is the tier-1 sweep's fixed base seed, shared by the test
+// sweep, benchall's difffuzz section, and cmd/difffuzz's default, so all
+// three walk the same canonical slice of the config space.
+const DefaultSeed = 0x5eed
+
+// SweepResult aggregates a sweep.
+type SweepResult struct {
+	// Reports holds every case's verdict in case order.
+	Reports []Report
+	// Failures indexes the failed reports (in case order).
+	Failures []int
+	// Comparable counts envelope-judged cases; MaxErrPct / AvgErrPct
+	// aggregate their cycle error.
+	Comparable int
+	MaxErrPct  float64
+	AvgErrPct  float64
+	// Runs totals the full system runs consumed.
+	Runs int
+	// Digest is a SHA-256 over every report in case order — the worker-count
+	// and cross-host determinism witness.
+	Digest string
+}
+
+// Sweep decodes and runs opt.Cases cases across a worker pool.
+func Sweep(opt SweepOptions) *SweepResult {
+	n := opt.Cases
+	if n <= 0 {
+		n = DefaultCases
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	reports := make([]Report, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i] = RunCase(Decode(opt.Seed+uint64(i)), opt.Mutate)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	res := &SweepResult{Reports: reports}
+	h := sha256.New()
+	var errSum float64
+	for i, r := range reports {
+		res.Runs += r.Runs
+		if r.Failure != nil {
+			res.Failures = append(res.Failures, i)
+		}
+		if r.Comparable && r.Failure == nil {
+			res.Comparable++
+			errSum += r.ErrPct
+			if r.ErrPct > res.MaxErrPct {
+				res.MaxErrPct = r.ErrPct
+			}
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			b = []byte(err.Error())
+		}
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	if res.Comparable > 0 {
+		res.AvgErrPct = errSum / float64(res.Comparable)
+	}
+	res.Digest = hex.EncodeToString(h.Sum(nil))
+	return res
+}
+
+// Summary renders the sweep verdict in one line.
+func (r *SweepResult) Summary() string {
+	return fmt.Sprintf("%d cases (%d runs), %d comparable, max err %.4f%%, avg err %.4f%%, %d failures",
+		len(r.Reports), r.Runs, r.Comparable, r.MaxErrPct, r.AvgErrPct, len(r.Failures))
+}

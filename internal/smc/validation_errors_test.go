@@ -1,0 +1,70 @@
+package smc
+
+import (
+	"testing"
+
+	"easydram/internal/dram"
+	"easydram/internal/fault"
+)
+
+// TestConfigValidationMessages pins the exact wording of the fault- and
+// recovery-configuration errors a user hits first: each message names the
+// offending field and what would go wrong, and experiment drivers grep
+// them in failure triage, so a rewording is an API change this table makes
+// deliberate.
+func TestConfigValidationMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		got  func() error
+		want string
+	}{
+		{
+			// Link exec failures abort the run unless the SMC can re-flush
+			// the failed launch; the config layer refuses the combination.
+			name: "link injection without recovery",
+			got: func() error {
+				return fault.Config{
+					Link: fault.LinkConfig{ExecFailRate: 0.01},
+				}.Validate()
+			},
+			want: "fault: link exec failures require recovery (an unrecovered launch failure aborts the run)",
+		},
+		{
+			// The quarantine remapper needs real rows left after carving the
+			// spare region out of each bank.
+			name: "spare region swallows the bank",
+			got: func() error {
+				m, err := NewRowBankCol(16, 128)
+				if err != nil {
+					return err
+				}
+				_, err = NewBaseController(Config{
+					Mapper:      m,
+					Scheduler:   FRFCFS{},
+					Recovery:    fault.RecoveryConfig{Enabled: true, SpareRows: 64},
+					RowsPerBank: 64,
+				}, dram.DefaultConfig().Timing, 16)
+				return err
+			},
+			want: "smc: recovery needs RowsPerBank (64) above its 64 spare rows",
+		},
+		{
+			name: "unknown mitigation policy",
+			got: func() error {
+				return fault.MitigationConfig{Policy: "refresh-twice"}.Validate()
+			},
+			want: `fault: unknown mitigation policy "refresh-twice" (want none, para, or trr)`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.got()
+			if err == nil {
+				t.Fatalf("invalid config accepted, want %q", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error message drifted:\n  got:  %s\n  want: %s", err, tc.want)
+			}
+		})
+	}
+}

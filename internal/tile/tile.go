@@ -205,8 +205,14 @@ func (t *Tile) PushRequest(r *mem.Request) { t.Enqueue(t.Stage(r)) }
 func (t *Tile) Req(idx ReqSlot) *mem.Request { return &t.reqs.slots[idx] }
 
 // Release recycles a request's slab slot. Call exactly once per request,
-// after its response has been enqueued.
-func (t *Tile) Release(idx ReqSlot) { t.reqs.release(idx) }
+// after its response has been enqueued — which makes it the natural place
+// to count completed requests: RequestsIn == ResponsesOut at end of run is
+// the tile-seam half of the request-conservation invariant the
+// differential fuzzer (internal/difffuzz) checks on every config.
+func (t *Tile) Release(idx ReqSlot) {
+	t.stats.ResponsesOut++
+	t.reqs.release(idx)
+}
 
 // IncomingEmpty reports whether the request FIFO is empty.
 func (t *Tile) IncomingEmpty() bool { return t.head >= len(t.incoming) }
