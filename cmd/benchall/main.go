@@ -283,6 +283,22 @@ func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 			snap.Metrics["faults/trr_overhead_pct"] = ds.Overhead("trr")
 			return nil
 		}},
+		{"snapshot", func() error {
+			section("Extension — durable characterization store and restore identity")
+			ws, err := experiments.WarmStart(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, ws.Table())
+			// The speedup is host wall clock — snapshot JSON and stderr
+			// only, never the report (whose bytes stay machine-identical).
+			snap.Metrics["snapshot/warm_start_speedup_x"] = ws.SpeedupX()
+			snap.Metrics["snapshot/fallbacks"] = float64(ws.Fallbacks)
+			snap.Metrics["snapshot/identity_mismatches"] = float64(ws.IdentityMismatches)
+			fmt.Fprintf(os.Stderr, "benchall: snapshot: warm-start %.1fx, %d fallback(s), %d identity mismatch(es)\n",
+				ws.SpeedupX(), ws.Fallbacks, ws.IdentityMismatches)
+			return nil
+		}},
 		{"substrate", func() error { return substrateMetrics(snap) }},
 		// Last on purpose: the sweep churns through hundreds of full system
 		// runs, and the heap it grows would inflate the substrate

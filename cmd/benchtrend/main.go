@@ -112,6 +112,11 @@ var trendMetrics = map[string]gatedMetric{
 	// envelope (§6). The sweep is deterministic (fixed seed, modeled time
 	// only), so the bound holds machine-independently.
 	"difffuzz/max_err_pct": {mustBeBelow: 1.0},
+	// Snapshot round-trip identity is structural: a decoded profile must
+	// equal the encoded one and a checkpoint-restored run must be
+	// byte-identical to the uninterrupted run, on any host. Any nonzero
+	// count is a serialization bug, so it gates machine-independently.
+	"snapshot/identity_mismatches": {mustBeZero: true},
 }
 
 type snapshot struct {

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	easydram [-quick] [-seed N] [-burst-cap N] [-faults] [-mitigation P] [-v] <experiment>
+//	easydram [-quick] [-seed N] [-burst-cap N] [-faults] [-mitigation P]
+//	         [-save-profile DIR] [-load-profile DIR] [-checkpoint FILE] [-v] <experiment>
 //
 // where experiment is one of: table1, fig2, validation, fig8, fig10,
-// fig11, fig12, fig13, fig14, energy, ablations, disturb, all.
+// fig11, fig12, fig13, fig14, energy, ablations, disturb, snapshot, all.
 package main
 
 import (
@@ -27,8 +28,11 @@ func main() {
 	faults := flag.Bool("faults", false, "arm default fault injection (chip disturb, transient/stuck-at reads, host-link failures) on every run; deterministic in -seed")
 	mitigation := flag.String("mitigation", "", "RowHammer mitigation policy on every run: para or trr (empty = none)")
 	verbose := flag.Bool("v", false, "print per-run health counters to stderr: DRAM timing/rank-switch violations, retries, quarantined/remapped rows, mitigation refreshes, link faults")
+	saveProfile := flag.String("save-profile", "", "directory to persist characterization profiles to (atomic writes; profiling experiments write one file per workload)")
+	loadProfile := flag.String("load-profile", "", "characterization store directory to warm-start from; missing/corrupt/stale profiles degrade to fresh characterization")
+	checkpoint := flag.String("checkpoint", "", "file the snapshot experiment writes its mid-run system checkpoint to")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] [-faults] [-mitigation P] [-v] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|disturb|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] [-faults] [-mitigation P] [-save-profile DIR] [-load-profile DIR] [-checkpoint FILE] [-v] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|disturb|snapshot|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,6 +53,9 @@ func main() {
 	opt.Faults = *faults
 	opt.Mitigation = *mitigation
 	opt.Verbose = *verbose
+	opt.ProfileSave = *saveProfile
+	opt.ProfileLoad = *loadProfile
+	opt.CheckpointPath = *checkpoint
 
 	if err := run(flag.Arg(0), opt); err != nil {
 		fmt.Fprintf(os.Stderr, "easydram: %v\n", err)
@@ -120,6 +127,15 @@ func run(name string, opt experiments.Options) error {
 			return err
 		}
 		fmt.Println(r.Table())
+	case "snapshot":
+		r, err := experiments.WarmStart(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+		if s := r.SpeedupX(); s > 0 {
+			fmt.Fprintf(os.Stderr, "easydram: warm-start characterization speedup %.1fx (host wall clock)\n", s)
+		}
 	case "fig13", "fig14":
 		r, err := experiments.Figure13(opt)
 		if err != nil {
@@ -131,7 +147,7 @@ func run(name string, opt experiments.Options) error {
 			fmt.Println(r.SpeedTable())
 		}
 	case "all":
-		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations", "disturb"} {
+		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations", "disturb", "snapshot"} {
 			fmt.Printf("==== %s ====\n", n)
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)

@@ -1,0 +1,32 @@
+package bloom
+
+import "fmt"
+
+// Export returns the filter's complete state for serialization: the bit
+// array (aliased, not copied — callers must not mutate it), the size in
+// bits, the hash count, the hash seed, and the Add count. Together with
+// FromState it round-trips a filter bit-identically, which the snapshot
+// layer relies on for checkpointed quarantine filters and persisted
+// weak-row sets.
+func (f *Filter) Export() (bits []uint64, mBits uint64, k int, seed uint64, n int) {
+	return f.bits, f.mBits, f.k, f.seed, f.n
+}
+
+// FromState reconstructs a filter from exported state. The bits slice is
+// copied. It validates the geometry so corrupt snapshots surface as
+// errors rather than out-of-range panics on the first Contains call.
+func FromState(bits []uint64, mBits uint64, k int, seed uint64, n int) (*Filter, error) {
+	if mBits == 0 || k <= 0 || k > 64 || n < 0 {
+		return nil, fmt.Errorf("bloom: invalid state m=%d k=%d n=%d", mBits, k, n)
+	}
+	if want := int((mBits + 63) / 64); len(bits) != want {
+		return nil, fmt.Errorf("bloom: bit array length %d does not match m=%d (want %d words)", len(bits), mBits, want)
+	}
+	return &Filter{
+		bits:  append([]uint64(nil), bits...),
+		mBits: mBits,
+		k:     k,
+		seed:  seed,
+		n:     n,
+	}, nil
+}

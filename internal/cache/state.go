@@ -1,0 +1,62 @@
+package cache
+
+import "easydram/internal/snapshot"
+
+// Checkpoint hooks. Geometry (set count, associativity, masks) is rebuilt
+// from configuration; only the line array, the LRU clock, and the event
+// counters serialize.
+
+// SaveState serializes one cache level's dynamic state.
+func (c *Cache) SaveState(e *snapshot.Enc) {
+	e.Int(len(c.sets))
+	for i := range c.sets {
+		l := &c.sets[i]
+		e.U64(l.tag)
+		e.Bool(l.valid)
+		e.Bool(l.dirty)
+		e.U64(l.lru)
+	}
+	e.U64(c.lruClock)
+	e.I64(c.stats.Hits)
+	e.I64(c.stats.Misses)
+	e.I64(c.stats.Evictions)
+	e.I64(c.stats.Writebacks)
+	e.I64(c.stats.Flushes)
+}
+
+// LoadState restores state written by SaveState into a freshly constructed
+// cache of the same geometry.
+func (c *Cache) LoadState(d *snapshot.Dec) {
+	if n := d.Int(); n != len(c.sets) {
+		if d.Err() == nil {
+			d.Failf("cache %s: snapshot has %d lines, cache has %d", c.name, n, len(c.sets))
+		}
+		return
+	}
+	for i := range c.sets {
+		l := &c.sets[i]
+		l.tag = d.U64()
+		l.valid = d.Bool()
+		l.dirty = d.Bool()
+		l.lru = d.U64()
+	}
+	c.lruClock = d.U64()
+	c.stats.Hits = d.I64()
+	c.stats.Misses = d.I64()
+	c.stats.Evictions = d.I64()
+	c.stats.Writebacks = d.I64()
+	c.stats.Flushes = d.I64()
+}
+
+// SaveState serializes both hierarchy levels (wbScratch is per-access
+// scratch and holds nothing across steps).
+func (h *Hierarchy) SaveState(e *snapshot.Enc) {
+	h.L1.SaveState(e)
+	h.L2.SaveState(e)
+}
+
+// LoadState restores state written by SaveState.
+func (h *Hierarchy) LoadState(d *snapshot.Dec) {
+	h.L1.LoadState(d)
+	h.L2.LoadState(d)
+}

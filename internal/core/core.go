@@ -41,6 +41,7 @@ import (
 	"easydram/internal/dram"
 	"easydram/internal/fault"
 	"easydram/internal/smc"
+	"easydram/internal/snapshot"
 	"easydram/internal/tile"
 	"easydram/internal/timescale"
 	"easydram/internal/workload"
@@ -307,6 +308,9 @@ func NewSystem(cfg Config) (*System, error) {
 // Topology reports the normalised module topology the system models.
 func (s *System) Topology() dram.Topology { return s.topo }
 
+// Config returns a copy of the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
 // Chip exposes the DRAM model of channel 0, rank 0 (profiling tools use it
 // read-only; the characterization helpers target the default topology).
 func (s *System) Chip() *dram.Chip { return s.chans[0].mod.Rank(0) }
@@ -361,6 +365,11 @@ type stagedReq struct {
 // Run executes the workload stream to completion and returns the result.
 // The stream is closed before Run returns.
 func (s *System) Run(strm workload.Stream) (Result, error) {
+	return s.run(strm, nil, nil)
+}
+
+// run is the common body behind Run, RunCheckpoint, and RunRestored.
+func (s *System) run(strm workload.Stream, ck *ckptReq, restore *snapshot.Reader) (Result, error) {
 	defer strm.Close()
 	core, err := cpu.New(s.cfg.CPU, s.hier, strm)
 	if err != nil {
@@ -379,6 +388,8 @@ func (s *System) Run(strm workload.Stream) (Result, error) {
 		chanMC:        make([]clock.PS, nch),
 		arrivals:      make([]arrivalRing, nch),
 		staged:        make([][]stagedReq, nch),
+		ckpt:          ck,
+		restore:       restore,
 	}
 	if s.cfg.BurstCap > 1 {
 		// With refresh enabled the burst gates replay the per-step
@@ -440,6 +451,17 @@ type engine struct {
 	fencing    bool
 	maxRelease clock.Cycles
 	marks      []clock.Cycles
+	// maxWall is the latest completion wall time of any SMC work (non-scaled
+	// mode): what a fence waits out. A field (not a loop local) so
+	// checkpoints can capture it.
+	maxWall clock.PS
+
+	// ckpt, when non-nil, requests a checkpoint at the first quiescent point
+	// at or after ckpt.at emulated processor cycles; restore, when non-nil,
+	// is a parsed checkpoint the engine loads before its first iteration.
+	// See checkpoint.go.
+	ckpt    *ckptReq
+	restore *snapshot.Reader
 
 	// Burst service state: burstCap is the per-step budget granted to the
 	// controller (1 = serial); burstPhase records which engine state the

@@ -25,9 +25,18 @@ func (e *engine) runScaled() error {
 		ch := c
 		e.sys.chans[c].env.SetBurst(1, func() bool { return e.mayExtendBurstScaled(ch) })
 	}
+	if e.restore != nil {
+		if err := e.loadCheckpoint(); err != nil {
+			return err
+		}
+	}
 
 	for {
 		e.deliverMaturedScaled()
+
+		if e.ckpt != nil && !e.ckpt.taken && ts.Proc() >= e.ckpt.at && e.quiescent() {
+			e.capture()
+		}
 
 		if e.blockedOn != 0 {
 			if release, ok := e.ready.Release(e.blockedOn); ok {

@@ -21,12 +21,16 @@ import (
 //     each request costs only the modeled controller latency plus DRAM time.
 func (e *engine) runUnscaled() error {
 	procPeriod := e.cfg.ProcPhys.Period()
-	var maxWall clock.PS
 
 	proc := func() clock.Cycles { return clock.Cycles(e.wallNow / procPeriod) }
 	for c := range e.sys.chans {
 		ch := c
 		e.sys.chans[c].env.SetBurst(1, func() bool { return e.mayExtendBurstUnscaled(ch) })
+	}
+	if e.restore != nil {
+		if err := e.loadCheckpoint(); err != nil {
+			return err
+		}
 	}
 
 	for {
@@ -38,6 +42,10 @@ func (e *engine) runUnscaled() error {
 			if e.blockedOn == it.id {
 				e.blockedOn = 0
 			}
+		}
+
+		if e.ckpt != nil && !e.ckpt.taken && proc() >= e.ckpt.at && e.quiescent() {
+			e.capture()
 		}
 
 		if e.blockedOn != 0 {
@@ -58,16 +66,16 @@ func (e *engine) runUnscaled() error {
 			if err != nil {
 				return err
 			}
-			if w > maxWall {
-				maxWall = w
+			if w > e.maxWall {
+				e.maxWall = w
 			}
 			continue
 		}
 
 		if e.fencing {
 			if e.inflight.Len() == 0 && e.ready.Len() == 0 {
-				if maxWall > e.wallNow {
-					e.wallNow = maxWall
+				if e.maxWall > e.wallNow {
+					e.wallNow = e.maxWall
 				}
 				e.fencing = false
 				e.core.FenceDone()
@@ -79,8 +87,8 @@ func (e *engine) runUnscaled() error {
 				if err != nil {
 					return err
 				}
-				if w > maxWall {
-					maxWall = w
+				if w > e.maxWall {
+					e.maxWall = w
 				}
 				continue
 			}
@@ -148,8 +156,8 @@ func (e *engine) runUnscaled() error {
 		if err != nil {
 			return err
 		}
-		if w > maxWall {
-			maxWall = w
+		if w > e.maxWall {
+			e.maxWall = w
 		}
 	}
 	final := e.wallNow

@@ -168,6 +168,10 @@ type Core struct {
 
 	reqScratch []mem.Request
 	stats      Stats
+
+	// opsConsumed counts ops pulled from the stream, the replay position a
+	// checkpoint restore fast-forwards a rebuilt stream to (see state.go).
+	opsConsumed uint64
 }
 
 // New returns a core executing strm over hier.
@@ -278,6 +282,7 @@ func (c *Core) Step(now clock.Cycles, budget clock.Cycles) Outcome {
 				}
 				return Outcome{Finished: true}
 			}
+			c.opsConsumed++
 			c.opValid = true
 			if c.op.Kind == workload.OpCompute {
 				w := clock.Cycles(c.cfg.IssueWidth)

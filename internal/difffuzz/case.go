@@ -112,6 +112,15 @@ type Case struct {
 	// RowHammer policy.
 	Faults     FaultAxes `json:"faults"`
 	Mitigation string    `json:"mitigation,omitempty"`
+
+	// CheckpointFrac arms the checkpoint-identity check: when in 1..7 the
+	// case is re-run with a quiescent-point checkpoint requested at
+	// CheckpointFrac/8 of the straight-through run's cycle count, the blob
+	// is restored into a fresh identical system, and the restored run must
+	// reproduce the straight-through result bit-for-bit. 0 skips the axis.
+	// (Appended at the end of Decode, like every new axis, so older seeds
+	// keep decoding to the same earlier-axis values.)
+	CheckpointFrac int `json:"checkpoint_frac,omitempty"`
 }
 
 // splitmix is SplitMix64, the same stateless hash the fault and variation
@@ -224,6 +233,15 @@ func Decode(seed uint64) Case {
 			c.Faults.DisturbThreshold = 64
 		}
 	}
+
+	// Checkpoint/restore identity (the durable-snapshot subsystem's fuzzed
+	// contract): 1 in 4 cases re-runs with a checkpoint at a seeded mid-run
+	// fraction and requires the restored run to match bit-for-bit. Two
+	// extra full runs per armed case, so the bias keeps the sweep budget
+	// flat-ish.
+	if s.chance(1, 4) {
+		c.CheckpointFrac = 1 + int(s.mod(6)) // 1/8 .. 6/8 into the run
+	}
 	return c
 }
 
@@ -277,9 +295,9 @@ func (c Case) String() string {
 	if mit == "" {
 		mit = "none"
 	}
-	return fmt.Sprintf("%s/%d %dch%drk/%s %s burst=%d refresh=%v ts=%v faults=%v mit=%s",
+	return fmt.Sprintf("%s/%d %dch%drk/%s %s burst=%d refresh=%v ts=%v faults=%v mit=%s ck=%d",
 		c.Kernel, c.KernelDim, c.Channels, c.Ranks, c.Interleave, c.Scheduler,
-		c.BurstCap, c.Refresh, c.TimeScaling, c.Faults.Enabled(), mit)
+		c.BurstCap, c.Refresh, c.TimeScaling, c.Faults.Enabled(), mit, c.CheckpointFrac)
 }
 
 // MarshalIndent renders the case as the canonical JSON used in regression

@@ -146,11 +146,14 @@ func TestDecodeCoversEveryAxis(t *testing.T) {
 		if c.Comparable() {
 			seen["comparable"] = true
 		}
+		if c.CheckpointFrac > 0 {
+			seen["checkpoint"] = true
+		}
 	}
 	for _, axis := range []string{
 		"multi-channel", "multi-rank", "row-interleave", "fcfs", "bliss", "burst",
 		"refresh-off", "direct-mode", "faults", "disturb", "link-faults", "para",
-		"trr", "comparable",
+		"trr", "comparable", "checkpoint",
 	} {
 		if !seen[axis] {
 			t.Errorf("512 seeds never drew axis %q", axis)

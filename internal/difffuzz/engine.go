@@ -36,7 +36,7 @@ const maxProcCycles = clock.Cycles(2_000_000_000)
 type Failure struct {
 	// Check identifies the oracle: "decode", "run", "conservation",
 	// "rank-bus", "fault-counters", "trr-escape", "determinism",
-	// "burst-identity", "armed-idle", "envelope".
+	// "burst-identity", "armed-idle", "checkpoint-identity", "envelope".
 	Check string `json:"check"`
 	// Detail is the human-readable mismatch.
 	Detail string `json:"detail"`
@@ -81,13 +81,9 @@ func runOnce(c Case, mutate, transform func(*core.Config)) (core.Result, error) 
 	if err != nil {
 		return core.Result{}, err
 	}
-	cfg, err := c.SystemConfig()
+	cfg, err := buildConfig(c, mutate)
 	if err != nil {
 		return core.Result{}, err
-	}
-	cfg.MaxProcCycles = maxProcCycles
-	if mutate != nil {
-		mutate(&cfg)
 	}
 	if transform != nil {
 		transform(&cfg)
@@ -97,6 +93,58 @@ func runOnce(c Case, mutate, transform func(*core.Config)) (core.Result, error) 
 		return core.Result{}, err
 	}
 	return sys.Run(k.Stream())
+}
+
+// buildConfig assembles the case's config with the engine cycle cap and the
+// test-only mutate hook applied — the exact config runOnce runs, factored
+// out so the checkpoint paths build byte-identical systems.
+func buildConfig(c Case, mutate func(*core.Config)) (core.Config, error) {
+	cfg, err := c.SystemConfig()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.MaxProcCycles = maxProcCycles
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg, nil
+}
+
+// runCheckpointed runs the case with a quiescent-point checkpoint requested
+// at cycle at. The returned blob is nil when the system never quiesced past
+// the mark (graceful, not an error).
+func runCheckpointed(c Case, mutate func(*core.Config), at clock.Cycles) (core.Result, []byte, error) {
+	k, err := c.Workload()
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	cfg, err := buildConfig(c, mutate)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	return sys.RunCheckpoint(k.Stream(), at)
+}
+
+// runRestored loads a checkpoint blob into a fresh identical system and
+// runs the case to completion from it.
+func runRestored(c Case, mutate func(*core.Config), blob []byte) (core.Result, error) {
+	k, err := c.Workload()
+	if err != nil {
+		return core.Result{}, err
+	}
+	cfg, err := buildConfig(c, mutate)
+	if err != nil {
+		return core.Result{}, err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.RunRestored(k.Stream(), blob)
 }
 
 // resultDigest canonicalizes a result for bit-identity comparison. JSON is
@@ -300,6 +348,42 @@ func RunCase(c Case, mutate func(*core.Config)) Report {
 				main.ProcCycles, armed.ProcCycles, main.Ctrl.Served, armed.Ctrl.Served,
 				main.Ctrl.RowHits, main.Ctrl.RowMisses, armed.Ctrl.RowHits, armed.Ctrl.RowMisses)
 			return rep
+		}
+	}
+
+	// Checkpoint ≡ straight-through: re-run the case requesting a
+	// quiescent-point checkpoint at a seeded mid-run cycle, then restore
+	// the blob into a fresh identical system; both the checkpointed run
+	// and the restored run must reproduce the uninterrupted result
+	// bit-for-bit. A run that never quiesces past the mark captures no
+	// blob and passes vacuously — the snapshot subsystem's graceful-
+	// degradation contract, fuzzed across the config space.
+	if c.CheckpointFrac > 0 && main.ProcCycles >= 8 {
+		at := main.ProcCycles * clock.Cycles(c.CheckpointFrac) / 8
+		ckRun, blob, err := runCheckpointed(c, mutate, at)
+		rep.Runs++
+		if err != nil {
+			rep.Failure = failf("checkpoint-identity", "checkpointed run failed: %v", err)
+			return rep
+		}
+		if a, b := resultDigest(main), resultDigest(ckRun); a != b {
+			rep.Failure = failf("checkpoint-identity",
+				"requesting a checkpoint at cycle %d changed the run:\n  plain: %s\n  ckpt:  %s", at, a, b)
+			return rep
+		}
+		if blob != nil {
+			restored, err := runRestored(c, mutate, blob)
+			rep.Runs++
+			if err != nil {
+				rep.Failure = failf("checkpoint-identity", "restore from cycle-%d checkpoint failed: %v", at, err)
+				return rep
+			}
+			if a, b := resultDigest(main), resultDigest(restored); a != b {
+				rep.Failure = failf("checkpoint-identity",
+					"restored run diverged from straight-through (checkpoint at cycle %d, %d-byte blob):\n  full:     %s\n  restored: %s",
+					at, len(blob), a, b)
+				return rep
+			}
 		}
 	}
 

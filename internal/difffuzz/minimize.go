@@ -106,6 +106,16 @@ var shrinkers = []struct {
 		c.BurstCap /= 2
 		return c, true
 	}},
+	{"drop-checkpoint", func(c Case) (Case, bool) {
+		// Disarming the checkpoint axis drops two runs per candidate; a
+		// checkpoint-identity failure rejects the shrink (the check would no
+		// longer fire), so the failure itself is safe.
+		if c.CheckpointFrac == 0 {
+			return c, false
+		}
+		c.CheckpointFrac = 0
+		return c, true
+	}},
 	{"drop-refresh", func(c Case) (Case, bool) {
 		if !c.Refresh {
 			return c, false

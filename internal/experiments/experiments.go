@@ -89,6 +89,19 @@ type Options struct {
 	// DRAM protocol violations and the fault-recovery path's work
 	// (cmd/easydram's -v flag).
 	Verbose bool
+	// ProfileLoad is a characterization store directory to warm-start
+	// from: experiments that profile (Figure13, WarmStart) first try the
+	// stored per-workload profile and fall back to fresh characterization
+	// when it is missing, corrupt, or keyed to different silicon
+	// (cmd/easydram's -load-profile flag).
+	ProfileLoad string
+	// ProfileSave is a directory the profiling experiments persist their
+	// characterization results to, atomically, for later warm starts
+	// (cmd/easydram's -save-profile flag).
+	ProfileSave string
+	// CheckpointPath, when set, is where the WarmStart sweep writes its
+	// mid-run system checkpoint blob (cmd/easydram's -checkpoint flag).
+	CheckpointPath string
 }
 
 // EffectiveWorkers resolves the worker-pool size: Workers when positive,

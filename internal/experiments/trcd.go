@@ -179,16 +179,15 @@ func Figure13(opt Options) (*TRCDResult, error) {
 		if err != nil {
 			return fmt.Errorf("experiments: figure13: %w", err)
 		}
-		weak, pstats, err := techniques.ProfileWeakRows(profSys, 0, extent, techniques.ReducedTRCD)
+		// Warm-start through the durable profile store when a store is
+		// configured; a fresh characterization otherwise. The rebuilt
+		// provider is bit-identical either way.
+		profile, _, err := characterizeWarm(profSys, k.Name, extent, opt)
 		if err != nil {
 			return err
 		}
-		filter, err := techniques.BuildWeakRowFilter(weak, opt.FPRate, opt.Seed)
-		if err != nil {
-			return err
-		}
-		provider := techniques.TRCDProvider(filter, profSys.Mapper(), 0, extent, techniques.ReducedTRCD)
-		res.WeakFraction[i] = 1 - pstats.StrongFraction()
+		provider := techniques.ProviderFromProfile(profile, profSys.Mapper(), techniques.ReducedTRCD)
+		res.WeakFraction[i] = profile.WeakFraction()
 
 		for _, c := range []rcConfig{
 			{NameTS, core.TimeScalingA57()},

@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"sort"
+
+	"easydram/internal/snapshot"
+)
+
+// Checkpoint hooks. Every draw in this package is a pure function of
+// (seed, salt, coordinates or a monotone counter), so the only dynamic
+// state a restored run needs is the counters themselves: replaying from a
+// checkpoint with the counters restored reproduces the identical fault
+// trace the uninterrupted run would have drawn.
+
+// SaveState serializes the chip model's dynamic state (the read counter
+// transient draws key on).
+func (m *ChipModel) SaveState(e *snapshot.Enc) { e.U64(m.reads) }
+
+// LoadState restores state written by SaveState.
+func (m *ChipModel) LoadState(d *snapshot.Dec) { m.reads = d.U64() }
+
+// SaveState serializes the link model's per-event draw counters.
+func (m *LinkModel) SaveState(e *snapshot.Enc) {
+	e.U64(m.launches)
+	e.U64(m.corrupts)
+	e.U64(m.drops)
+}
+
+// LoadState restores state written by SaveState.
+func (m *LinkModel) LoadState(d *snapshot.Dec) {
+	m.launches = d.U64()
+	m.corrupts = d.U64()
+	m.drops = d.U64()
+}
+
+// SaveMitigatorState serializes a policy instance's dynamic state (nil-safe:
+// no policy encodes as an empty marker, and a policy-name tag guards
+// against restoring one policy's state into another).
+func SaveMitigatorState(e *snapshot.Enc, m Mitigator) {
+	if m == nil {
+		e.String("")
+		return
+	}
+	e.String(m.Name())
+	switch p := m.(type) {
+	case *para:
+		e.U64(p.acts)
+	case *trr:
+		// Map iteration order is not deterministic; export sorted so a
+		// checkpoint of a given state is always byte-identical.
+		keys := make([]uint64, 0, len(p.counts))
+		for k := range p.counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		e.Int(len(keys))
+		for _, k := range keys {
+			e.U64(k)
+			e.I64(int64(p.counts[k]))
+		}
+	}
+}
+
+// LoadMitigatorState restores state written by SaveMitigatorState into a
+// freshly constructed instance of the same policy.
+func LoadMitigatorState(d *snapshot.Dec, m Mitigator) {
+	name := d.String()
+	if d.Err() != nil {
+		return
+	}
+	want := ""
+	if m != nil {
+		want = m.Name()
+	}
+	if name != want {
+		d.Failf("mitigator policy mismatch: snapshot %q, system %q", name, want)
+		return
+	}
+	switch p := m.(type) {
+	case *para:
+		p.acts = d.U64()
+	case *trr:
+		n := d.Int()
+		if d.Err() != nil {
+			return
+		}
+		if n < 0 || n > d.Remaining()/16 {
+			d.Fail(snapshot.ErrTruncated)
+			return
+		}
+		p.counts = make(map[uint64]int32, n)
+		for i := 0; i < n; i++ {
+			k := d.U64()
+			v := d.I64()
+			p.counts[k] = int32(v)
+		}
+	}
+}

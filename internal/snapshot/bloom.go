@@ -1,0 +1,46 @@
+package snapshot
+
+import "easydram/internal/bloom"
+
+// Bloom-filter codec shared by the profile store (weak-row filters) and
+// the controller checkpoint (quarantine filters). A nil filter encodes as
+// a present/absent flag so optional filters round-trip.
+
+// EncodeBloom appends f's state (nil-safe).
+func EncodeBloom(e *Enc, f *bloom.Filter) {
+	if f == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	bits, mBits, k, seed, n := f.Export()
+	e.U64(mBits)
+	e.Int(k)
+	e.U64(seed)
+	e.Int(n)
+	e.U64s(bits)
+}
+
+// DecodeBloom reads a filter encoded by EncodeBloom, returning nil for an
+// encoded-nil filter. Geometry violations fail the decoder.
+func DecodeBloom(d *Dec) *bloom.Filter {
+	if !d.Bool() {
+		return nil
+	}
+	mBits := d.U64()
+	k := d.Int()
+	seed := d.U64()
+	n := d.Int()
+	bits := d.U64s()
+	if d.Err() != nil {
+		return nil
+	}
+	f, err := bloom.FromState(bits, mBits, k, seed, n)
+	if err != nil {
+		// Geometry errors become ErrCorrupt so every load failure stays
+		// classifiable by the package's named errors.
+		d.Failf("bloom geometry: %v", err)
+		return nil
+	}
+	return f
+}

@@ -1,0 +1,56 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse is the decoder fuzzer of the corruption satellite: arbitrary
+// bytes through the full load path — container parse, section walk, and
+// (for profile-kind images) the profile decoder — must never panic and
+// never allocate unboundedly; the lenPrefix/maxSections bounds exist for
+// exactly this input class. Run with
+//
+//	go test -run '^$' -fuzz FuzzParse -fuzztime 30s ./internal/snapshot
+//
+// Without -fuzz the f.Add seeds below run as ordinary subtests.
+func FuzzParse(f *testing.F) {
+	valid := (&Profile{
+		Key: "fuzz", Start: 0x1000, End: 0x5000, RCDps: 9000,
+		Channels: []ChannelProfile{{Chan: 0, WeakRows: []uint64{0x1000}, Rows: 4, LinesTried: 16}},
+	}).Encode()
+
+	f.Add([]byte(nil))
+	f.Add([]byte("EZDRSNAP"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), 0xff))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	w := NewWriter(KindCheckpoint, "ck")
+	w.Section("s", bytes.Repeat([]byte{7}, 32))
+	f.Add(w.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Parse(data)
+		if err != nil {
+			if !namedErr(err) {
+				t.Fatalf("Parse returned an unnamed error: %v", err)
+			}
+			return
+		}
+		for _, name := range r.Sections() {
+			if _, err := r.Section(name); err != nil {
+				t.Fatalf("listed section %q unreadable: %v", name, err)
+			}
+		}
+		if r.Kind == KindProfile {
+			// The profile decoder must hold its own against adversarial but
+			// CRC-consistent payloads (the fuzzer can synthesize those).
+			if _, err := DecodeProfile(data, r.Key); err != nil && !namedErr(err) {
+				t.Fatalf("DecodeProfile returned an unnamed error: %v", err)
+			}
+		}
+	})
+}

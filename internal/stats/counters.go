@@ -1,0 +1,18 @@
+package stats
+
+import "sync/atomic"
+
+// SnapshotFallbacks counts snapshot loads that failed validation (bad
+// magic, version, checksum, key, truncation) and degraded gracefully to
+// fresh characterization. It is process-global because fallbacks are an
+// operational health signal, not a per-run metric: benchall reports it as
+// snapshot/fallbacks and tests assert it moves when corruption is
+// injected. Use Load/Add directly; SnapshotFallbackDelta helps callers
+// measure a window.
+var SnapshotFallbacks atomic.Int64
+
+// SnapshotFallbackDelta returns the fallbacks recorded since a previous
+// Load() observation.
+func SnapshotFallbackDelta(since int64) int64 {
+	return SnapshotFallbacks.Load() - since
+}

@@ -46,10 +46,13 @@ func (s ProfileStats) StrongFraction() float64 {
 	return float64(s.Rows-s.WeakRows) / float64(s.Rows)
 }
 
-// ProfileWeakRows characterizes every row in the physical address range
-// [start, end) at the reduced tRCD (§8.1). A row is weak if any of its
-// lines fails. The returned slice holds the row base addresses of weak
-// rows, ascending.
+// ProfileWeakRows characterizes every DRAM row the physical address range
+// [start, end) touches at the reduced tRCD (§8.1), on every channel of the
+// module (rows are enumerated through the topology mapper, so channel
+// interleaving is handled; the former single-channel restriction is gone).
+// A row is weak if any of its lines fails. The returned slice holds the
+// weak rows' keys — the physical address of each row's first line,
+// channel coordinate included — ascending.
 //
 // Rows are profiled in bank stripes: one host round-trip and one Bender
 // program covers up to 64 consecutive same-bank rows (the readback-buffer
@@ -63,46 +66,22 @@ func (s ProfileStats) StrongFraction() float64 {
 func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
 	var stats ProfileStats
 	var weak []uint64
-	if err := requireSingleChannel(sys, "ProfileWeakRows"); err != nil {
-		return nil, stats, err
-	}
-	rowBytes := uint64(sys.Mapper().RowBytes())
-	lines := int(rowBytes / dram.LineBytes)
-	start &^= rowBytes - 1
+	lines := sys.Mapper().RowBytes() / int(dram.LineBytes)
 
-	// Group the range's rows by bank: a stripe must cover consecutive DRAM
-	// rows of one bank, while physical row bases rotate across banks under
-	// the default mapping.
-	type rowRef struct {
-		row int
-		pa  uint64
-	}
-	byBank := map[int][]rowRef{}
-	banks := []int{}
-	for pa := start; pa < end; pa += rowBytes {
-		a := sys.Mapper().Map(pa)
-		if _, seen := byBank[a.Bank]; !seen {
-			banks = append(banks, a.Bank)
-		}
-		byBank[a.Bank] = append(byBank[a.Bank], rowRef{row: a.Row, pa: pa})
-	}
-	sort.Ints(banks)
-
-	for _, bank := range banks {
-		refs := byBank[bank]
-		sort.Slice(refs, func(i, j int) bool { return refs[i].row < refs[j].row })
+	for _, group := range coveredRows(sys.Mapper(), start, end) {
+		refs := group.rows
 		for i := 0; i < len(refs); {
 			// Extend the stripe while DRAM rows stay consecutive.
 			n := 1
 			for n < profileStripeRows && i+n < len(refs) && refs[i+n].row == refs[i].row+n {
 				n++
 			}
-			rowLines, _, err := sys.ProfileRowStripe(refs[i].pa, n, rcd)
+			rowLines, _, err := sys.ProfileRowStripe(refs[i].key, n, rcd)
 			if err != nil {
-				return nil, stats, fmt.Errorf("techniques: profiling rows at %#x: %w", refs[i].pa, err)
+				return nil, stats, fmt.Errorf("techniques: profiling rows at %#x: %w", refs[i].key, err)
 			}
 			if len(rowLines) != n {
-				return nil, stats, fmt.Errorf("techniques: stripe at %#x returned %d rows, want %d", refs[i].pa, len(rowLines), n)
+				return nil, stats, fmt.Errorf("techniques: stripe at %#x returned %d rows, want %d", refs[i].key, len(rowLines), n)
 			}
 			for r, okLines := range rowLines {
 				stats.Rows++
@@ -113,7 +92,7 @@ func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint6
 					// accounting: the failing line is the last one tried.
 					stats.LinesTried += okLines + 1
 					stats.WeakRows++
-					weak = append(weak, refs[i+r].pa)
+					weak = append(weak, refs[i+r].key)
 				}
 			}
 			i += n
@@ -123,18 +102,93 @@ func ProfileWeakRows(sys *core.System, start, end uint64, rcd clock.PS) ([]uint6
 	return weak, stats, nil
 }
 
-// requireSingleChannel rejects multi-channel systems: the weak-row
-// characterization walks rowBytes-aligned physical blocks and keys the
-// Bloom filter by channel-less row bases, which only correspond to whole
-// DRAM rows on a single-channel module (any rank count is fine — ranks
-// widen the channel-global bank field, which the walk handles). Failing
-// loudly here beats silently classifying one channel's rows from another
-// channel's silicon.
-func requireSingleChannel(sys *core.System, what string) error {
-	if t := sys.Topology(); t.Channels > 1 {
-		return fmt.Errorf("techniques: %s supports single-channel topologies only, got %v", what, t)
+// rowRef identifies one DRAM row covered by a profiling range: its row
+// index within its (channel, bank) group and its row key — the physical
+// address of the row's first line, which routes host profiling requests to
+// the owning channel and keys the weak-row set.
+type rowRef struct {
+	row int
+	key uint64
+}
+
+// rowGroup is the covered rows of one (channel, bank), rows ascending.
+type rowGroup struct {
+	ch, bank int
+	rows     []rowRef
+}
+
+// rowCoord is one deduplicated (channel, bank, row) coordinate.
+type rowCoord struct{ ch, bank, row int }
+
+// coveredRows enumerates the DRAM rows the physical range [start, end)
+// touches, grouped by (channel, bank) and sorted — the topology-aware
+// generalisation of the old single-channel row-block walk. When a
+// rowBytes-aligned block's first and last lines land in the same DRAM row
+// the whole block is that row (a line-interleaved multi-channel block
+// scatters its first and last lines to different channels, so it never
+// passes the probe), and the block costs two Map calls instead of one per
+// line; blocks that fail the probe fall back to a per-line walk with a
+// per-channel last-row cache, since a channel's consecutive lines share a
+// row. On a single-channel module the result is exactly the
+// rowBytes-aligned blocks of [start&^(rowBytes-1), end).
+func coveredRows(m smc.Mapper, start, end uint64) []rowGroup {
+	rowBytes := uint64(m.RowBytes())
+	start &^= rowBytes - 1
+	var (
+		coords []rowCoord
+		seen   = map[rowCoord]bool{}
+		last   []rowCoord // per-channel last coordinate ({-1,-1,-1} = none)
+	)
+	add := func(c rowCoord) {
+		if !seen[c] {
+			seen[c] = true
+			coords = append(coords, c)
+		}
 	}
-	return nil
+	for base := start; base < end; base += rowBytes {
+		blockEnd := base + rowBytes
+		if blockEnd <= end {
+			a, z := m.Map(base), m.Map(blockEnd-dram.LineBytes)
+			if a.Chan == z.Chan && a.Bank == z.Bank && a.Row == z.Row {
+				add(rowCoord{a.Chan, a.Bank, a.Row})
+				continue
+			}
+		} else {
+			blockEnd = end
+		}
+		for pa := base; pa < blockEnd; pa += dram.LineBytes {
+			a := m.Map(pa)
+			c := rowCoord{a.Chan, a.Bank, a.Row}
+			for a.Chan >= len(last) {
+				last = append(last, rowCoord{-1, -1, -1})
+			}
+			if last[a.Chan] != c {
+				last[a.Chan] = c
+				add(c)
+			}
+		}
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].ch != coords[j].ch {
+			return coords[i].ch < coords[j].ch
+		}
+		if coords[i].bank != coords[j].bank {
+			return coords[i].bank < coords[j].bank
+		}
+		return coords[i].row < coords[j].row
+	})
+	var groups []rowGroup
+	for _, c := range coords {
+		if n := len(groups); n == 0 || groups[n-1].ch != c.ch || groups[n-1].bank != c.bank {
+			groups = append(groups, rowGroup{ch: c.ch, bank: c.bank})
+		}
+		g := &groups[len(groups)-1]
+		g.rows = append(g.rows, rowRef{
+			row: c.row,
+			key: m.Unmap(dram.Addr{Chan: c.ch, Bank: c.bank, Row: c.row}),
+		})
+	}
+	return groups
 }
 
 // ProfileWeakRowsPerLine is the original line-at-a-time characterization:
@@ -144,30 +198,31 @@ func requireSingleChannel(sys *core.System, what string) error {
 func ProfileWeakRowsPerLine(sys *core.System, start, end uint64, rcd clock.PS) ([]uint64, ProfileStats, error) {
 	var stats ProfileStats
 	var weak []uint64
-	if err := requireSingleChannel(sys, "ProfileWeakRowsPerLine"); err != nil {
-		return nil, stats, err
-	}
-	rowBytes := uint64(sys.Mapper().RowBytes())
-	start &^= rowBytes - 1
-	for row := start; row < end; row += rowBytes {
-		stats.Rows++
-		rowWeak := false
-		for line := uint64(0); line < rowBytes; line += dram.LineBytes {
-			stats.LinesTried++
-			ok, err := sys.ProfileLine(row+line, rcd)
-			if err != nil {
-				return nil, stats, fmt.Errorf("techniques: profiling row %#x: %w", row, err)
+	m := sys.Mapper()
+	cols := m.RowBytes() / int(dram.LineBytes)
+	for _, group := range coveredRows(m, start, end) {
+		for _, ref := range group.rows {
+			stats.Rows++
+			rowWeak := false
+			for col := 0; col < cols; col++ {
+				stats.LinesTried++
+				pa := m.Unmap(dram.Addr{Chan: group.ch, Bank: group.bank, Row: ref.row, Col: col})
+				ok, err := sys.ProfileLine(pa, rcd)
+				if err != nil {
+					return nil, stats, fmt.Errorf("techniques: profiling row %#x: %w", ref.key, err)
+				}
+				if !ok {
+					rowWeak = true
+					break
+				}
 			}
-			if !ok {
-				rowWeak = true
-				break
+			if rowWeak {
+				stats.WeakRows++
+				weak = append(weak, ref.key)
 			}
 		}
-		if rowWeak {
-			stats.WeakRows++
-			weak = append(weak, row)
-		}
 	}
+	sort.Slice(weak, func(i, j int) bool { return weak[i] < weak[j] })
 	return weak, stats, nil
 }
 
@@ -191,11 +246,14 @@ func MinReliableTRCD(sys *core.System, rowBase uint64, nominal clock.PS) (clock.
 // MinReliableTRCDPerLine is the line-at-a-time variant of MinReliableTRCD,
 // kept as the equivalence-test reference for the whole-row path.
 func MinReliableTRCDPerLine(sys *core.System, rowBase uint64, nominal clock.PS) (clock.PS, error) {
-	rowBytes := uint64(sys.Mapper().RowBytes())
+	m := sys.Mapper()
+	a := m.Map(rowBase)
+	cols := m.RowBytes() / int(dram.LineBytes)
 	for _, lv := range RCDLevels {
 		allOK := true
-		for line := uint64(0); line < rowBytes; line += dram.LineBytes {
-			ok, err := sys.ProfileLine(rowBase+line, lv)
+		for col := 0; col < cols; col++ {
+			pa := m.Unmap(dram.Addr{Chan: a.Chan, Bank: a.Bank, Row: a.Row, Col: col})
+			ok, err := sys.ProfileLine(pa, lv)
 			if err != nil {
 				return 0, err
 			}
@@ -232,15 +290,15 @@ func BuildWeakRowFilter(weakRows []uint64, fpRate float64, seed uint64) (*bloom.
 // TRCDProvider returns the scheduler hook: strong rows activate with the
 // reduced tRCD; rows in the weak-row filter (plus false positives) use the
 // nominal value. Rows outside the profiled range are conservatively
-// nominal.
+// nominal. The row key preserves the channel coordinate, so one filter
+// covering a multi-channel characterization pass answers correctly for
+// every channel's controller.
 func TRCDProvider(f *bloom.Filter, m smc.Mapper, profiledStart, profiledEnd uint64, reduced clock.PS) smc.TRCDProvider {
-	rowBytes := uint64(m.RowBytes())
 	return func(a dram.Addr) clock.PS {
-		rowBase := m.Unmap(dram.Addr{Bank: a.Bank, Row: a.Row})
+		rowBase := m.Unmap(dram.Addr{Chan: a.Chan, Bank: a.Bank, Row: a.Row})
 		if rowBase < profiledStart || rowBase >= profiledEnd {
 			return 0 // nominal
 		}
-		_ = rowBytes
 		if f.Contains(rowBase) {
 			return 0 // weak (or false positive): nominal
 		}

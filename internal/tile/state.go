@@ -1,0 +1,62 @@
+package tile
+
+import (
+	"easydram/internal/clock"
+	"easydram/internal/snapshot"
+)
+
+// Checkpoint hooks. At an engine quiescent point the request slab and the
+// incoming FIFO are empty (every issued request has been served, responded
+// to, and released), so the tile serializes just its DRAM-bus cursor, its
+// event counters, and the host-link fault model's draw counters. The slab's
+// free list is an allocation cache, not state.
+
+// SaveState serializes the tile's persistent state. Call only at a
+// quiescent point — the FIFO population is encoded so restore can verify.
+func (t *Tile) SaveState(e *snapshot.Enc) {
+	e.Int(len(t.incoming) - t.head)
+	e.I64(int64(t.dramCursor))
+	e.I64(t.stats.RequestsIn)
+	e.I64(t.stats.ResponsesOut)
+	e.Int(t.stats.MaxQueueLen)
+	e.I64(t.stats.ProgramsRun)
+	e.I64(t.stats.InstrsRun)
+	e.I64(t.stats.LaunchFails)
+	e.I64(t.stats.CorruptLines)
+	e.I64(t.stats.ShortReadbacks)
+	e.Bool(t.link != nil)
+	if t.link != nil {
+		t.link.SaveState(e)
+	}
+}
+
+// LoadState restores state written by SaveState into a freshly constructed
+// tile of the same configuration.
+func (t *Tile) LoadState(d *snapshot.Dec) {
+	if n := d.Int(); n != 0 {
+		if d.Err() == nil {
+			d.Failf("tile: snapshot holds %d queued requests; checkpoints must be quiescent", n)
+		}
+		return
+	}
+	t.dramCursor = clock.PS(d.I64())
+	t.stats.RequestsIn = d.I64()
+	t.stats.ResponsesOut = d.I64()
+	t.stats.MaxQueueLen = d.Int()
+	t.stats.ProgramsRun = d.I64()
+	t.stats.InstrsRun = d.I64()
+	t.stats.LaunchFails = d.I64()
+	t.stats.CorruptLines = d.I64()
+	t.stats.ShortReadbacks = d.I64()
+	hadLink := d.Bool()
+	if d.Err() != nil {
+		return
+	}
+	if hadLink != (t.link != nil) {
+		d.Failf("tile: snapshot link-model presence %v, tile %v", hadLink, t.link != nil)
+		return
+	}
+	if t.link != nil {
+		t.link.LoadState(d)
+	}
+}

@@ -170,7 +170,12 @@ type goStream struct {
 	buf  []Op
 	idx  int
 	done bool
-	wg   sync.WaitGroup
+	// stopOnce guards the close of stop: the producer goroutine selects on
+	// the stop field concurrently, so Close must never write the field
+	// itself (an early abort — rejected restore blob, cycle-cap bail — can
+	// close the stream while the producer is mid-emit).
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 func newGoStream(body func(*Gen)) *goStream {
@@ -248,14 +253,13 @@ func (s *goStream) Next(op *Op) bool {
 }
 
 func (s *goStream) Close() {
-	if s.stop != nil {
+	s.stopOnce.Do(func() {
 		close(s.stop)
-		s.stop = nil
 		// Drain so the producer unblocks and exits.
 		for range s.ch {
 		}
 		s.wg.Wait()
-	}
+	})
 	s.done = true
 }
 
