@@ -119,7 +119,7 @@ func (e *engine) projectedMC(ch int) clock.Cycles {
 		occ := s.Occupancy - prevOcc
 		// One response per segment; its arrival tag lower-bounds the start.
 		if s.Responses > prevResp {
-			if p, ok := e.inflight.Get(resp[s.Responses-1].ReqID); ok {
+			if p, ok := e.inflight[ch].Get(resp[s.Responses-1].ReqID); ok {
 				if t := e.ts.ProcEmul.ToTime(p.tag); t > chain {
 					chain = t
 				}
@@ -152,13 +152,13 @@ func (e *engine) mayExtendBurstUnscaled(ch int) bool {
 			return false
 		}
 	}
-	if e.burstLimit == math.MaxInt64 {
+	if e.burstLimit[ch] == math.MaxInt64 {
 		return true
 	}
 	// Serial service would ingest the next staged request before the step
 	// whose decision point reaches its arrival; the decision point after
 	// the closed segments is their chained completion.
-	return int64(e.projectedCompletion(ch)) < e.burstLimit
+	return int64(e.projectedCompletion(ch)) < e.burstLimit[ch]
 }
 
 // projectedCompletion replays the unscaled service chain of channel ch's
@@ -175,7 +175,7 @@ func (e *engine) projectedCompletion(ch int) clock.PS {
 	for _, s := range env.Segments() {
 		start := free
 		if s.Responses > prevResp {
-			if p, ok := e.inflight.Get(resp[s.Responses-1].ReqID); ok && p.arrival > start {
+			if p, ok := e.inflight[ch].Get(resp[s.Responses-1].ReqID); ok && p.arrival > start {
 				start = p.arrival
 			}
 		}

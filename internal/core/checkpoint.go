@@ -77,7 +77,7 @@ func (s *System) RunRestored(strm workload.Stream, data []byte) (Result, error) 
 // outstanding requests, no undelivered responses, no staged issues, no
 // pending fence or blocked load, and a quiescent core.
 func (e *engine) quiescent() bool {
-	if e.inflight.Len() != 0 || e.ready.Len() != 0 || e.fencing || e.blockedOn != 0 {
+	if e.inflightLen() != 0 || e.ready.Len() != 0 || e.fencing || e.blockedOn != 0 {
 		return false
 	}
 	for _, st := range e.staged {

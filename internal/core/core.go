@@ -92,6 +92,18 @@ type Config struct {
 	// would fall due, so refresh-on configurations burst too (see burst.go).
 	BurstCap int
 
+	// ShardWorkers bounds the host worker pool the engine shards per-channel
+	// service onto during fence and drain phases (see shard.go). This is
+	// host parallelism only: results are byte-identical at any worker count.
+	// 0 selects GOMAXPROCS; 1 forces the existing single-threaded path
+	// (zero overhead); values above the channel count are clamped. Sharded
+	// runs invoke a shared stateless Scheduler and the TRCD provider from
+	// several goroutines concurrently, so both must be safe for concurrent
+	// read-only use (every implementation in this repository is).
+	// ShardWorkers is deliberately excluded from CompatKey: a checkpoint
+	// taken at one worker count restores at any other.
+	ShardWorkers int
+
 	// Topology selects the module organisation: independent channels, each
 	// with its own controller instance and Bender pipeline, and ranks
 	// sharing each channel's bus. The zero value normalises to the paper's
@@ -134,6 +146,9 @@ func (c Config) Validate() error {
 	}
 	if c.BurstCap < 0 {
 		return fmt.Errorf("core: burst cap must be non-negative, got %d", c.BurstCap)
+	}
+	if c.ShardWorkers < 0 {
+		return fmt.Errorf("core: shard workers must be non-negative, got %d", c.ShardWorkers)
 	}
 	if err := c.Topology.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -217,6 +232,34 @@ type System struct {
 	// hostReqID numbers host-driven characterization requests (see host.go).
 	// Per-system so concurrently running systems stay independent.
 	hostReqID uint64
+
+	// settleBatches/settleDelivered hold the most recent run's batched
+	// response-settlement counters (see SettleStats).
+	settleBatches   int64
+	settleDelivered int64
+	// shardRounds/shardSteps hold the most recent run's shard-runner
+	// counters (see ShardStats).
+	shardRounds int64
+	shardSteps  int64
+}
+
+// SettleStats reports the batched response-settlement counters of the most
+// recent run: how many nonzero drains of matured responses the engine
+// performed (batches) and how many responses those drains delivered in total
+// (delivered). delivered/batches is the mean settle batch length — the
+// engine-overhead amortization ROADMAP item 4 targets. Host-side telemetry
+// only; the counters never feed emulated time.
+func (s *System) SettleStats() (batches, delivered int64) {
+	return s.settleBatches, s.settleDelivered
+}
+
+// ShardStats reports the host-parallel shard runner's counters for the most
+// recent run: how many parallel fence/drain rounds engaged and how many
+// channel steps those rounds executed off the serial path (see shard.go).
+// Host-side telemetry only; sharding never changes emulated results, so
+// these counters exist to prove a run actually exercised the parallel path.
+func (s *System) ShardStats() (rounds, steps int64) {
+	return s.shardRounds, s.shardSteps
 }
 
 // hostReqIDBase is the first host-driven request ID. It sits far above any
@@ -380,7 +423,7 @@ func (s *System) run(strm workload.Stream, ck *ckptReq, restore *snapshot.Reader
 		cfg:           s.cfg,
 		sys:           s,
 		core:          core,
-		inflight:      newSlotRing(),
+		inflight:      make([]slotRing, nch),
 		ready:         newReleaseQueue(),
 		trackArrivals: s.cfg.RefreshEnabled,
 		burstCap:      1,
@@ -388,8 +431,13 @@ func (s *System) run(strm workload.Stream, ck *ckptReq, restore *snapshot.Reader
 		chanMC:        make([]clock.PS, nch),
 		arrivals:      make([]arrivalRing, nch),
 		staged:        make([][]stagedReq, nch),
+		burstLimit:    make([]int64, nch),
+		shardWorkers:  effectiveShardWorkers(s.cfg.ShardWorkers, nch),
 		ckpt:          ck,
 		restore:       restore,
+	}
+	for i := range e.inflight {
+		e.inflight[i] = newSlotRing()
 	}
 	if s.cfg.BurstCap > 1 {
 		// With refresh enabled the burst gates replay the per-step
@@ -397,11 +445,14 @@ func (s *System) run(strm workload.Stream, ck *ckptReq, restore *snapshot.Reader
 		// (see burst.go), so the cap engages in every configuration.
 		e.burstCap = s.cfg.BurstCap
 	}
+	defer e.stopShard()
 	if s.cfg.Scaling {
 		err = e.runScaled()
 	} else {
 		err = e.runUnscaled()
 	}
+	s.settleBatches, s.settleDelivered = e.settleBatches, e.settleDelivered
+	s.shardRounds, s.shardSteps = e.shardRounds, e.shardSteps
 	if err != nil {
 		return Result{}, err
 	}
@@ -426,9 +477,10 @@ type engine struct {
 	// global MC counter is kept at the maximum over channels.
 	chanMC []clock.PS
 
-	// inflight tracks outstanding requests in a dense slot ring indexed by
-	// request ID (IDs are sequential, so indexing replaces hashing).
-	inflight slotRing
+	// inflight tracks outstanding requests in dense slot rings indexed by
+	// request ID (IDs are sequential, so indexing replaces hashing), one
+	// ring per owning channel so shard workers mutate only their own ring.
+	inflight []slotRing
 	// arrivals mirrors inflight in issue order, one ring per channel
 	// (monotone arrival keys: processor-cycle tags when scaling, wall
 	// picoseconds otherwise); the head yields the channel's earliest live
@@ -465,13 +517,30 @@ type engine struct {
 
 	// Burst service state: burstCap is the per-step budget granted to the
 	// controller (1 = serial); burstPhase records which engine state the
-	// current SMC step runs under; and burstLimit is the next staged
-	// arrival (unscaled mode) the burst's service chain must stay below.
-	// The gates learn the stepped channel through per-env closures bound
-	// at run start. See burst.go.
+	// current SMC step runs under; and burstLimit is, per channel, the next
+	// staged arrival (unscaled mode) the channel's burst service chain must
+	// stay below. The gates learn the stepped channel through per-env
+	// closures bound at run start. See burst.go.
 	burstCap   int
 	burstPhase burstPhase
-	burstLimit int64
+	burstLimit []int64
+
+	// shardWorkers is the effective host worker count (1 = serial path);
+	// shard is the lazily created worker pool. See shard.go.
+	shardWorkers int
+	shard        *shardRunner
+
+	// settleBatches/settleDelivered count batched response settlement: each
+	// nonzero drain of matured releases is one batch. Exposed through
+	// System.SettleStats (not Result: the counters are host-side engine
+	// telemetry, not emulated-system behaviour).
+	settleBatches   int64
+	settleDelivered int64
+	// shardRounds/shardSteps count engaged shard rounds and the channel
+	// steps they executed off the serial path. Exposed through
+	// System.ShardStats.
+	shardRounds int64
+	shardSteps  int64
 
 	procCycles  clock.Cycles // final, non-scaled mode
 	globalFinal clock.Cycles
@@ -517,6 +586,16 @@ func (e *engine) result() Result {
 	return r
 }
 
+// inflightLen reports the total number of outstanding requests across all
+// channels' rings.
+func (e *engine) inflightLen() int {
+	n := 0
+	for i := range e.inflight {
+		n += e.inflight[i].Len()
+	}
+	return n
+}
+
 // earliestArrival reports the smallest arrival key among channel ch's
 // unserved requests (amortised O(1): completed heads are skipped off the
 // issue-order ring).
@@ -524,7 +603,7 @@ func (e *engine) earliestArrival(ch int) (int64, bool) {
 	ring := &e.arrivals[ch]
 	for ring.head < len(ring.buf) {
 		ent := ring.buf[ring.head]
-		if e.inflight.Contains(ent.id) {
+		if e.inflight[ch].Contains(ent.id) {
 			return ent.key, true
 		}
 		ring.skipHead()
@@ -542,7 +621,7 @@ func (e *engine) earliestUnservedArrival(ch int) (int64, bool) {
 	ring := &e.arrivals[ch]
 	for i := ring.head; i < len(ring.buf); i++ {
 		ent := ring.buf[i]
-		if !e.inflight.Contains(ent.id) {
+		if !e.inflight[ch].Contains(ent.id) {
 			continue
 		}
 		responded := false

@@ -43,6 +43,12 @@ func (e *engine) runScaled() error {
 				ts.JumpProcTo(clock.Cycles(release))
 				e.consumeScaled(e.blockedOn)
 				e.blockedOn = 0
+				// Batched settlement: every other response released by the
+				// jumped-to processor point matures with the one just
+				// consumed, so settle the whole batch here instead of
+				// paying one loop iteration per response (the next
+				// loop-top drain would deliver exactly these).
+				e.deliverMaturedScaled()
 				continue
 			}
 			e.burstPhase = burstPhaseBlocked
@@ -53,7 +59,7 @@ func (e *engine) runScaled() error {
 		}
 
 		if e.fencing {
-			if e.inflight.Len() == 0 && e.ready.Len() == 0 {
+			if e.inflightLen() == 0 && e.ready.Len() == 0 {
 				ts.JumpProcTo(e.maxRelease)
 				e.maybeExitCritical()
 				e.fencing = false
@@ -67,6 +73,11 @@ func (e *engine) runScaled() error {
 				continue
 			}
 			e.burstPhase = burstPhaseFence
+			if ran, err := e.shardRoundScaled(true); err != nil {
+				return err
+			} else if ran {
+				continue
+			}
 			if err := e.smcStepScaled(); err != nil {
 				return err
 			}
@@ -122,7 +133,12 @@ func (e *engine) runScaled() error {
 
 	// Drain posted writebacks so wall-time accounting covers them.
 	e.burstPhase = burstPhaseDrain
-	for e.inflight.Len() > 0 {
+	for e.inflightLen() > 0 {
+		if ran, err := e.shardRoundScaled(false); err != nil {
+			return err
+		} else if ran {
+			continue
+		}
 		if err := e.smcStepScaled(); err != nil {
 			return err
 		}
@@ -132,15 +148,22 @@ func (e *engine) runScaled() error {
 }
 
 // deliverMaturedScaled hands the core every ready response whose release
-// point has been reached (in release order, O(log n) each).
+// point has been reached (in release order, O(log n) each). Each nonzero
+// drain is one settle batch (ROADMAP item 4).
 func (e *engine) deliverMaturedScaled() {
 	proc := int64(e.ts.Proc())
+	n := int64(0)
 	for e.ready.Len() > 0 && e.ready.Min().release <= proc {
 		it := e.ready.PopMin()
 		e.core.Deliver(it.id)
 		if e.blockedOn == it.id {
 			e.blockedOn = 0
 		}
+		n++
+	}
+	if n > 0 {
+		e.settleBatches++
+		e.settleDelivered += n
 	}
 }
 
@@ -159,7 +182,7 @@ func (e *engine) issueScaled(req *mem.Request) {
 	req.Tag = e.ts.Proc()
 	ch := e.sys.chanIndex(req.Addr)
 	e.sys.chans[ch].tile.PushRequest(req)
-	e.inflight.Put(req.ID, pending{posted: req.Posted, tag: req.Tag})
+	e.inflight[ch].Put(req.ID, pending{posted: req.Posted, tag: req.Tag})
 	if e.trackArrivals {
 		e.arrivals[ch].Push(req.ID, int64(req.Tag))
 	}
@@ -169,7 +192,7 @@ func (e *engine) issueScaled(req *mem.Request) {
 }
 
 func (e *engine) maybeExitCritical() {
-	if e.inflight.Len() == 0 && e.ts != nil && e.ts.Critical() {
+	if e.ts != nil && e.ts.Critical() && e.inflightLen() == 0 {
 		e.ts.ExitCritical()
 	}
 }
@@ -187,18 +210,63 @@ func (e *engine) mcTimeOf(ch int) clock.PS {
 // serveModeledChan is the multi-channel counterpart of
 // timescale.Counters.ServeModeled: one service on channel ch's own MC
 // chain, with the global MC counter lifted to the maximum over channels so
-// processor allowance sees the memory system's overall progress.
-func (e *engine) serveModeledChan(ch int, arrival clock.Cycles, occupancy, latency clock.PS) clock.Cycles {
+// processor allowance sees the memory system's overall progress. A shard
+// worker (non-nil fx) must not touch the shared counter; chanMC is monotone
+// per channel, so the merge's final RaiseMCTime of each channel's chain
+// reproduces the maximum the per-step lifts would have reached.
+func (e *engine) serveModeledChan(ch int, fx *chanFX, arrival clock.Cycles, occupancy, latency clock.PS) clock.Cycles {
 	start := e.chanMC[ch]
 	if t := e.ts.ProcEmul.ToTime(arrival); t > start {
 		start = t
 	}
 	e.chanMC[ch] = start + occupancy
-	e.ts.RaiseMCTime(e.chanMC[ch])
+	if fx == nil {
+		e.ts.RaiseMCTime(e.chanMC[ch])
+	}
 	if latency < occupancy {
 		latency = occupancy
 	}
 	return e.ts.ProcEmul.CyclesCeil(start + latency)
+}
+
+// chargeWallScaled charges FPGA wall time consumed by the SMC or Bender.
+// Serial path: straight to the counters. Shard worker: recorded as FPGA
+// cycles (the per-call ceiling AdvanceWall would take) and credited at
+// merge — with time scaling the charge only moves the global counter, a
+// commutative sum.
+func (e *engine) chargeWallScaled(fx *chanFX, d clock.PS) {
+	if fx == nil {
+		e.ts.AdvanceWall(d)
+		return
+	}
+	fx.global += e.cfg.FPGA.CyclesCeil(d)
+}
+
+// noteRelease tracks the run's maximum response release point (what a
+// fence jumps to). Commutative max, so workers record per-channel maxima.
+func (e *engine) noteRelease(fx *chanFX, release clock.Cycles) {
+	if fx == nil {
+		if release > e.maxRelease {
+			e.maxRelease = release
+		}
+		return
+	}
+	if release > fx.maxRel {
+		fx.maxRel = release
+	}
+}
+
+// pushReady queues one response for delivery. Serial path: straight into
+// the shared release heap. Shard worker: recorded in the effect sink; the
+// merge replays pushes in canonical serial order, so heap sequence numbers
+// — and therefore delivery order among equal releases — are bit-identical
+// to the serial run.
+func (e *engine) pushReady(fx *chanFX, id uint64, release int64) {
+	if fx == nil {
+		e.ready.Push(id, release)
+		return
+	}
+	fx.resps = append(fx.resps, shardRespFX{id: id, release: release})
 }
 
 // channelHasWorkScaled reports whether channel ch's controller has arrived
@@ -232,7 +300,7 @@ func (e *engine) pickChannelScaled() (int, bool) {
 // by max(service point, next arrival). Refreshes falling in idle periods
 // chain off the stale service point and so cost the emulated timeline
 // nothing.
-func (e *engine) settleRefreshesScaled(ch int) error {
+func (e *engine) settleRefreshesScaled(ch int, fx *chanFX) error {
 	c := &e.sys.chans[ch]
 	if !c.ctl.RefreshEnabled() {
 		return nil
@@ -266,13 +334,13 @@ func (e *engine) settleRefreshesScaled(ch int) error {
 		if e.cfg.HardwareMC {
 			charged = 0
 		}
-		e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + env.BenderWall())
+		e.chargeWallScaled(fx, clock.PS(charged)*e.cfg.FPGA.Period()+env.BenderWall())
 		if single {
 			e.ts.ServeModeled(e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
 		} else {
-			e.serveModeledChan(ch, e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
+			e.serveModeledChan(ch, fx, e.cfg.CPU.Clock.CyclesCeil(due), env.Occupancy(), env.Latency())
 		}
-		if debugTrace {
+		if debugTrace && fx == nil {
 			tracef("S refresh ch=%d due=%v occ=%v mc=%d", ch, due, env.Occupancy(), e.ts.MC())
 		}
 	}
@@ -291,14 +359,19 @@ func (e *engine) smcStepScaled() error {
 			e.ts.JumpProcTo(clock.Cycles(e.ready.Min().release))
 			return nil
 		}
-		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflightLen(), e.blockedOn)
 	}
-	return e.stepChannelScaled(ch)
+	return e.stepChannelScaled(ch, nil)
 }
 
-// stepChannelScaled runs one controller iteration on channel ch.
-func (e *engine) stepChannelScaled(ch int) error {
-	if err := e.settleRefreshesScaled(ch); err != nil {
+// stepChannelScaled runs one controller iteration on channel ch. With a nil
+// fx the step applies its shared effects (wall charges, the shared MC
+// counter, release-heap pushes, maxRelease) directly — the serial path. A
+// non-nil fx is a shard worker's effect sink: shared effects are recorded
+// there for the canonical merge, and everything the step touches directly
+// is channel-local (see shard.go).
+func (e *engine) stepChannelScaled(ch int, fx *chanFX) error {
+	if err := e.settleRefreshesScaled(ch, fx); err != nil {
 		return err
 	}
 	c := &e.sys.chans[ch]
@@ -310,6 +383,13 @@ func (e *engine) stepChannelScaled(ch int) error {
 		return err
 	}
 	if !worked {
+		if fx != nil {
+			// A worker cannot consult the shared ready queue or move the
+			// processor; park the channel and let the serial path resolve
+			// the idle state.
+			fx.stopped = true
+			return nil
+		}
 		// Nothing left to serve on this channel: every in-flight request
 		// routed here has a ready response. Let the processor domain catch
 		// up to the earliest release so the responses mature.
@@ -317,20 +397,20 @@ func (e *engine) stepChannelScaled(ch int) error {
 			e.ts.JumpProcTo(clock.Cycles(e.ready.Min().release))
 			return nil
 		}
-		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+		return fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflightLen(), e.blockedOn)
 	}
 
 	single := len(e.sys.chans) == 1
 
 	if len(env.Segments()) > 0 {
-		return e.settleScaledSegments(ch, env)
+		return e.settleScaledSegments(ch, env, fx)
 	}
 
 	charged := env.ChargedFPGA()
 	if e.cfg.HardwareMC {
 		charged = 0
 	}
-	e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + env.BenderWall())
+	e.chargeWallScaled(fx, clock.PS(charged)*e.cfg.FPGA.Period()+env.BenderWall())
 
 	responses := env.Responses()
 	// One service on the channel's MC resource: start at max(service point,
@@ -340,7 +420,7 @@ func (e *engine) stepChannelScaled(ch int) error {
 	// reference engine's wall-clock service math.
 	arrival := clock.Cycles(0)
 	if len(responses) > 0 {
-		if p, ok := e.inflight.Get(responses[0].ReqID); ok {
+		if p, ok := e.inflight[ch].Get(responses[0].ReqID); ok {
 			arrival = p.tag
 		}
 	}
@@ -348,27 +428,27 @@ func (e *engine) stepChannelScaled(ch int) error {
 	if single {
 		release = e.ts.ServeModeled(arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
 	} else {
-		release = e.serveModeledChan(ch, arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
+		release = e.serveModeledChan(ch, fx, arrival, env.Occupancy(), env.Latency()+e.extraModeled(len(responses)))
 	}
 	if len(responses) > 0 {
-		if debugTrace {
+		if debugTrace && fx == nil {
 			tracef("S serve ch=%d id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", ch, responses[0].ReqID, arrival, env.Occupancy(), env.Latency(), e.ts.MC(), release, e.ts.Proc())
 		}
 	}
 	for _, r := range responses {
-		p, ok := e.inflight.Take(r.ReqID)
+		p, ok := e.inflight[ch].Take(r.ReqID)
 		if !ok {
 			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
-		if release > e.maxRelease {
-			e.maxRelease = release
-		}
+		e.noteRelease(fx, release)
 		if p.posted {
 			continue
 		}
-		e.ready.Push(r.ReqID, int64(release))
+		e.pushReady(fx, r.ReqID, int64(release))
 	}
-	e.maybeExitCritical()
+	if fx == nil {
+		e.maybeExitCritical()
+	}
 	return nil
 }
 
@@ -379,7 +459,7 @@ func (e *engine) stepChannelScaled(ch int) error {
 // resource, and one release tag per response — so responses enter the
 // release queue with their individual latencies and the counters advance
 // bit-identically to serial service.
-func (e *engine) settleScaledSegments(ch int, env *smc.Env) error {
+func (e *engine) settleScaledSegments(ch int, env *smc.Env, fx *chanFX) error {
 	single := len(e.sys.chans) == 1
 	responses := env.Responses()
 	var prev smc.Segment
@@ -388,13 +468,13 @@ func (e *engine) settleScaledSegments(ch int, env *smc.Env) error {
 		if e.cfg.HardwareMC {
 			charged = 0
 		}
-		e.ts.AdvanceWall(clock.PS(charged)*e.cfg.FPGA.Period() + s.Wall)
+		e.chargeWallScaled(fx, clock.PS(charged)*e.cfg.FPGA.Period()+s.Wall)
 		if s.Responses != prev.Responses+1 {
 			return fmt.Errorf("core: burst segment closed with %d responses, want 1", s.Responses-prev.Responses)
 		}
 		r := responses[s.Responses-1]
 		arrival := clock.Cycles(0)
-		p, ok := e.inflight.Get(r.ReqID)
+		p, ok := e.inflight[ch].Get(r.ReqID)
 		if ok {
 			arrival = p.tag
 		}
@@ -403,24 +483,24 @@ func (e *engine) settleScaledSegments(ch int, env *smc.Env) error {
 			release = e.ts.ServeModeled(arrival, s.Occupancy-prev.Occupancy,
 				s.Latency-prev.Latency+e.extraModeled(1))
 		} else {
-			release = e.serveModeledChan(ch, arrival, s.Occupancy-prev.Occupancy,
+			release = e.serveModeledChan(ch, fx, arrival, s.Occupancy-prev.Occupancy,
 				s.Latency-prev.Latency+e.extraModeled(1))
 		}
-		if debugTrace {
+		if debugTrace && fx == nil {
 			tracef("S burst-serve ch=%d id=%d arrival=%d occ=%v lat=%v mc=%d release=%d proc=%d", ch, r.ReqID, arrival,
 				s.Occupancy-prev.Occupancy, s.Latency-prev.Latency, e.ts.MC(), release, e.ts.Proc())
 		}
-		if _, ok := e.inflight.Take(r.ReqID); !ok {
+		if _, ok := e.inflight[ch].Take(r.ReqID); !ok {
 			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
-		if release > e.maxRelease {
-			e.maxRelease = release
-		}
+		e.noteRelease(fx, release)
 		if !p.posted {
-			e.ready.Push(r.ReqID, int64(release))
+			e.pushReady(fx, r.ReqID, int64(release))
 		}
 		prev = s
 	}
-	e.maybeExitCritical()
+	if fx == nil {
+		e.maybeExitCritical()
+	}
 	return nil
 }

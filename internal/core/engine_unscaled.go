@@ -36,13 +36,7 @@ func (e *engine) runUnscaled() error {
 	for {
 		// Deliver responses whose wall release time has passed (in release
 		// order; the ready queue keys are wall picoseconds here).
-		for e.ready.Len() > 0 && e.ready.Min().release <= int64(e.wallNow) {
-			it := e.ready.PopMin()
-			e.core.Deliver(it.id)
-			if e.blockedOn == it.id {
-				e.blockedOn = 0
-			}
-		}
+		e.drainMaturedUnscaled()
 
 		if e.ckpt != nil && !e.ckpt.taken && proc() >= e.ckpt.at && e.quiescent() {
 			e.capture()
@@ -59,6 +53,12 @@ func (e *engine) runUnscaled() error {
 				e.ready.Remove(e.blockedOn)
 				e.core.Deliver(e.blockedOn)
 				e.blockedOn = 0
+				// Batched settlement: every other response due by the
+				// advanced wall point matures with the one just consumed,
+				// so settle the whole batch here instead of paying one
+				// loop iteration per response (the next loop-top drain
+				// would deliver exactly these).
+				e.drainMaturedUnscaled()
 				continue
 			}
 			e.burstPhase = burstPhaseBlocked
@@ -73,7 +73,7 @@ func (e *engine) runUnscaled() error {
 		}
 
 		if e.fencing {
-			if e.inflight.Len() == 0 && e.ready.Len() == 0 {
+			if e.inflightLen() == 0 && e.ready.Len() == 0 {
 				if e.maxWall > e.wallNow {
 					e.wallNow = e.maxWall
 				}
@@ -81,8 +81,13 @@ func (e *engine) runUnscaled() error {
 				e.core.FenceDone()
 				continue
 			}
-			if e.inflight.Len() > 0 {
+			if e.inflightLen() > 0 {
 				e.burstPhase = burstPhaseFence
+				if ran, err := e.shardRoundUnscaled(true); err != nil {
+					return err
+				} else if ran {
+					continue
+				}
 				w, err := e.smcStepUnscaled()
 				if err != nil {
 					return err
@@ -130,7 +135,7 @@ func (e *engine) runUnscaled() error {
 			// Copy into the owning channel's tile slab once; stage the slot
 			// until arrival.
 			e.staged[ch] = append(e.staged[ch], stagedReq{slot: e.sys.chans[ch].tile.Stage(req), id: req.ID})
-			e.inflight.Put(req.ID, pending{posted: req.Posted, arrival: e.wallNow})
+			e.inflight[ch].Put(req.ID, pending{posted: req.Posted, arrival: e.wallNow})
 			if e.trackArrivals {
 				e.arrivals[ch].Push(req.ID, int64(e.wallNow))
 			}
@@ -151,7 +156,12 @@ func (e *engine) runUnscaled() error {
 	e.procCycles = proc()
 	// Drain remaining posted writebacks for wall-time accounting.
 	e.burstPhase = burstPhaseDrain
-	for e.inflight.Len() > 0 {
+	for e.inflightLen() > 0 {
+		if ran, err := e.shardRoundUnscaled(false); err != nil {
+			return err
+		} else if ran {
+			continue
+		}
 		w, err := e.smcStepUnscaled()
 		if err != nil {
 			return err
@@ -170,6 +180,26 @@ func (e *engine) runUnscaled() error {
 	return nil
 }
 
+// drainMaturedUnscaled hands the core every ready response whose wall
+// release time has passed, in release order. Each nonzero drain is one
+// settle batch (ROADMAP item 4: responses settle in batches instead of one
+// engine iteration each).
+func (e *engine) drainMaturedUnscaled() {
+	n := int64(0)
+	for e.ready.Len() > 0 && e.ready.Min().release <= int64(e.wallNow) {
+		it := e.ready.PopMin()
+		e.core.Deliver(it.id)
+		if e.blockedOn == it.id {
+			e.blockedOn = 0
+		}
+		n++
+	}
+	if n > 0 {
+		e.settleBatches++
+		e.settleDelivered += n
+	}
+}
+
 // channelHasWorkUnscaled reports whether channel ch has anything for its
 // controller: arrived requests in the tile FIFO, buffered table entries, or
 // staged (issued but not yet arrived) requests it would wait for.
@@ -178,11 +208,25 @@ func (e *engine) channelHasWorkUnscaled(ch int) bool {
 	return !c.tile.IncomingEmpty() || c.ctl.Pending() > 0 || len(e.staged[ch]) > 0
 }
 
+// chanKeyUnscaled is channel ch's pick key: its next controller decision
+// point, max(the channel's SMC-free point, its next staged arrival when it
+// is otherwise idle). Monotone nondecreasing across the channel's steps —
+// what makes the shard merge's (key, channel) order equal the serial
+// interleave (see shard.go).
+func (e *engine) chanKeyUnscaled(ch int) clock.PS {
+	key := e.chanFree[ch]
+	c := &e.sys.chans[ch]
+	if len(e.staged[ch]) > 0 && c.tile.IncomingEmpty() && c.ctl.Pending() == 0 {
+		if p, found := e.inflight[ch].Get(e.staged[ch][0].id); found && key < p.arrival {
+			key = p.arrival
+		}
+	}
+	return key
+}
+
 // pickChannelUnscaled selects the channel whose next controller decision
-// point is earliest: max(the channel's SMC-free point, its next staged
-// arrival when it is otherwise idle). Ties break to the lower index, so
-// runs are deterministic at any channel count. ok is false when no channel
-// has work.
+// point is earliest. Ties break to the lower index, so runs are
+// deterministic at any channel count. ok is false when no channel has work.
 func (e *engine) pickChannelUnscaled() (int, bool) {
 	best, ok := -1, false
 	var bestKey clock.PS
@@ -190,13 +234,7 @@ func (e *engine) pickChannelUnscaled() (int, bool) {
 		if !e.channelHasWorkUnscaled(ch) {
 			continue
 		}
-		key := e.chanFree[ch]
-		c := &e.sys.chans[ch]
-		if len(e.staged[ch]) > 0 && c.tile.IncomingEmpty() && c.ctl.Pending() == 0 {
-			if p, found := e.inflight.Get(e.staged[ch][0].id); found && key < p.arrival {
-				key = p.arrival
-			}
-		}
+		key := e.chanKeyUnscaled(ch)
 		if !ok || key < bestKey {
 			best, bestKey, ok = ch, key, true
 		}
@@ -261,13 +299,17 @@ func (e *engine) smcStepUnscaled() (clock.PS, error) {
 			}
 			return free, nil
 		}
-		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflightLen(), e.blockedOn)
 	}
-	return e.stepChannelUnscaled(ch)
+	return e.stepChannelUnscaled(ch, nil)
 }
 
-// stepChannelUnscaled runs one controller iteration on channel ch.
-func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
+// stepChannelUnscaled runs one controller iteration on channel ch. With a
+// nil fx the step applies its shared effects (ready-queue pushes) directly
+// — the serial path. A non-nil fx is a shard worker's effect sink: shared
+// effects are recorded there for the canonical merge, and everything the
+// step touches directly is channel-local (see shard.go).
+func (e *engine) stepChannelUnscaled(ch int, fx *chanFX) (clock.PS, error) {
 	if err := e.settleRefreshesUnscaled(ch); err != nil {
 		return 0, err
 	}
@@ -279,13 +321,13 @@ func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
 	// in issue order and arrivals are monotone, so the earliest is first.
 	decision := e.chanFree[ch]
 	if len(e.staged[ch]) > 0 && c.tile.IncomingEmpty() && c.ctl.Pending() == 0 {
-		if p, ok := e.inflight.Get(e.staged[ch][0].id); ok && decision < p.arrival {
+		if p, ok := e.inflight[ch].Get(e.staged[ch][0].id); ok && decision < p.arrival {
 			decision = p.arrival
 		}
 	}
 	kept := e.staged[ch][:0]
 	for _, sr := range e.staged[ch] {
-		if p, _ := e.inflight.Get(sr.id); p.arrival <= decision {
+		if p, _ := e.inflight[ch].Get(sr.id); p.arrival <= decision {
 			c.tile.Enqueue(sr.slot)
 		} else {
 			kept = append(kept, sr)
@@ -295,10 +337,10 @@ func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
 
 	// A burst's service chain must stop before the next staged arrival:
 	// serial stepping would ingest that request first (see burst.go).
-	e.burstLimit = math.MaxInt64
+	e.burstLimit[ch] = math.MaxInt64
 	if len(e.staged[ch]) > 0 {
-		if p, ok := e.inflight.Get(e.staged[ch][0].id); ok {
-			e.burstLimit = int64(p.arrival)
+		if p, ok := e.inflight[ch].Get(e.staged[ch][0].id); ok {
+			e.burstLimit[ch] = int64(p.arrival)
 		}
 	}
 
@@ -313,17 +355,23 @@ func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
 		return 0, err
 	}
 	if !worked {
+		if fx != nil {
+			// A worker cannot consult the shared ready queue; park the
+			// channel and let the serial path resolve the idle state.
+			fx.stopped = true
+			return 0, nil
+		}
 		if e.ready.Len() > 0 {
 			// Everything outstanding is already responded; nothing to do.
 			return e.chanFree[ch], nil
 		}
-		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflight.Len(), e.blockedOn)
+		return 0, fmt.Errorf("core: SMC idle with %d requests in flight (blocked=%d)", e.inflightLen(), e.blockedOn)
 	}
 
 	responses := env.Responses()
 
 	if len(env.Segments()) > 0 {
-		return e.settleUnscaledSegments(ch, env)
+		return e.settleUnscaledSegments(ch, env, fx)
 	}
 
 	// Service start: the SMC must be free and the request must have
@@ -331,7 +379,7 @@ func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
 	// response identifies the request being served).
 	start := e.chanFree[ch]
 	if len(responses) > 0 {
-		if p, ok := e.inflight.Get(responses[0].ReqID); ok && p.arrival > start {
+		if p, ok := e.inflight[ch].Get(responses[0].ReqID); ok && p.arrival > start {
 			start = p.arrival
 		}
 	}
@@ -356,20 +404,20 @@ func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
 	}
 	e.chanFree[ch] = completion
 	if len(responses) > 0 {
-		if debugTrace {
+		if debugTrace && fx == nil {
 			tracef("U serve ch=%d id=%d start=%d occ=%v lat=%v completion=%d release=%d", ch, responses[0].ReqID, start, env.Occupancy(), env.Latency(), completion, release)
 		}
 	}
 
 	for _, r := range responses {
-		p, ok := e.inflight.Take(r.ReqID)
+		p, ok := e.inflight[ch].Take(r.ReqID)
 		if !ok {
 			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
 		if p.posted {
 			continue
 		}
-		e.ready.Push(r.ReqID, int64(release))
+		e.pushReady(fx, r.ReqID, int64(release))
 	}
 	return completion, nil
 }
@@ -380,7 +428,7 @@ func (e *engine) stepChannelUnscaled(ch int) (clock.PS, error) {
 // chains the serial resource by its charged SMC cycles plus modeled
 // occupancy, and releases its response at its own latency. The returned
 // completion is the last segment's (the chain's maximum).
-func (e *engine) settleUnscaledSegments(ch int, env *smc.Env) (clock.PS, error) {
+func (e *engine) settleUnscaledSegments(ch int, env *smc.Env, fx *chanFX) (clock.PS, error) {
 	responses := env.Responses()
 	var prev smc.Segment
 	var completion clock.PS
@@ -389,7 +437,7 @@ func (e *engine) settleUnscaledSegments(ch int, env *smc.Env) (clock.PS, error) 
 			return 0, fmt.Errorf("core: burst segment closed with %d responses, want 1", s.Responses-prev.Responses)
 		}
 		r := responses[s.Responses-1]
-		p, ok := e.inflight.Get(r.ReqID)
+		p, ok := e.inflight[ch].Get(r.ReqID)
 		if !ok {
 			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
@@ -411,12 +459,12 @@ func (e *engine) settleUnscaledSegments(ch int, env *smc.Env) (clock.PS, error) 
 			release = completion
 		}
 		e.chanFree[ch] = completion
-		if debugTrace {
+		if debugTrace && fx == nil {
 			tracef("U burst-serve ch=%d id=%d start=%d completion=%d release=%d", ch, r.ReqID, start, completion, release)
 		}
-		e.inflight.Take(r.ReqID)
+		e.inflight[ch].Take(r.ReqID)
 		if !p.posted {
-			e.ready.Push(r.ReqID, int64(release))
+			e.pushReady(fx, r.ReqID, int64(release))
 		}
 		prev = s
 	}

@@ -121,6 +121,12 @@ type Case struct {
 	// (Appended at the end of Decode, like every new axis, so older seeds
 	// keep decoding to the same earlier-axis values.)
 	CheckpointFrac int `json:"checkpoint_frac,omitempty"`
+
+	// ShardWorkers > 1 arms the shard-identity check: the case runs with
+	// that many host shard workers and must produce a result bit-identical
+	// to the single-worker (serial-path) run — core.Config.ShardWorkers is
+	// a pure host-parallelism knob. 0 runs serial and skips the axis.
+	ShardWorkers int `json:"shard_workers,omitempty"`
 }
 
 // splitmix is SplitMix64, the same stateless hash the fault and variation
@@ -242,6 +248,14 @@ func Decode(seed uint64) Case {
 	if s.chance(1, 4) {
 		c.CheckpointFrac = 1 + int(s.mod(6)) // 1/8 .. 6/8 into the run
 	}
+
+	// Host-parallel shard workers (appended last, decoder purity): 1 in 3
+	// cases runs sharded and must digest-match its single-worker twin. Only
+	// multi-channel cases can engage the shard runner, so the draw is gated
+	// to keep the armed fraction meaningful.
+	if c.Channels > 1 && s.chance(1, 3) {
+		c.ShardWorkers = 2 + int(s.mod(3)) // 2, 3, 4
+	}
 	return c
 }
 
@@ -282,6 +296,13 @@ func (c Case) SystemConfig() (core.Config, error) {
 
 	cfg.BurstCap = c.BurstCap
 	cfg.RefreshEnabled = c.Refresh
+	// Unarmed cases pin ShardWorkers to 1 (not 0 = GOMAXPROCS): the fuzzer's
+	// baseline runs must take the serial path so the shard-identity check
+	// compares a genuinely sharded run against a genuinely serial one.
+	cfg.ShardWorkers = 1
+	if c.ShardWorkers > 0 {
+		cfg.ShardWorkers = c.ShardWorkers
+	}
 	cfg.Faults = c.Faults.Config()
 	if c.Mitigation != "" {
 		cfg.Mitigation = fault.MitigationConfig{Policy: c.Mitigation, Seed: c.Faults.Seed}
@@ -295,9 +316,9 @@ func (c Case) String() string {
 	if mit == "" {
 		mit = "none"
 	}
-	return fmt.Sprintf("%s/%d %dch%drk/%s %s burst=%d refresh=%v ts=%v faults=%v mit=%s ck=%d",
+	return fmt.Sprintf("%s/%d %dch%drk/%s %s burst=%d refresh=%v ts=%v faults=%v mit=%s ck=%d shard=%d",
 		c.Kernel, c.KernelDim, c.Channels, c.Ranks, c.Interleave, c.Scheduler,
-		c.BurstCap, c.Refresh, c.TimeScaling, c.Faults.Enabled(), mit, c.CheckpointFrac)
+		c.BurstCap, c.Refresh, c.TimeScaling, c.Faults.Enabled(), mit, c.CheckpointFrac, c.ShardWorkers)
 }
 
 // MarshalIndent renders the case as the canonical JSON used in regression

@@ -60,6 +60,29 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestShardIdentityReplay replays the shard-identity axis directly: the
+// first few decoded cases that arm ShardWorkers run through the full check
+// set, which includes the sharded-vs-serial digest comparison. A dedicated
+// named test so the CI race smoke can drive the shard runner's worker pool
+// under the race detector by name.
+func TestShardIdentityReplay(t *testing.T) {
+	checked := 0
+	for seed := uint64(0); seed < 4096 && checked < 4; seed++ {
+		c := Decode(seed)
+		if c.ShardWorkers <= 1 || c.Channels <= 1 {
+			continue
+		}
+		checked++
+		rep := RunCase(c, nil)
+		if rep.Failure != nil {
+			t.Errorf("seed %#x [%s]\n  %s: %s", seed, c, rep.Failure.Check, rep.Failure.Detail)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no seed in 0..4095 armed the shard axis; the decoder draw is broken")
+	}
+}
+
 // TestDecodeIsPureAndRoundTrips pins the case encoding: decoding is a pure
 // function of the seed, every decoded case builds a valid system and
 // kernel, and the JSON form (the regression corpus format) round-trips to
@@ -149,11 +172,14 @@ func TestDecodeCoversEveryAxis(t *testing.T) {
 		if c.CheckpointFrac > 0 {
 			seen["checkpoint"] = true
 		}
+		if c.ShardWorkers > 1 {
+			seen["shard"] = true
+		}
 	}
 	for _, axis := range []string{
 		"multi-channel", "multi-rank", "row-interleave", "fcfs", "bliss", "burst",
 		"refresh-off", "direct-mode", "faults", "disturb", "link-faults", "para",
-		"trr", "comparable", "checkpoint",
+		"trr", "comparable", "checkpoint", "shard",
 	} {
 		if !seen[axis] {
 			t.Errorf("512 seeds never drew axis %q", axis)
