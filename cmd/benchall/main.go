@@ -301,6 +301,28 @@ func report(w io.Writer, opt experiments.Options, snap *snapshot) error {
 				ws.SpeedupX(), ws.Fallbacks, ws.IdentityMismatches)
 			return nil
 		}},
+		{"fairness", func() error {
+			section("Extension — multi-core fairness sweep (BLISS vs FR-FCFS under multiprogram mixes)")
+			fr, err := experiments.FairnessSweep(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, fr.Table())
+			// The headline cells: the mixed workload at the grid's top core
+			// count, per scheduler. BLISS's max slowdown (and the FR-FCFS
+			// baseline it is judged against) plus the delivered throughput.
+			counts := experiments.FairnessCoreCounts(opt)
+			top := counts[len(counts)-1]
+			bl := fr.Cell("bliss", "mixed", top)
+			base := fr.Cell("fr-fcfs", "mixed", top)
+			if bl == nil || base == nil {
+				return fmt.Errorf("fairness: missing mixed cells at %d cores", top)
+			}
+			snap.Metrics["fairness/max_slowdown"] = bl.MaxSlowdown
+			snap.Metrics["fairness/weighted_speedup"] = bl.WeightedSpeedup
+			snap.Metrics["fairness/frfcfs_max_slowdown"] = base.MaxSlowdown
+			return nil
+		}},
 		{"substrate", func() error { return substrateMetrics(snap) }},
 		// Last on purpose: the sweep churns through hundreds of full system
 		// runs, and the heap it grows would inflate the substrate

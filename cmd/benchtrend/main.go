@@ -123,6 +123,15 @@ var trendMetrics = map[string]gatedMetric{
 	// envelope (§6). The sweep is deterministic (fixed seed, modeled time
 	// only), so the bound holds machine-independently.
 	"difffuzz/max_err_pct": {mustBeBelow: 1.0},
+	// The fairness sweep's headline cell — BLISS on the mixed mix at the top
+	// core count — is a pure function of the modeled system (no wall clock),
+	// so it gates machine-independently: the measured max slowdown is ~1.99
+	// and FR-FCFS's is ~2.10, so a value at or past 2.5 means the streak cap
+	// stopped protecting the victim core.
+	"fairness/max_slowdown": {mustBeBelow: 2.5},
+	// Delivered multiprogram throughput under BLISS on the same cell —
+	// trajectory only until enough CI points justify a hard gate.
+	"fairness/weighted_speedup": {warnOnly: true},
 	// Snapshot round-trip identity is structural: a decoded profile must
 	// equal the encoded one and a checkpoint-restored run must be
 	// byte-identical to the uninterrupted run, on any host. Any nonzero

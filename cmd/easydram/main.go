@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	easydram [-quick] [-seed N] [-burst-cap N] [-shard-workers N] [-faults]
-//	         [-mitigation P] [-save-profile DIR] [-load-profile DIR]
+//	easydram [-quick] [-seed N] [-burst-cap N] [-shard-workers N] [-cores N]
+//	         [-faults] [-mitigation P] [-save-profile DIR] [-load-profile DIR]
 //	         [-checkpoint FILE] [-v] <experiment>
 //
 // where experiment is one of: table1, fig2, validation, fig8, fig10,
-// fig11, fig12, fig13, fig14, energy, ablations, disturb, snapshot, all.
+// fig11, fig12, fig13, fig14, energy, ablations, disturb, snapshot,
+// fairness, all.
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	channels := flag.Int("channels", 0, "memory channels (power of two; 0 = the paper's single channel). Topology is a workload axis: multi-channel runs overlap service and change emulated timing")
 	shardWorkers := flag.Int("shard-workers", 0, "host workers advancing emulated channels in parallel within one run (0 = GOMAXPROCS, 1 = serial); results are byte-identical at any count")
 	ranks := flag.Int("ranks", 0, "ranks per channel bus (power of two; 0 = the paper's single rank; rank switches pay the tRTRS turnaround)")
+	cores := flag.Int("cores", 0, "emulated core count the fairness sweep tops out at (0 = the default {2, 4} grid); a modeled-system axis — more cores means more contention")
 	faults := flag.Bool("faults", false, "arm default fault injection (chip disturb, transient/stuck-at reads, host-link failures) on every run; deterministic in -seed")
 	mitigation := flag.String("mitigation", "", "RowHammer mitigation policy on every run: para or trr (empty = none)")
 	verbose := flag.Bool("v", false, "print per-run health counters to stderr: DRAM timing/rank-switch violations, retries, quarantined/remapped rows, mitigation refreshes, link faults")
@@ -34,7 +36,7 @@ func main() {
 	loadProfile := flag.String("load-profile", "", "characterization store directory to warm-start from; missing/corrupt/stale profiles degrade to fresh characterization")
 	checkpoint := flag.String("checkpoint", "", "file the snapshot experiment writes its mid-run system checkpoint to")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] [-shard-workers N] [-faults] [-mitigation P] [-save-profile DIR] [-load-profile DIR] [-checkpoint FILE] [-v] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|disturb|snapshot|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: easydram [-quick] [-seed N] [-channels N] [-ranks N] [-shard-workers N] [-cores N] [-faults] [-mitigation P] [-save-profile DIR] [-load-profile DIR] [-checkpoint FILE] [-v] <table1|fig2|validation|fig8|fig10|fig11|fig12|fig13|fig14|energy|ablations|disturb|snapshot|fairness|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,6 +54,7 @@ func main() {
 	opt.BurstCap = *burstCap
 	opt.Channels = *channels
 	opt.Ranks = *ranks
+	opt.Cores = *cores
 	opt.ShardWorkers = *shardWorkers
 	opt.Faults = *faults
 	opt.Mitigation = *mitigation
@@ -139,6 +142,12 @@ func run(name string, opt experiments.Options) error {
 		if s := r.SpeedupX(); s > 0 {
 			fmt.Fprintf(os.Stderr, "easydram: warm-start characterization speedup %.1fx (host wall clock)\n", s)
 		}
+	case "fairness":
+		r, err := experiments.FairnessSweep(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
 	case "fig13", "fig14":
 		r, err := experiments.Figure13(opt)
 		if err != nil {
@@ -150,7 +159,7 @@ func run(name string, opt experiments.Options) error {
 			fmt.Println(r.SpeedTable())
 		}
 	case "all":
-		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations", "disturb", "snapshot"} {
+		for _, n := range []string{"table1", "fig2", "validation", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14", "energy", "ablations", "disturb", "snapshot", "fairness"} {
 			fmt.Printf("==== %s ====\n", n)
 			if err := run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)

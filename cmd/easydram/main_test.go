@@ -15,7 +15,7 @@ func quickOpt() experiments.Options {
 }
 
 func TestRunDispatch(t *testing.T) {
-	for _, name := range []string{"table1", "fig2", "fig8", "fig10", "fig12", "disturb"} {
+	for _, name := range []string{"table1", "fig2", "fig8", "fig10", "fig12", "disturb", "fairness"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			if err := run(name, quickOpt()); err != nil {

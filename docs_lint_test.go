@@ -10,13 +10,22 @@ import (
 )
 
 // TestExportedSymbolsDocumented enforces the repository's documentation
-// contract on the public facade (the root package) and on the experiments
-// package that backs every table and figure: each exported symbol — type,
-// function, method on an exported type, const, and var — must carry a doc
-// comment. It is the "revive exported"-class check, implemented on the
-// standard library's parser so CI needs no extra tooling.
+// contract on the public facade (the root package), on the experiments
+// package that backs every table and figure, and on the emulated-host
+// packages the multi-core work touches (workload, core, cpu, cache): each
+// exported symbol — type, function, method on an exported type, const, and
+// var — must carry a doc comment. It is the "revive exported"-class check,
+// implemented on the standard library's parser so CI needs no extra
+// tooling.
 func TestExportedSymbolsDocumented(t *testing.T) {
-	for _, dir := range []string{".", "internal/experiments"} {
+	for _, dir := range []string{
+		".",
+		"internal/experiments",
+		"internal/workload",
+		"internal/core",
+		"internal/cpu",
+		"internal/cache",
+	} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

@@ -228,6 +228,28 @@ func WithPagePolicy(name string) Option {
 	}
 }
 
+// WithCores selects the emulated core count: n cores, each with a private
+// L1 behind the shared L2, each running its own workload stream and
+// contending for the software memory controller (see System.RunKernels).
+// 0 or 1 — the default — is the single-core system, bit-identical to the
+// paper's configuration. Multi-core systems are deterministic: the same
+// configuration and kernels reproduce every counter exactly.
+func WithCores(n int) Option {
+	return func(cfg *core.Config) { cfg.Cores = n }
+}
+
+// Mix is a named multiprogram composition: one kernel per emulated core,
+// each relocated into a private address window (see Mixes).
+type Mix = workload.Mix
+
+// Mixes returns the named multiprogram mixes the fairness sweep runs:
+// "streaming" (all bandwidth hogs), "latency" (all pointer chases), and
+// "mixed" (hogs plus a latency-sensitive chase).
+func Mixes() []Mix { return workload.Mixes() }
+
+// MixByName resolves a multiprogram mix by name.
+func MixByName(name string) (Mix, error) { return workload.MixByName(name) }
+
 // WithPrefetcher enables the L2 next-line prefetcher.
 func WithPrefetcher() Option {
 	return func(cfg *core.Config) { cfg.CPU.NextLinePrefetch = true }
@@ -303,6 +325,40 @@ func NewSystem(opts ...Option) (*System, error) {
 // persists across runs; build a fresh System for independent measurements.
 func (s *System) Run(k Kernel) (Result, error) {
 	res, err := s.sys.Run(k.Stream())
+	if err != nil {
+		return res, fmt.Errorf("easydram: %w", err)
+	}
+	return res, nil
+}
+
+// RunKernels executes one kernel per emulated core to completion on a
+// multi-core system (WithCores): kernel i runs on core i, relocated into
+// core i's private address window (the emulated fabric has no coherence
+// protocol, so cores must not share lines — see the multi-core section of
+// ARCHITECTURE.md). The kernel count must equal the configured core count.
+// Result.PerCore carries each core's cycles, marks, and cache statistics;
+// the top-level counters aggregate all cores.
+func (s *System) RunKernels(ks []Kernel) (Result, error) {
+	streams := make([]workload.Stream, len(ks))
+	for i, k := range ks {
+		streams[i] = workload.OffsetStream(k.Stream(), uint64(i)*workload.MixWindowBytes)
+	}
+	res, err := s.sys.RunStreams(streams)
+	if err != nil {
+		return res, fmt.Errorf("easydram: %w", err)
+	}
+	return res, nil
+}
+
+// RunMix executes a named multiprogram mix on a multi-core system: core i
+// runs mix.KernelAt(i, n) in its own window, where n is the configured core
+// count.
+func (s *System) RunMix(m Mix) (Result, error) {
+	n := s.cfg.Cores
+	if n < 1 {
+		n = 1
+	}
+	res, err := s.sys.RunStreams(m.Streams(n))
 	if err != nil {
 		return res, fmt.Errorf("easydram: %w", err)
 	}

@@ -235,3 +235,65 @@ func TestWithFaultsOption(t *testing.T) {
 		t.Fatal("link faults without recovery accepted")
 	}
 }
+
+func TestWithCoresFacade(t *testing.T) {
+	sys, err := NewSystem(NoTimeScaling(), WithCores(2))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if sys.Config().Cores != 2 {
+		t.Fatalf("WithCores not applied: %+v", sys.Config().Cores)
+	}
+	hog := NewKernel("hog", func(g *Gen) {
+		for i := 0; i < 2048; i++ {
+			g.Load(uint64(i) * 64)
+		}
+	})
+	chase := NewKernel("chase", func(g *Gen) {
+		for i := 0; i < 256; i++ {
+			g.Load(uint64(i%64) * 8192)
+		}
+	})
+	res, err := sys.RunKernels([]Kernel{hog, chase})
+	if err != nil {
+		t.Fatalf("RunKernels: %v", err)
+	}
+	if len(res.PerCore) != 2 || res.PerCore[0].ProcCycles == 0 || res.PerCore[1].ProcCycles == 0 {
+		t.Fatalf("per-core results missing: %+v", res.PerCore)
+	}
+	if res.ProcCycles < res.PerCore[0].ProcCycles || res.ProcCycles < res.PerCore[1].ProcCycles {
+		t.Fatalf("makespan %d below a core's completion", res.ProcCycles)
+	}
+
+	mix, err := MixByName("mixed")
+	if err != nil {
+		t.Fatalf("MixByName: %v", err)
+	}
+	mixSys, err := NewSystem(NoTimeScaling(), WithCores(2))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	mres, err := mixSys.RunMix(mix)
+	if err != nil {
+		t.Fatalf("RunMix: %v", err)
+	}
+	if len(mres.PerCore) != 2 {
+		t.Fatalf("RunMix per-core results: %+v", mres.PerCore)
+	}
+	if len(Mixes()) != 3 {
+		t.Fatalf("want 3 mixes, got %d", len(Mixes()))
+	}
+
+	// Kernel-count mismatch and single-kernel Run on a multi-core system
+	// must both be rejected.
+	if _, err := mixSys.RunKernels([]Kernel{hog}); err == nil {
+		t.Fatal("kernel-count mismatch accepted")
+	}
+	two, err := NewSystem(NoTimeScaling(), WithCores(2))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if _, err := two.Run(hog); err == nil {
+		t.Fatal("Run on a multi-core system accepted")
+	}
+}

@@ -21,6 +21,16 @@ type Stats struct {
 	Flushes    int64
 }
 
+// Add accumulates o into s (multi-core results sum the per-core L1
+// counters).
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.Flushes += o.Flushes
+}
+
 type line struct {
 	tag   uint64
 	valid bool

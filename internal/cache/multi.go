@@ -1,0 +1,141 @@
+package cache
+
+import "fmt"
+
+// MultiHierarchy is the N-core cache fabric of the multi-core emulated
+// host: one private L1D per core in front of one shared, inclusive L2.
+// Each core accesses the fabric through its CoreView, which presents the
+// same Access/WouldMiss/Flush surface as a single-core Hierarchy.
+//
+// Coherence is deliberately simplified (and documented in ARCHITECTURE.md):
+// there is no cross-L1 MESI protocol. The multiprogram mixes this fabric
+// exists for give every core a disjoint address window, so no line is ever
+// live in two L1s at once. The inclusive invariant is still enforced
+// globally — an L2 eviction back-invalidates the line in EVERY L1, merging
+// dirtiness into the writeback — so a workload that does share lines stays
+// functionally safe (tags-only model) even though it would not see
+// coherence misses.
+type MultiHierarchy struct {
+	l1s []*Cache
+	l2  *Cache
+	// wbScratch reuses the writeback slice across accesses (one shared
+	// scratch: the engine steps cores one at a time).
+	wbScratch []uint64
+}
+
+// NewMultiHierarchy builds cores private L1s behind one shared L2 sized by
+// cfg (cfg.L1Size/L1Assoc size each private L1; cfg.L2Size/L2Assoc the
+// shared L2).
+func NewMultiHierarchy(cfg HierConfig, cores int) (*MultiHierarchy, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("cache: multi-hierarchy needs at least 1 core, got %d", cores)
+	}
+	m := &MultiHierarchy{}
+	for i := 0; i < cores; i++ {
+		l1, err := New(fmt.Sprintf("L1D.%d", i), cfg.L1Size, cfg.L1Assoc)
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		m.l1s = append(m.l1s, l1)
+	}
+	l2, err := New("L2", cfg.L2Size, cfg.L2Assoc)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	m.l2 = l2
+	return m, nil
+}
+
+// Cores reports the number of per-core views.
+func (m *MultiHierarchy) Cores() int { return len(m.l1s) }
+
+// View returns core i's private window onto the fabric.
+func (m *MultiHierarchy) View(i int) *CoreView { return &CoreView{m: m, core: i} }
+
+// L1Stats returns core i's private-L1 counters.
+func (m *MultiHierarchy) L1Stats(i int) Stats { return m.l1s[i].Stats() }
+
+// L2Stats returns the shared L2's counters.
+func (m *MultiHierarchy) L2Stats() Stats { return m.l2.Stats() }
+
+// Reset clears every level and all statistics.
+func (m *MultiHierarchy) Reset() {
+	for _, l1 := range m.l1s {
+		l1.Reset()
+	}
+	m.l2.Reset()
+}
+
+// CoreView is one core's access port: the private L1 plus the shared L2,
+// with the same semantics as Hierarchy (see MultiHierarchy for the
+// coherence simplifications).
+type CoreView struct {
+	m    *MultiHierarchy
+	core int
+}
+
+// Access performs a load or store of the line containing addr through the
+// core's private L1 and the shared L2, mirroring Hierarchy.Access: it
+// reports the satisfying level (1, 2, or 3 = main-memory fill) and the
+// dirty victim lines that must be written back to memory. The writebacks
+// slice aliases a buffer reused by the next Access on ANY view; the engine
+// consumes it before stepping another core.
+func (v *CoreView) Access(addr uint64, write bool) (level int, writebacks []uint64) {
+	m := v.m
+	l1 := m.l1s[v.core]
+	addr &^= uint64(LineBytes - 1)
+	if l1.Access(addr, write) {
+		return 1, nil
+	}
+	m.wbScratch = m.wbScratch[:0]
+	level = 3
+	if m.l2.Access(addr, false) {
+		level = 2
+	} else {
+		// Fill the shared L2 from memory. Inclusion is global: the L2
+		// victim is back-invalidated in every core's L1, merging each
+		// private copy's dirtiness into one writeback decision.
+		if vic := m.l2.Install(addr, false); vic.Valid {
+			dirty := vic.Dirty
+			for _, other := range m.l1s {
+				if p, d := other.Flush(vic.Addr); p && d {
+					dirty = true
+				}
+			}
+			if dirty {
+				m.wbScratch = append(m.wbScratch, vic.Addr)
+			}
+		}
+	}
+	// Fill the private L1.
+	if vic := l1.Install(addr, write); vic.Valid && vic.Dirty {
+		// Dirty L1 victim folds back into the shared L2.
+		if !m.l2.Access(vic.Addr, true) {
+			// Victim no longer in L2 (evicted earlier): write back.
+			m.wbScratch = append(m.wbScratch, vic.Addr)
+		}
+	}
+	return level, m.wbScratch
+}
+
+// WouldMiss reports whether an access to addr would miss both the core's
+// L1 and the shared L2, without perturbing replacement state.
+func (v *CoreView) WouldMiss(addr uint64) bool {
+	addr &^= uint64(LineBytes - 1)
+	return !v.m.l1s[v.core].Lookup(addr) && !v.m.l2.Lookup(addr)
+}
+
+// Flush removes the line containing addr from every L1 and the shared L2
+// (EasyDRAM's flush register is a fabric-wide operation), reporting whether
+// a writeback to memory is required.
+func (v *CoreView) Flush(addr uint64) (writeback bool) {
+	addr &^= uint64(LineBytes - 1)
+	dirty := false
+	for _, l1 := range v.m.l1s {
+		if _, d := l1.Flush(addr); d {
+			dirty = true
+		}
+	}
+	_, d2 := v.m.l2.Flush(addr)
+	return dirty || d2
+}

@@ -50,6 +50,10 @@ func (c Config) CompatKey() string {
 // finished before reaching such a point (e.g. `at` past the workload's
 // end); the Result always covers the complete run.
 func (s *System) RunCheckpoint(strm workload.Stream, at clock.Cycles) (Result, []byte, error) {
+	if s.cfg.Cores > 1 {
+		strm.Close()
+		return Result{}, nil, fmt.Errorf("core: checkpoints are not supported for multi-core systems (%d cores)", s.cfg.Cores)
+	}
 	ck := &ckptReq{at: at}
 	res, err := s.run(strm, ck, nil)
 	if err != nil {
@@ -65,6 +69,10 @@ func (s *System) RunCheckpoint(strm workload.Stream, at clock.Cycles) (Result, [
 // the recorded position. All errors are named snapshot errors; callers fall
 // back to an uninterrupted run.
 func (s *System) RunRestored(strm workload.Stream, data []byte) (Result, error) {
+	if s.cfg.Cores > 1 {
+		strm.Close()
+		return Result{}, fmt.Errorf("core: checkpoints are not supported for multi-core systems (%d cores)", s.cfg.Cores)
+	}
 	r, err := snapshot.ParseExpect(data, snapshot.KindCheckpoint, s.cfg.CompatKey())
 	if err != nil {
 		strm.Close()

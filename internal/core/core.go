@@ -104,6 +104,15 @@ type Config struct {
 	// taken at one worker count restores at any other.
 	ShardWorkers int
 
+	// Cores selects the number of emulated host cores. 0 or 1 models the
+	// paper's single-core host through the unchanged engine (bit-identical
+	// to the pre-multicore engine, golden-pinned). Above 1, the system
+	// models N cores with private L1s behind a shared L2 competing for the
+	// per-channel controllers; runs take one workload stream per core via
+	// RunStreams (see multicore.go). Multi-core runs force BurstCap and
+	// ShardWorkers to their serial settings and reject checkpoints.
+	Cores int
+
 	// Topology selects the module organisation: independent channels, each
 	// with its own controller instance and Bender pipeline, and ranks
 	// sharing each channel's bus. The zero value normalises to the paper's
@@ -150,6 +159,9 @@ func (c Config) Validate() error {
 	if c.ShardWorkers < 0 {
 		return fmt.Errorf("core: shard workers must be non-negative, got %d", c.ShardWorkers)
 	}
+	if c.Cores < 0 || c.Cores > 64 {
+		return fmt.Errorf("core: cores must be in [0, 64], got %d", c.Cores)
+	}
 	if err := c.Topology.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -180,12 +192,38 @@ type Result struct {
 	// order. Workloads bracket their measured region with two marks.
 	Marks []clock.Cycles
 
+	// CPU and L1 aggregate across cores in multi-core runs (the per-core
+	// breakdown lives in PerCore); L2 is the shared cache.
 	CPU  cpu.Stats
 	L1   cache.Stats
 	L2   cache.Stats
 	Ctrl smc.ControllerStats
 	Chip dram.Stats
 	Tile tile.Stats
+
+	// PerCore holds each emulated core's share of a multi-core run, in
+	// core order. Nil for single-core runs.
+	PerCore []CoreResult
+}
+
+// CoreResult is one emulated core's share of a multi-core run.
+type CoreResult struct {
+	// ProcCycles is the cycle count at which this core finished its stream
+	// (its completion time under contention).
+	ProcCycles clock.Cycles
+	// Marks holds the core's OpMark cycle counts, in order.
+	Marks []clock.Cycles
+	// CPU is the core's instruction/stall accounting; L1 its private cache.
+	CPU cpu.Stats
+	L1  cache.Stats
+}
+
+// IPC reports the core's instructions per cycle over its completion time.
+func (c CoreResult) IPC() float64 {
+	if c.ProcCycles == 0 {
+		return 0
+	}
+	return float64(c.CPU.Instructions) / float64(c.ProcCycles)
 }
 
 // Window reports the measured region in emulated processor cycles: the span
@@ -223,9 +261,12 @@ type sysChannel struct {
 
 // System is a fully assembled emulated system. Build one per run.
 type System struct {
-	cfg    Config
-	topo   dram.Topology
-	hier   *cache.Hierarchy
+	cfg  Config
+	topo dram.Topology
+	hier *cache.Hierarchy
+	// mhier is the multi-core cache fabric (private L1s, shared L2), built
+	// only when cfg.Cores > 1; single-core runs use hier.
+	mhier  *cache.MultiHierarchy
 	chans  []sysChannel
 	mapper *smc.TopologyMapper
 
@@ -304,6 +345,12 @@ func NewSystem(cfg Config) (*System, error) {
 		hier:      hier,
 		mapper:    mapper,
 		hostReqID: hostReqIDBase,
+	}
+	if cfg.Cores > 1 {
+		s.mhier, err = cache.NewMultiHierarchy(cfg.Hier, cfg.Cores)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	dramCfg := cfg.DRAM
 	dramCfg.Faults = cfg.Faults.Chip
@@ -406,9 +453,36 @@ type stagedReq struct {
 }
 
 // Run executes the workload stream to completion and returns the result.
-// The stream is closed before Run returns.
+// The stream is closed before Run returns. Multi-core systems need one
+// stream per core; use RunStreams.
 func (s *System) Run(strm workload.Stream) (Result, error) {
+	if s.cfg.Cores > 1 {
+		strm.Close()
+		return Result{}, fmt.Errorf("core: system is configured with %d cores; use RunStreams with one stream per core", s.cfg.Cores)
+	}
 	return s.run(strm, nil, nil)
+}
+
+// RunStreams executes one workload stream per emulated core to completion
+// and returns the combined result (Result.PerCore carries the per-core
+// breakdown). The number of streams must match the configured core count;
+// with one core it is equivalent to Run. All streams are closed before
+// RunStreams returns.
+func (s *System) RunStreams(strms []workload.Stream) (Result, error) {
+	want := s.cfg.Cores
+	if want < 1 {
+		want = 1
+	}
+	if len(strms) != want {
+		for _, st := range strms {
+			st.Close()
+		}
+		return Result{}, fmt.Errorf("core: RunStreams needs %d streams (one per core), got %d", want, len(strms))
+	}
+	if want == 1 {
+		return s.run(strms[0], nil, nil)
+	}
+	return s.runMulti(strms)
 }
 
 // run is the common body behind Run, RunCheckpoint, and RunRestored.
@@ -463,6 +537,11 @@ type engine struct {
 	cfg  Config
 	sys  *System
 	core *cpu.Core
+
+	// multi, when non-nil, marks a multi-core run: core is nil, the merge
+	// loops in multicore.go drive the channels, and the settle paths route
+	// responses to per-core queues instead of ready. See multicore.go.
+	multi *mcEngine
 
 	ts *timescale.Counters
 
@@ -574,9 +653,24 @@ func (e *engine) result() Result {
 		r.SimSpeedMHz = float64(r.ProcCycles) / r.WallTime.Seconds() / 1e6
 	}
 	r.Marks = e.marks
-	r.CPU = e.core.Stats()
-	r.L1 = e.sys.hier.L1.Stats()
-	r.L2 = e.sys.hier.L2.Stats()
+	if e.multi != nil {
+		for i, c := range e.multi.cores {
+			cr := CoreResult{
+				ProcCycles: c.procCycles,
+				Marks:      c.marks,
+				CPU:        c.core.Stats(),
+				L1:         e.sys.mhier.L1Stats(i),
+			}
+			r.PerCore = append(r.PerCore, cr)
+			r.CPU.Add(cr.CPU)
+			r.L1.Add(cr.L1)
+		}
+		r.L2 = e.sys.mhier.L2Stats()
+	} else {
+		r.CPU = e.core.Stats()
+		r.L1 = e.sys.hier.L1.Stats()
+		r.L2 = e.sys.hier.L2.Stats()
+	}
 	for i := range e.sys.chans {
 		c := &e.sys.chans[i]
 		r.Ctrl.Accumulate(c.ctl.Stats())

@@ -441,6 +441,10 @@ func (e *engine) stepChannelScaled(ch int, fx *chanFX) error {
 			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
 		e.noteRelease(fx, release)
+		if e.multi != nil {
+			e.multi.noteSettled(r.ReqID, int64(release), p.posted)
+			continue
+		}
 		if p.posted {
 			continue
 		}
@@ -494,7 +498,9 @@ func (e *engine) settleScaledSegments(ch int, env *smc.Env, fx *chanFX) error {
 			return fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
 		e.noteRelease(fx, release)
-		if !p.posted {
+		if e.multi != nil {
+			e.multi.noteSettled(r.ReqID, int64(release), p.posted)
+		} else if !p.posted {
 			e.pushReady(fx, r.ReqID, int64(release))
 		}
 		prev = s

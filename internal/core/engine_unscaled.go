@@ -414,6 +414,10 @@ func (e *engine) stepChannelUnscaled(ch int, fx *chanFX) (clock.PS, error) {
 		if !ok {
 			return 0, fmt.Errorf("core: response for unknown request %d", r.ReqID)
 		}
+		if e.multi != nil {
+			e.multi.noteSettled(r.ReqID, int64(release), p.posted)
+			continue
+		}
 		if p.posted {
 			continue
 		}
@@ -463,7 +467,9 @@ func (e *engine) settleUnscaledSegments(ch int, env *smc.Env, fx *chanFX) (clock
 			tracef("U burst-serve ch=%d id=%d start=%d completion=%d release=%d", ch, r.ReqID, start, completion, release)
 		}
 		e.inflight[ch].Take(r.ReqID)
-		if !p.posted {
+		if e.multi != nil {
+			e.multi.noteSettled(r.ReqID, int64(release), p.posted)
+		} else if !p.posted {
 			e.pushReady(fx, r.ReqID, int64(release))
 		}
 		prev = s

@@ -124,6 +124,23 @@ type Stats struct {
 	StallCycles   clock.Cycles
 }
 
+// Add accumulates o into s (multi-core results aggregate per-core counters).
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.ComputeCycles += o.ComputeCycles
+	s.L1Hits += o.L1Hits
+	s.L2Hits += o.L2Hits
+	s.MemReads += o.MemReads
+	s.MemFills += o.MemFills
+	s.Writebacks += o.Writebacks
+	s.Flushes += o.Flushes
+	s.RowClones += o.RowClones
+	s.Prefetches += o.Prefetches
+	s.StallCycles += o.StallCycles
+}
+
 // Outcome is the result of one core step.
 type Outcome struct {
 	// Cycles consumed by this step (the engine advances Proc by this).
@@ -147,17 +164,42 @@ type outstandingMiss struct {
 	issue clock.Cycles
 }
 
+// CacheView is the cache surface a core executes against: the single-core
+// two-level cache.Hierarchy, or one core's cache.CoreView onto the shared
+// multi-core fabric. The methods mirror cache.Hierarchy exactly (see its
+// docs for the writeback-slice aliasing contract).
+type CacheView interface {
+	// Access performs a load or store, reporting the satisfying level
+	// (1, 2, or 3 = main-memory fill) and dirty victim lines to write back.
+	Access(addr uint64, write bool) (level int, writebacks []uint64)
+	// WouldMiss reports whether addr would miss every level, without
+	// perturbing replacement state.
+	WouldMiss(addr uint64) bool
+	// Flush removes addr's line, reporting whether a writeback is required.
+	Flush(addr uint64) (writeback bool)
+}
+
+var (
+	_ CacheView = (*cache.Hierarchy)(nil)
+	_ CacheView = (*cache.CoreView)(nil)
+)
+
 // Core executes one op stream over a cache hierarchy.
 type Core struct {
 	cfg  Config
-	hier *cache.Hierarchy
+	hier CacheView
 	strm workload.Stream
 
 	op               workload.Op
 	opValid          bool
 	computeRemaining clock.Cycles
 
-	nextID      uint64
+	nextID uint64
+	// idStride is the request-ID increment (1 for a single core). The
+	// multi-core engine gives core i of N the IDs i+1, i+1+N, i+1+2N, …:
+	// interleaved-dense, so the engine's slot rings stay compact and a
+	// request's owning core is (ID-1) mod N.
+	idStride    uint64
 	outstanding []outstandingMiss
 	// lastLoadMiss is the request ID of the most recent load if it is
 	// still outstanding (dependence target), else 0.
@@ -175,7 +217,7 @@ type Core struct {
 }
 
 // New returns a core executing strm over hier.
-func New(cfg Config, hier *cache.Hierarchy, strm workload.Stream) (*Core, error) {
+func New(cfg Config, hier CacheView, strm workload.Stream) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,7 +227,17 @@ func New(cfg Config, hier *cache.Hierarchy, strm workload.Stream) (*Core, error)
 	if strm == nil {
 		return nil, fmt.Errorf("cpu %s: nil op stream", cfg.Name)
 	}
-	return &Core{cfg: cfg, hier: hier, strm: strm, nextID: 1}, nil
+	return &Core{cfg: cfg, hier: hier, strm: strm, nextID: 1, idStride: 1}, nil
+}
+
+// SetIDSpace places the core's request IDs on an interleaved-dense lattice:
+// first, first+stride, first+2*stride, …. The multi-core engine calls it
+// before the first step so N cores share one dense ID window (core i of N
+// gets first=i+1, stride=N); single-core construction keeps the default
+// dense sequence 1, 2, 3, ….
+func (c *Core) SetIDSpace(first, stride uint64) {
+	c.nextID = first
+	c.idStride = stride
 }
 
 // Config returns the core configuration.
@@ -218,7 +270,7 @@ func (c *Core) AddStall(n clock.Cycles) { c.stats.StallCycles += n }
 
 func (c *Core) newID() uint64 {
 	id := c.nextID
-	c.nextID++
+	c.nextID += c.idStride
 	return id
 }
 

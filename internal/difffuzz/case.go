@@ -127,6 +127,14 @@ type Case struct {
 	// to the single-worker (serial-path) run — core.Config.ShardWorkers is
 	// a pure host-parallelism knob. 0 runs serial and skips the axis.
 	ShardWorkers int `json:"shard_workers,omitempty"`
+
+	// Cores > 1 runs the case on a multi-core emulated host: every core runs
+	// the case's kernel relocated into its own private address window,
+	// contending for the shared memory system. A modeled-system axis (the
+	// direct-simulation baseline is single-core, so armed cases are judged on
+	// invariants and determinism, not the envelope). 0 or 1 runs the
+	// unchanged single-core engine.
+	Cores int `json:"cores,omitempty"`
 }
 
 // splitmix is SplitMix64, the same stateless hash the fault and variation
@@ -256,6 +264,19 @@ func Decode(seed uint64) Case {
 	if c.Channels > 1 && s.chance(1, 3) {
 		c.ShardWorkers = 2 + int(s.mod(3)) // 2, 3, 4
 	}
+
+	// Multi-core emulated hosts (appended last, decoder purity): 1 in 4
+	// cases runs the kernel on every core of a small multi-core system. The
+	// axis trades away the envelope oracle (the baseline is single-core), so
+	// the bias keeps most of the corpus comparable. Armed cases disarm the
+	// axes multi-core systems reject or force serial anyway: checkpoints are
+	// unsupported and the engine pins burst/shard service to the serial path.
+	if s.chance(1, 4) {
+		c.Cores = 2 + int(s.mod(3)) // 2, 3, 4
+		c.CheckpointFrac = 0
+		c.ShardWorkers = 0
+		c.BurstCap = 0
+	}
 	return c
 }
 
@@ -307,6 +328,7 @@ func (c Case) SystemConfig() (core.Config, error) {
 	if c.Mitigation != "" {
 		cfg.Mitigation = fault.MitigationConfig{Policy: c.Mitigation, Seed: c.Faults.Seed}
 	}
+	cfg.Cores = c.Cores
 	return cfg, nil
 }
 
@@ -316,9 +338,9 @@ func (c Case) String() string {
 	if mit == "" {
 		mit = "none"
 	}
-	return fmt.Sprintf("%s/%d %dch%drk/%s %s burst=%d refresh=%v ts=%v faults=%v mit=%s ck=%d shard=%d",
+	return fmt.Sprintf("%s/%d %dch%drk/%s %s burst=%d refresh=%v ts=%v faults=%v mit=%s ck=%d shard=%d cores=%d",
 		c.Kernel, c.KernelDim, c.Channels, c.Ranks, c.Interleave, c.Scheduler,
-		c.BurstCap, c.Refresh, c.TimeScaling, c.Faults.Enabled(), mit, c.CheckpointFrac, c.ShardWorkers)
+		c.BurstCap, c.Refresh, c.TimeScaling, c.Faults.Enabled(), mit, c.CheckpointFrac, c.ShardWorkers, c.Cores)
 }
 
 // MarshalIndent renders the case as the canonical JSON used in regression

@@ -83,6 +83,31 @@ func TestShardIdentityReplay(t *testing.T) {
 	}
 }
 
+// TestMultiCoreCaseReplay replays the multi-core axis directly: the first
+// few decoded cases that arm Cores run the full check set, which for them
+// includes request conservation on the merged traffic and the run-to-run
+// determinism double-run of the multi-core merge loop.
+func TestMultiCoreCaseReplay(t *testing.T) {
+	checked := 0
+	for seed := uint64(0); seed < 4096 && checked < 4; seed++ {
+		c := Decode(seed)
+		if c.Cores <= 1 {
+			continue
+		}
+		checked++
+		rep := RunCase(c, nil)
+		if rep.Failure != nil {
+			t.Errorf("seed %#x [%s]\n  %s: %s", seed, c, rep.Failure.Check, rep.Failure.Detail)
+		}
+		if rep.Comparable {
+			t.Errorf("seed %#x: multi-core case must not be envelope-judged", seed)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no seed in 0..4095 armed the multi-core axis; the decoder draw is broken")
+	}
+}
+
 // TestDecodeIsPureAndRoundTrips pins the case encoding: decoding is a pure
 // function of the seed, every decoded case builds a valid system and
 // kernel, and the JSON form (the regression corpus format) round-trips to
@@ -175,11 +200,14 @@ func TestDecodeCoversEveryAxis(t *testing.T) {
 		if c.ShardWorkers > 1 {
 			seen["shard"] = true
 		}
+		if c.Cores > 1 {
+			seen["multi-core"] = true
+		}
 	}
 	for _, axis := range []string{
 		"multi-channel", "multi-rank", "row-interleave", "fcfs", "bliss", "burst",
 		"refresh-off", "direct-mode", "faults", "disturb", "link-faults", "para",
-		"trr", "comparable", "checkpoint", "shard",
+		"trr", "comparable", "checkpoint", "shard", "multi-core",
 	} {
 		if !seen[axis] {
 			t.Errorf("512 seeds never drew axis %q", axis)

@@ -9,6 +9,7 @@ import (
 	"easydram/internal/core"
 	"easydram/internal/fault"
 	"easydram/internal/ramulator"
+	"easydram/internal/workload"
 )
 
 // EnvelopeMaxPct is the paper's per-config cycle-error bound (Figure 13:
@@ -66,10 +67,11 @@ type Report struct {
 
 // Comparable reports whether the case is judged against the cycle-error
 // envelope: time scaling on (the paper's mode; the baseline direct
-// simulation is its reference) and no fault injection (faults perturb the
-// two stacks differently by design — retry backoff is emulated time).
+// simulation is its reference), no fault injection (faults perturb the
+// two stacks differently by design — retry backoff is emulated time), and
+// a single core (the baseline has no multi-core contention model).
 func (c Case) Comparable() bool {
-	return c.TimeScaling && !c.Faults.Enabled()
+	return c.TimeScaling && !c.Faults.Enabled() && c.Cores <= 1
 }
 
 // runOnce assembles a fresh system for the case and runs its kernel.
@@ -92,6 +94,15 @@ func runOnce(c Case, mutate, transform func(*core.Config)) (core.Result, error) 
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return core.Result{}, err
+	}
+	if cfg.Cores > 1 {
+		// Multi-core: every core runs the case's kernel in its own private
+		// address window (the emulated fabric has no coherence protocol).
+		streams := make([]workload.Stream, cfg.Cores)
+		for i := range streams {
+			streams[i] = workload.OffsetStream(k.Stream(), uint64(i)*workload.MixWindowBytes)
+		}
+		return sys.RunStreams(streams)
 	}
 	return sys.Run(k.Stream())
 }
@@ -298,10 +309,10 @@ func RunCase(c Case, mutate func(*core.Config)) Report {
 
 	// Run-to-run determinism. Every fault draw and schedule decision is a
 	// pure function of config and request stream, so a second identical run
-	// must reproduce the first bit-for-bit. Multi-channel fan-out and fault
-	// models carry the interesting state; restricting the double-run to
-	// those keeps the sweep's run budget flat.
-	if c.Channels > 1 || c.Faults.Enabled() {
+	// must reproduce the first bit-for-bit. Multi-channel fan-out, fault
+	// models, and the multi-core merge loop carry the interesting state;
+	// restricting the double-run to those keeps the sweep's run budget flat.
+	if c.Channels > 1 || c.Faults.Enabled() || c.Cores > 1 {
 		again, err := runOnce(c, mutate, nil)
 		rep.Runs++
 		if err != nil {
@@ -319,7 +330,7 @@ func RunCase(c Case, mutate func(*core.Config)) Report {
 	// statistic and the host-side counters too (the shard runner replays
 	// the exact serial step order; see core/shard.go). The main run used
 	// the case's worker count, so compare it against a single-worker twin.
-	if c.ShardWorkers > 1 && c.Channels > 1 {
+	if c.ShardWorkers > 1 && c.Channels > 1 && c.Cores <= 1 {
 		serial, err := runOnce(c, mutate, func(cfg *core.Config) { cfg.ShardWorkers = 1 })
 		rep.Runs++
 		if err != nil {
@@ -336,8 +347,9 @@ func RunCase(c Case, mutate func(*core.Config)) Report {
 	// Burst-on ≡ burst-off: row-hit burst service is a host-time
 	// optimisation that must not move emulated time or any served-request
 	// counter. Link faults draw per Bender program and bursting changes the
-	// program count, so those cases legitimately diverge and are skipped.
-	if c.BurstCap > 1 && c.Faults.LinkFailRate == 0 && c.Faults.LinkCorruptRate == 0 && c.Faults.LinkDropRate == 0 {
+	// program count, so those cases legitimately diverge and are skipped —
+	// as are multi-core cases, whose engine pins service to the serial path.
+	if c.BurstCap > 1 && c.Cores <= 1 && c.Faults.LinkFailRate == 0 && c.Faults.LinkCorruptRate == 0 && c.Faults.LinkDropRate == 0 {
 		serial, err := runOnce(c, mutate, func(cfg *core.Config) { cfg.BurstCap = 0 })
 		rep.Runs++
 		if err != nil {
@@ -378,7 +390,7 @@ func RunCase(c Case, mutate func(*core.Config)) Report {
 	// bit-for-bit. A run that never quiesces past the mark captures no
 	// blob and passes vacuously — the snapshot subsystem's graceful-
 	// degradation contract, fuzzed across the config space.
-	if c.CheckpointFrac > 0 && main.ProcCycles >= 8 {
+	if c.CheckpointFrac > 0 && c.Cores <= 1 && main.ProcCycles >= 8 {
 		at := main.ProcCycles * clock.Cycles(c.CheckpointFrac) / 8
 		ckRun, blob, err := runCheckpointed(c, mutate, at)
 		rep.Runs++

@@ -106,6 +106,16 @@ var shrinkers = []struct {
 		c.BurstCap /= 2
 		return c, true
 	}},
+	{"drop-cores", func(c Case) (Case, bool) {
+		// Disarming the multi-core axis puts the case back on the unchanged
+		// single-core engine; a contention-dependent failure rejects the
+		// shrink, a single-core one keeps reproducing on a simpler system.
+		if c.Cores == 0 {
+			return c, false
+		}
+		c.Cores = 0
+		return c, true
+	}},
 	{"drop-shard", func(c Case) (Case, bool) {
 		// Disarming the shard axis also puts the main run back on the serial
 		// path; a shard-identity failure rejects the shrink (the check no

@@ -75,6 +75,12 @@ type Options struct {
 	Channels int
 	// Ranks is the per-channel rank count (see Channels).
 	Ranks int
+	// Cores selects the emulated core count the fairness sweep tops out at
+	// (cmd/easydram's -cores flag): FairnessSweep runs its mixes at {2,
+	// Cores} emulated cores. 0 leaves the default {2, 4} grid. Unlike
+	// Workers or ShardWorkers this is a modeled-system axis: more cores
+	// means more contention and different emulated timing.
+	Cores int
 	// ShardWorkers bounds the host worker pool that advances emulated
 	// memory channels in parallel inside one run (core.Config.ShardWorkers;
 	// distinct from Workers, which parallelizes across runs). Result-

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"easydram/internal/workload"
+)
+
+// TestFairnessSweepSmoke runs the full scheduler × mix × core-count grid at
+// unit-test scale and checks its structural invariants plus the sweep's
+// headline result: BLISS bounds the row-hit monopolies that starve cores
+// under FR-FCFS.
+func TestFairnessSweepSmoke(t *testing.T) {
+	opt := Quick()
+	opt.Cores = 4
+	res, err := FairnessSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(FairnessSchedulers) * len(workload.Mixes()) * len(FairnessCoreCounts(opt))
+	if len(res.Cells) != wantCells {
+		t.Fatalf("grid has %d cells, want %d", len(res.Cells), wantCells)
+	}
+	for _, c := range res.Cells {
+		if len(c.Slowdowns) != c.Cores || len(c.IPCs) != c.Cores {
+			t.Fatalf("%s/%s/%d: per-core vectors sized %d/%d, want %d",
+				c.Scheduler, c.Mix, c.Cores, len(c.Slowdowns), len(c.IPCs), c.Cores)
+		}
+		for i, s := range c.Slowdowns {
+			// Contention can only slow a core down; allow a whisker below 1.0
+			// for second-order timing effects.
+			if s < 0.99 {
+				t.Fatalf("%s/%s/%d: core %d slowdown %.3f below 1", c.Scheduler, c.Mix, c.Cores, i, s)
+			}
+		}
+		if c.MaxSlowdown < 1 || c.Unfairness < 1 {
+			t.Fatalf("%s/%s/%d: degenerate summary metrics %+v", c.Scheduler, c.Mix, c.Cores, c)
+		}
+		if c.WeightedSpeedup <= 0 || c.WeightedSpeedup > float64(c.Cores)+0.05 {
+			t.Fatalf("%s/%s/%d: weighted speedup %.3f outside (0, cores]", c.Scheduler, c.Mix, c.Cores, c.WeightedSpeedup)
+		}
+	}
+
+	// The satellite assertions: at 4 cores BLISS's per-bank streak cap must
+	// reduce the victim's slowdown versus FR-FCFS, both on the mixed mix
+	// (streaming hogs starving each other and delaying a cache-resident
+	// pointer chase) and — with a wide margin — on the all-streaming mix,
+	// where FR-FCFS lets the lockstep hogs monopolize open rows back and
+	// forth (measured ~4.16 vs ~2.50 at this scale).
+	for _, mix := range []string{"mixed", "streaming"} {
+		fr := res.Cell("fr-fcfs", mix, 4)
+		bl := res.Cell("bliss", mix, 4)
+		if fr == nil || bl == nil {
+			t.Fatalf("missing %s cells at 4 cores", mix)
+		}
+		if bl.MaxSlowdown >= fr.MaxSlowdown {
+			t.Fatalf("%s: BLISS max slowdown %.3f should be below FR-FCFS %.3f",
+				mix, bl.MaxSlowdown, fr.MaxSlowdown)
+		}
+	}
+	str := res.Cell("fr-fcfs", "streaming", 4)
+	strBL := res.Cell("bliss", "streaming", 4)
+	if strBL.MaxSlowdown > 0.8*str.MaxSlowdown {
+		t.Fatalf("streaming: BLISS max slowdown %.3f lost its margin over FR-FCFS %.3f",
+			strBL.MaxSlowdown, str.MaxSlowdown)
+	}
+
+	// The latency mix is all row-miss traffic — no streaks for BLISS to cap —
+	// so the schedulers must agree there (a proxy for "BLISS degenerates to
+	// FCFS-with-row-hits when nobody monopolizes").
+	latFR := res.Cell("fr-fcfs", "latency", 4)
+	latBL := res.Cell("bliss", "latency", 4)
+	if latFR.MaxSlowdown != latBL.MaxSlowdown {
+		t.Fatalf("latency mix should be scheduler-insensitive: fr-fcfs %.4f vs bliss %.4f",
+			latFR.MaxSlowdown, latBL.MaxSlowdown)
+	}
+}
+
+// TestFairnessSweepDeterministic pins that the sweep is byte-identical at
+// any worker-pool width: cells are independent systems writing to
+// index-addressed slots.
+func TestFairnessSweepDeterministic(t *testing.T) {
+	digest := func(workers int) string {
+		opt := Quick()
+		opt.Workers = workers
+		res, err := FairnessSweep(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if digest(1) != digest(4) {
+		t.Fatal("fairness sweep diverged across worker counts")
+	}
+}
+
+// TestFairnessCoreCounts pins the -cores axis resolution.
+func TestFairnessCoreCounts(t *testing.T) {
+	cases := []struct {
+		cores int
+		want  []int
+	}{
+		{0, []int{2, 4}},
+		{1, []int{2, 4}},
+		{2, []int{2}},
+		{8, []int{2, 8}},
+	}
+	for _, c := range cases {
+		got := FairnessCoreCounts(Options{Cores: c.cores})
+		if len(got) != len(c.want) {
+			t.Fatalf("Cores=%d: got %v want %v", c.cores, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Cores=%d: got %v want %v", c.cores, got, c.want)
+			}
+		}
+	}
+}
+
+// TestMixes pins the mix catalogue's contract: resolvable names, disjoint
+// per-core windows, and streams that replay identically.
+func TestMixes(t *testing.T) {
+	names := workload.MixNames()
+	if len(names) != 3 {
+		t.Fatalf("want 3 mixes, got %v", names)
+	}
+	for _, name := range names {
+		m, err := workload.MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams := m.Streams(3)
+		if len(streams) != 3 {
+			t.Fatalf("%s: want 3 streams", name)
+		}
+		for i, s := range streams {
+			lo := uint64(i) * workload.MixWindowBytes
+			hi := lo + workload.MixWindowBytes
+			var op workload.Op
+			n := 0
+			for s.Next(&op) {
+				n++
+				switch op.Kind {
+				case workload.OpLoad, workload.OpStore, workload.OpFlush:
+					if op.Addr < lo || op.Addr >= hi {
+						t.Fatalf("%s core %d: address %#x outside window [%#x, %#x)", name, i, op.Addr, lo, hi)
+					}
+				}
+			}
+			s.Close()
+			if n == 0 {
+				t.Fatalf("%s core %d: empty stream", name, i)
+			}
+		}
+	}
+	if _, err := workload.MixByName("no-such-mix"); err == nil {
+		t.Fatal("MixByName should reject unknown names")
+	}
+}

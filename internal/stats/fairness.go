@@ -1,0 +1,61 @@
+package stats
+
+// Multiprogram fairness metrics (Subramanian et al., ICCD 2014, and the
+// standard multi-core scheduling literature): each core's slowdown is its
+// contended execution time over its alone execution time, and the summary
+// metrics below condense the per-core vector.
+
+// Slowdowns returns shared[i]/alone[i] per core — how much longer each core
+// took under contention than running the same workload alone. Cores with a
+// non-positive alone time yield 0 (excluded from the summaries).
+func Slowdowns(shared, alone []float64) []float64 {
+	n := len(shared)
+	if len(alone) < n {
+		n = len(alone)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if alone[i] > 0 {
+			out[i] = shared[i] / alone[i]
+		}
+	}
+	return out
+}
+
+// MaxSlowdown returns the largest per-core slowdown — the victim's
+// experience, the metric interference schedulers minimize.
+func MaxSlowdown(slowdowns []float64) float64 { return Max(slowdowns) }
+
+// UnfairnessIndex returns max/min over the positive slowdowns (1.0 = every
+// core slowed equally; large = someone is starved). 0 for empty input.
+func UnfairnessIndex(slowdowns []float64) float64 {
+	max, min := 0.0, 0.0
+	for _, s := range slowdowns {
+		if s <= 0 {
+			continue
+		}
+		if min == 0 || s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return max / min
+}
+
+// WeightedSpeedup returns the sum of 1/slowdown over the positive
+// slowdowns — system throughput in units of "alone runs worth of progress";
+// n cores with no interference score n.
+func WeightedSpeedup(slowdowns []float64) float64 {
+	sum := 0.0
+	for _, s := range slowdowns {
+		if s > 0 {
+			sum += 1 / s
+		}
+	}
+	return sum
+}

@@ -38,6 +38,7 @@ const (
 	OpMark
 )
 
+// String names the operation kind for logs and error messages.
 func (k OpKind) String() string {
 	switch k {
 	case OpCompute:
